@@ -1,0 +1,8 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment function exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Figures 1-5 — the appendix utility / runtime histograms, ASCII edition.
+
+Figure 1 reuses the Table 2/3 repetitions; Figures 4 and 5 reuse Tables 8/9
+and 10/11 (the Workbench cache makes the reruns cheap); Figures 2 and 3 run
+their own configurations (the paper's captions use eps = 0.1 there).
+"""
+
+from repro.experiments.figures import figure_1, figure_2, figure_3, figure_4, figure_5
+
+from _helpers import run_once
+
+
+def _check_panels(fig, expected_panels):
+    assert len(fig.panels) == expected_panels
+    for panel in fig.panels:
+        assert panel.values, f"{panel.label}: empty series"
+        counts, _ = panel.histogram(bins=10)
+        assert counts.sum() == len(panel.values)
+
+
+def test_figure_1(benchmark, scale, emit):
+    fig = run_once(benchmark, lambda: figure_1(scale, seed=0))
+    emit("figure_1", fig.render())
+    _check_panels(fig, 8)  # 4 samplers x {utility, time}
+
+
+def test_figure_2(benchmark, scale, emit):
+    fig = run_once(benchmark, lambda: figure_2(scale, seed=0, epsilon=0.1))
+    emit("figure_2", fig.render())
+    _check_panels(fig, 4)  # DFS/BFS x {utility, time}
+
+
+def test_figure_3(benchmark, scale, emit):
+    fig = run_once(benchmark, lambda: figure_3(scale, seed=0, epsilon=0.1))
+    emit("figure_3", fig.render())
+    _check_panels(fig, 4)  # Grubbs/Histogram x {utility, time}
+
+
+def test_figure_4(benchmark, scale, emit):
+    fig = run_once(benchmark, lambda: figure_4(scale, seed=0))
+    emit("figure_4", fig.render())
+    _check_panels(fig, 8)  # 4 epsilons x {utility, time}
+
+
+def test_figure_5(benchmark, scale, emit):
+    fig = run_once(benchmark, lambda: figure_5(scale, seed=0))
+    emit("figure_5", fig.render())
+    _check_panels(fig, 8)  # 4 sample counts x {utility, time}

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the hot kernels under the experiments.
+
+These are genuine multi-round pytest-benchmark measurements (unlike the
+table benches, which run whole experiments once):
+
+* population-mask evaluation — the filtering engine every f_M call rides on,
+* LOF / Grubbs / Histogram scoring on a realistic population,
+* Exponential-mechanism selection over a large candidate pool,
+* one full BFS release on a warmed verifier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.context import ContextSpace
+from repro.core.pcor import PCOR
+from repro.core.sampling import BFSSampler
+from repro.core.starting import starting_context_from_reference
+from repro.data.masks import PredicateMaskIndex
+from repro.experiments.harness import Workbench
+from repro.experiments.tables import DETECTOR_KWARGS
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.outliers import GrubbsDetector, HistogramDetector, LOFDetector
+
+
+@pytest.fixture(scope="module")
+def bench_env(scale):
+    workbench = Workbench.get(
+        "salary_reduced", scale.salary_reduced_records, 7, "lof", DETECTOR_KWARGS["lof"]
+    )
+    rng = np.random.default_rng(0)
+    return workbench, rng
+
+
+def test_population_mask_kernel(benchmark, bench_env):
+    workbench, rng = bench_env
+    index = PredicateMaskIndex(workbench.dataset)
+    space = ContextSpace(workbench.dataset.schema)
+    contexts = [space.random_valid_context(rng).bits for _ in range(256)]
+
+    def evaluate_all():
+        return sum(index.population_size(bits) for bits in contexts)
+
+    total = benchmark(evaluate_all)
+    assert total > 0
+
+
+@pytest.mark.parametrize(
+    "detector",
+    [LOFDetector(k=10), GrubbsDetector(), HistogramDetector(min_count_floor=2.0)],
+    ids=lambda d: d.name,
+)
+def test_detector_kernel(benchmark, bench_env, detector):
+    workbench, _ = bench_env
+    values = workbench.dataset.metric  # the full-population metric column
+    positions = benchmark(detector.outlier_positions, values)
+    assert positions.dtype == np.int64
+
+
+def test_exponential_mechanism_kernel(benchmark, bench_env):
+    _, rng = bench_env
+    mech = ExponentialMechanism(0.002)
+    utilities = rng.uniform(0, 5000, size=4096)
+
+    def select():
+        return mech.select_index(utilities, rng)
+
+    idx = benchmark(select)
+    assert 0 <= idx < 4096
+
+
+def test_bfs_release_warm_cache(benchmark, bench_env):
+    """One full BFS release against a warmed verifier (amortised regime)."""
+    workbench, rng = bench_env
+    record_id = workbench.pick_outliers(1, 0)[0]
+    start = starting_context_from_reference(workbench.reference, record_id, 0)
+    pcor = PCOR(
+        workbench.dataset,
+        workbench.detector,
+        epsilon=0.2,
+        sampler=BFSSampler(n_samples=25),
+        verifier=workbench.reference_verifier,  # fully warmed cache
+    )
+
+    counter = iter(range(10**9))
+
+    def release():
+        return pcor.release(record_id, starting_context=start, seed=next(counter))
+
+    result = benchmark(release)
+    assert result.context.is_structurally_valid

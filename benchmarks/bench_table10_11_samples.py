@@ -1,0 +1,28 @@
+"""Tables 10 & 11 — effect of the number of samples (Section 6.6).
+
+BFS + LOF, eps = 0.2, n in {25, 50, 100, 200}.  Paper shapes: runtime grows
+roughly linearly in n (7m -> 16m -> 37m -> 99m average); utility first rises
+(0.85 -> 0.88 -> 0.90) then *drops* at n = 200 (0.84) because the fixed
+budget forces eps_1 = eps / (2n + 2) down with n.
+"""
+
+from repro.experiments.tables import table_10_11
+
+from _helpers import run_once
+
+
+def test_tables_10_and_11(benchmark, scale, emit):
+    perf, util = run_once(benchmark, lambda: table_10_11(scale, seed=0))
+    emit("table_10", perf.render())
+    emit("table_11", util.render())
+
+    # Performance: f_M work grows with n (BFS examines ~t children/visit).
+    fm = [
+        (int(label), s.mean_fm_evaluations())
+        for label, s in perf.summaries.items()
+    ]
+    fm.sort()
+    assert fm[-1][1] > fm[0][1] * 2, f"cost should grow with n: {fm}"
+
+    for label, summary in util.summaries.items():
+        assert 0.0 <= summary.utility_summary().mean <= 1.0 + 1e-9

@@ -1,0 +1,24 @@
+"""Tables 4 & 5 — the overlap-with-starting-context utility (Section 6.4).
+
+DFS vs BFS under u = |D_C intersect D_C_V|, LOF, eps = 0.2.  Paper shapes:
+both runtimes roughly halve relative to Tables 2/3 (the overlap search stays
+near C_V), and BFS's utility (0.97) beats DFS's (0.88).
+"""
+
+from repro.experiments.tables import table_4_5
+
+from _helpers import run_once
+
+
+def test_tables_4_and_5(benchmark, scale, emit):
+    perf, util = run_once(benchmark, lambda: table_4_5(scale, seed=0))
+    emit("table_4", perf.render())
+    emit("table_5", util.render())
+
+    means = {label: s.utility_summary().mean for label, s in util.summaries.items()}
+    for label, mean in means.items():
+        assert 0.0 <= mean <= 1.0 + 1e-9, f"{label} overlap ratio out of range"
+    # The overlap utility is maximised near the starting context, so both
+    # directed searches should land clearly above half of the maximum.
+    assert means["BFS"] > 0.5
+    assert means["DFS"] > 0.5

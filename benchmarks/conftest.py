@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper table or figure, prints the rendered ASCII
+artefact straight to the terminal (bypassing capture) and archives it under
+``benchmarks/results/``.  The experiment scale defaults to ``small`` and can
+be overridden with the ``PCOR_BENCH_SCALE`` environment variable
+(smoke | small | medium | paper).
+
+Heavy table regenerations run exactly once via ``benchmark.pedantic(...,
+rounds=1)``; the micro-kernel benches use ordinary multi-round timing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, get_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return get_scale(os.environ.get("PCOR_BENCH_SCALE", "small"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(capsys, results_dir):
+    """Print an artefact to the real terminal and archive it."""
+
+    def _emit(name: str, text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+

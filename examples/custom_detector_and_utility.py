@@ -1,0 +1,115 @@
+"""Extending PCOR: plug in your own detector and utility function.
+
+The paper claims PCOR is "compatible with any utility function ... as well
+as any outlier detection algorithm" (Section 1.1, challenge 4).  This
+example proves it operationally:
+
+* a custom MAD (median absolute deviation) detector — more robust than the
+  z-score rule — registered under the detector registry, and
+* a custom utility that trades population size against description length
+  (prefer large contexts that are also *short* to read).
+
+Both plug into the stock PCOR facade unchanged.  The only privacy
+obligation on a custom utility is a bounded sensitivity: MixedUtility's
+population term has sensitivity 1 and its sparsity term is data-independent,
+so Delta_u = 1 and the Theorem 5.7 budget split still applies.
+
+Run:  python examples/custom_detector_and_utility.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import BFSSampler, OutlierVerifier, PCOR, ReferenceFile, salary_reduced
+from repro.core.starting import starting_context_from_reference
+from repro.core.utility import UtilityFunction
+from repro.outliers.base import OutlierDetector, make_detector, register_detector
+
+
+class MADDetector(OutlierDetector):
+    """Median-absolute-deviation rule: |x - median| / (1.4826 MAD) > cutoff."""
+
+    name = "mad"
+
+    def __init__(self, cutoff: float = 3.5, min_population: int = 10):
+        super().__init__(min_population=min_population)
+        if cutoff <= 0:
+            raise ValueError(f"cutoff must be positive, got {cutoff}")
+        self.cutoff = float(cutoff)
+
+    def _outlier_positions(self, values: np.ndarray) -> np.ndarray:
+        median = np.median(values)
+        mad = np.median(np.abs(values - median))
+        if mad == 0.0:
+            return np.empty(0, dtype=np.int64)
+        robust_z = np.abs(values - median) / (1.4826 * mad)
+        return np.flatnonzero(robust_z > self.cutoff).astype(np.int64)
+
+
+class MixedUtility(UtilityFunction):
+    """u = |D_C| - penalty * HammingWeight(C): big but readable contexts."""
+
+    name = "population_minus_length"
+    sensitivity = 1.0  # only the population term depends on the data
+
+    def __init__(self, verifier, record_id, penalty: float = 25.0):
+        super().__init__(verifier, record_id)
+        self.penalty = float(penalty)
+
+    def _raw_score(self, bits: int) -> float:
+        return float(self.verifier.population_size(bits)) - self.penalty * bits.bit_count()
+
+
+def main() -> None:
+    # Register once; afterwards the detector is constructible by name
+    # anywhere in the library (CLI included).
+    try:
+        register_detector("mad", MADDetector)
+    except Exception:
+        pass  # already registered on re-run
+    detector = make_detector("mad", cutoff=3.0)
+
+    dataset = salary_reduced(n_records=2500, seed=21)
+    verifier = OutlierVerifier(dataset, detector)
+    reference = ReferenceFile.build(verifier)
+    record_id = max(
+        reference.outlier_records(),
+        key=lambda r: len(reference.matching_contexts(r)),
+    )
+    starting = starting_context_from_reference(reference, record_id, 1)
+    print(f"outlier record {record_id} under the custom MAD detector")
+    print(f"  {len(reference.matching_contexts(record_id))} matching contexts\n")
+
+    def mixed_utility_factory(verifier, record_id, starting_bits):
+        return MixedUtility(verifier, record_id, penalty=25.0)
+
+    pcor = PCOR(
+        dataset,
+        detector,
+        utility=mixed_utility_factory,
+        epsilon=0.2,
+        sampler=BFSSampler(n_samples=40),
+        verifier=verifier,
+    )
+    result = pcor.release(record_id, starting_context=starting, seed=4)
+    print(result.describe())
+
+    # Compare against the plain population-size objective.
+    pcor_plain = PCOR(
+        dataset, detector, utility="population_size", epsilon=0.2,
+        sampler=BFSSampler(n_samples=40), verifier=verifier,
+    )
+    plain = pcor_plain.release(record_id, starting_context=starting, seed=4)
+    print()
+    print("objective comparison:")
+    print(f"  mixed   : weight {result.context.hamming_weight:2d}, "
+          f"population {verifier.population_size(result.context.bits)}")
+    print(f"  popsize : weight {plain.context.hamming_weight:2d}, "
+          f"population {verifier.population_size(plain.context.bits)}")
+    print("\nThe mixed objective trades a little population for a shorter,")
+    print("more interpretable explanation - at identical privacy cost.")
+
+
+if __name__ == "__main__":
+    main()

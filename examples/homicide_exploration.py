@@ -1,0 +1,87 @@
+"""Contextual anomaly exploration on the homicide-style dataset.
+
+The paper's second dataset: homicide reports with AgencyType / State /
+Weapon and a VictimAge metric.  This example runs PCOR with all three paper
+detectors over the *same* outlier, showing (a) detector-genericity and (b)
+how the released explanation varies with the detector's notion of
+"outlier", all under the same privacy budget.
+
+Run:  python examples/homicide_exploration.py
+"""
+
+import numpy as np
+
+from repro import (
+    BFSSampler,
+    GrubbsDetector,
+    HistogramDetector,
+    LOFDetector,
+    OutlierVerifier,
+    PCOR,
+    ReferenceFile,
+    homicide_reduced,
+    starting_context_from_reference,
+)
+
+DETECTORS = {
+    "LOF (density)": LOFDetector(k=10, threshold=1.5),
+    "Grubbs (hypothesis test)": GrubbsDetector(alpha=0.05),
+    "Histogram (distribution fit)": HistogramDetector(
+        frequency_fraction=2.5e-3, min_count_floor=2.0
+    ),
+}
+
+
+def main() -> None:
+    dataset = homicide_reduced(n_records=4000, seed=3)
+    print(f"dataset: {len(dataset)} homicide records, "
+          f"t = {dataset.schema.t} attribute values")
+    print(dataset.schema.describe())
+
+    # Build one reference per detector; intersect their outlier sets to find
+    # a record every detector category agrees is a contextual outlier.
+    references = {}
+    common = None
+    for label, detector in DETECTORS.items():
+        verifier = OutlierVerifier(dataset, detector)
+        references[label] = (verifier, ReferenceFile.build(verifier))
+        outliers = set(references[label][1].outlier_records())
+        common = outliers if common is None else (common & outliers)
+    assert common, "no record is an outlier under every detector"
+    record_id = max(
+        common,
+        key=lambda r: min(
+            len(ref.matching_contexts(r)) for _, ref in references.values()
+        ),
+    )
+    print(f"\nqueried record {record_id}: {dataset.record(record_id)}\n")
+
+    rng = np.random.default_rng(9)
+    for label, detector in DETECTORS.items():
+        verifier, reference = references[label]
+        starting = starting_context_from_reference(reference, record_id, rng)
+        pcor = PCOR(
+            dataset,
+            detector,
+            utility="population_size",
+            epsilon=0.2,
+            sampler=BFSSampler(n_samples=50),
+            verifier=verifier,
+        )
+        result = pcor.release(record_id, starting_context=starting, seed=rng)
+        max_utility = reference.max_population_utility(record_id)
+        print(f"== {label} ==")
+        print(f"  matching contexts : {len(reference.matching_contexts(record_id))}")
+        print(f"  released context  : {result.context.describe()}")
+        print(f"  covers            : {result.utility_value:.0f} records "
+              f"({result.utility_value / max_utility:.0%} of the best context)")
+        print(f"  cost              : {result.fm_evaluations} detector runs, "
+              f"eps = {result.epsilon_total:g}")
+        print()
+
+    print("All three detector categories plug into the same release pipeline -")
+    print("the genericity claim of Section 6.5.")
+
+
+if __name__ == "__main__":
+    main()

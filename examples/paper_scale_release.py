@@ -1,0 +1,82 @@
+"""A private release at the paper's full scale — no reference file needed.
+
+The paper's headline dataset is the 51,000-record Ontario salary list with
+the full schema (Jobtitle x9, Employer x8, Year x8 -> t = 25).  Its context
+space holds 511 * 255 * 255 ~ 33.2 million valid contexts; the authors'
+exhaustive reference computation took three days on a 132-core machine.
+
+PCOR's entire point is that *query time does not need that artefact*: a
+starting context comes from a cheap local search and the DP-BFS sampler
+touches only O(n*t) contexts.  This example runs exactly that, at exactly
+the paper's scale, on a laptop, in seconds.
+
+Run:  python examples/paper_scale_release.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    BFSSampler,
+    ContextSpace,
+    LOFDetector,
+    OutlierVerifier,
+    PCOR,
+    ReproError,
+    find_starting_context,
+    synthetic_salary_dataset,
+)
+
+
+def main() -> None:
+    t0 = time.perf_counter()
+    dataset = synthetic_salary_dataset(n_records=51_000, seed=1)
+    space = ContextSpace(dataset.schema)
+    print(f"dataset: {len(dataset):,} records, t = {dataset.schema.t}")
+    print(f"context space: 2^{dataset.schema.t} = {space.size:,} bitmasks, "
+          f"{space.n_structurally_valid:,} structurally valid contexts")
+    print("(the direct approach would verify ALL of them; we will touch a few hundred)\n")
+
+    detector = LOFDetector(k=10, threshold=1.5)
+    verifier = OutlierVerifier(dataset, detector)
+    rng = np.random.default_rng(7)
+
+    # Find some contextual outlier by scanning random records with a cheap
+    # local search (what a data owner's "initial search" would do).
+    record_id, starting = None, None
+    for candidate in rng.permutation(len(dataset))[:300]:
+        rid = int(dataset.ids[int(candidate)])
+        try:
+            starting = find_starting_context(verifier, rid, rng, max_steps=400)
+            record_id = rid
+            break
+        except ReproError:
+            continue
+    assert record_id is not None, "no contextual outlier found in the sample"
+    print(f"outlier record {record_id}: {dataset.record(record_id)}")
+    print(f"starting context population: "
+          f"{verifier.population_size(starting.bits):,}\n")
+
+    pcor = PCOR(
+        dataset,
+        detector,
+        utility="population_size",
+        epsilon=0.2,
+        sampler=BFSSampler(n_samples=50),
+        verifier=verifier,
+    )
+    result = pcor.release(record_id, starting_context=starting, seed=rng)
+    print(result.describe())
+
+    elapsed = time.perf_counter() - t0
+    examined = result.stats.contexts_examined
+    print(f"\ntotal wall time including data generation: {elapsed:.1f}s")
+    print(f"contexts examined: {examined:,} of {space.n_structurally_valid:,} "
+          f"({examined / space.n_structurally_valid:.2e} of the space)")
+    print("paper comparison: direct approach ~ 3 days; PCOR-BFS ~ 37 minutes "
+          "on 50k records - the asymptotic gap this run demonstrates.")
+
+
+if __name__ == "__main__":
+    main()

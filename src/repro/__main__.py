@@ -1,0 +1,6 @@
+"""Allow ``python -m repro`` as an alias for the ``pcor`` CLI."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

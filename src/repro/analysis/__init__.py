@@ -1,0 +1,6 @@
+"""Analysis tools: COE structure, search reachability, release sessions."""
+
+from repro.analysis.coe_structure import COEStructure, analyze_coe, coe_structure_report
+from repro.analysis.session import ReleaseSession
+
+__all__ = ["COEStructure", "analyze_coe", "coe_structure_report", "ReleaseSession"]

@@ -1,0 +1,85 @@
+"""Budgeted multi-release sessions.
+
+A data owner rarely answers a single query.  :class:`ReleaseSession` wraps
+a :class:`~repro.core.pcor.PCOR` pipeline with a
+:class:`~repro.mechanisms.accounting.PrivacyAccountant` so that a sequence
+of releases — different outliers, different utilities — composes under a
+single total budget, and over-budget queries fail *before* any data is
+touched.
+
+Differential privacy composes sequentially: releasing k contexts at
+epsilon each costs k*epsilon in the worst case.  (OCDP inherits the same
+composition for a fixed constraint function; note that releases about
+*different* outliers condition on different ``COE_M(., V)`` constraints, so
+the ledger tracks the total spend an adversary should be assumed to see.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.context.context import Context
+from repro.core.pcor import PCOR
+from repro.core.result import PCORResult
+from repro.exceptions import PrivacyBudgetError
+from repro.mechanisms.accounting import PrivacyAccountant
+from repro.rng import RngLike
+
+
+class ReleaseSession:
+    """A sequence of PCOR releases under one total privacy budget."""
+
+    def __init__(self, pcor: PCOR, total_budget: float):
+        self.pcor = pcor
+        self.accountant = PrivacyAccountant(budget=total_budget)
+        self._results: List[PCORResult] = []
+
+    @property
+    def spent(self) -> float:
+        return self.accountant.spent
+
+    @property
+    def remaining(self) -> float:
+        return self.accountant.remaining
+
+    @property
+    def results(self) -> List[PCORResult]:
+        """All releases made in this session (copies the list, not results)."""
+        return list(self._results)
+
+    def can_release(self) -> bool:
+        """Would one more release at the pipeline's epsilon fit the budget?"""
+        return self.pcor.epsilon <= self.remaining * (1.0 + 1e-9)
+
+    def release(
+        self,
+        record_id: int,
+        starting_context: Union[None, int, Context] = None,
+        seed: RngLike = None,
+    ) -> PCORResult:
+        """One budgeted release; charges the ledger before touching data."""
+        if not self.can_release():
+            raise PrivacyBudgetError(
+                f"release needs epsilon={self.pcor.epsilon:g} but only "
+                f"{self.remaining:.6g} of {self.accountant.budget:g} remains"
+            )
+        # Charge first: even an aborted mechanism run may leak.
+        self.accountant.charge(
+            f"release(record={record_id}, sampler={self.pcor.sampler.name})",
+            self.pcor.epsilon,
+        )
+        result = self.pcor.release(
+            record_id, starting_context=starting_context, seed=seed
+        )
+        self._results.append(result)
+        return result
+
+    def ledger_report(self) -> str:
+        """Human-readable spend ledger."""
+        lines = [
+            f"privacy ledger (budget {self.accountant.budget:g}, "
+            f"spent {self.spent:.6g}, remaining {self.remaining:.6g}):"
+        ]
+        for label, cost in self.accountant.ledger():
+            lines.append(f"  {cost:.6g}  {label}")
+        return "\n".join(lines)

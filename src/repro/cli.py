@@ -1,0 +1,256 @@
+"""Command-line interface: ``pcor`` (or ``python -m repro``).
+
+Subcommands
+-----------
+* ``release``       — run one private context release end to end.
+* ``table N``       — regenerate paper Table N (2-13).
+* ``figure N``      — regenerate paper Figure N (1-5) as ASCII histograms.
+* ``privacy-ratio`` — the Section 6.7 (ii) empirical privacy measurement.
+* ``locality``      — the Section 5.2 locality-hypothesis measurement.
+* ``generate-data`` — write a synthetic dataset to CSV.
+* ``build-reference`` — build and save a reference file (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.context.space import DEFAULT_ENUMERATION_LIMIT, ContextSpace
+from repro.core.pcor import PCOR
+from repro.core.reference import ReferenceFile
+from repro.core.sampling import BFSSampler
+from repro.core.starting import find_starting_context, starting_context_from_reference
+from repro.core.verification import OutlierVerifier
+from repro.data.csvio import write_csv
+from repro.exceptions import ReproError
+from repro.experiments.coe_match import table_12, table_13
+from repro.experiments.config import SCALES
+from repro.experiments.figures import FIGURE_RUNNERS
+from repro.experiments.harness import DATASET_FACTORIES, Workbench, make_sampler
+from repro.experiments.locality import locality_experiment, locality_table
+from repro.experiments.privacy_ratio import privacy_ratio_experiment
+from repro.experiments.tables import DETECTOR_KWARGS, TABLE_RUNNERS
+from repro.outliers.base import available_detectors, make_detector
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pcor",
+        description="PCOR: private contextual outlier release (SIGMOD 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", choices=sorted(SCALES), default="small")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("table_id", choices=sorted(TABLE_RUNNERS) + ["12", "13"])
+    add_common(p_table)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure (ASCII)")
+    p_fig.add_argument("figure_id", choices=sorted(FIGURE_RUNNERS))
+    add_common(p_fig)
+
+    p_priv = sub.add_parser("privacy-ratio", help="Section 6.7(ii) measurement")
+    add_common(p_priv)
+    p_priv.add_argument("--epsilon", type=float, default=0.2)
+
+    p_loc = sub.add_parser("locality", help="Section 5.2 locality measurement")
+    add_common(p_loc)
+
+    p_coe = sub.add_parser(
+        "analyze-coe", help="COE connectivity analysis (sampler utility ceilings)"
+    )
+    p_coe.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="salary_reduced")
+    p_coe.add_argument("--records", type=int, default=2000)
+    p_coe.add_argument("--detector", choices=available_detectors(), default="lof")
+    p_coe.add_argument("--outliers", type=int, default=20)
+    p_coe.add_argument("--seed", type=int, default=0)
+
+    p_rel = sub.add_parser("release", help="run one private context release")
+    p_rel.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="salary_reduced")
+    p_rel.add_argument("--records", type=int, default=2000)
+    p_rel.add_argument("--detector", choices=available_detectors(), default="lof")
+    p_rel.add_argument("--sampler", choices=["uniform", "random_walk", "dfs", "bfs"], default="bfs")
+    p_rel.add_argument("--utility", choices=["population_size", "overlap", "sparsity", "starting_distance"], default="population_size")
+    p_rel.add_argument("--epsilon", type=float, default=0.2)
+    p_rel.add_argument("--samples", type=int, default=50)
+    p_rel.add_argument("--record-id", type=int, default=None, help="outlier record to explain (default: auto-pick)")
+    p_rel.add_argument("--seed", type=int, default=0)
+
+    p_gen = sub.add_parser("generate-data", help="write a synthetic dataset to CSV")
+    p_gen.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
+    p_gen.add_argument("--records", type=int, default=10_000)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True)
+
+    p_ref = sub.add_parser("build-reference", help="build and save a reference file")
+    p_ref.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="salary_reduced")
+    p_ref.add_argument("--records", type=int, default=2000)
+    p_ref.add_argument("--detector", choices=available_detectors(), default="lof")
+    p_ref.add_argument("--seed", type=int, default=0)
+    p_ref.add_argument("--out", required=True)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "table":
+        if args.table_id == "12":
+            print(table_12(args.scale, args.seed).render())
+        elif args.table_id == "13":
+            print(table_13(args.scale, args.seed).render())
+        else:
+            perf, util = TABLE_RUNNERS[args.table_id](args.scale, args.seed)
+            wanted = perf if perf.table_id == args.table_id else util
+            print(wanted.render())
+        return 0
+
+    if args.command == "figure":
+        print(FIGURE_RUNNERS[args.figure_id](args.scale, args.seed).render())
+        return 0
+
+    if args.command == "privacy-ratio":
+        result = privacy_ratio_experiment(args.scale, args.seed, epsilon=args.epsilon)
+        print(result.to_table().render())
+        return 0
+
+    if args.command == "locality":
+        results = locality_experiment(args.scale, args.seed)
+        print(locality_table(results).render())
+        return 0
+
+    if args.command == "analyze-coe":
+        from repro.analysis.coe_structure import coe_structure_report
+
+        bench = Workbench.get(
+            args.dataset, args.records, args.seed, args.detector,
+            DETECTOR_KWARGS.get(args.detector, {}),
+        )
+        rids = bench.pick_outliers(args.outliers, args.seed, min_matching_contexts=2)
+        report = coe_structure_report(bench.reference, rids)
+        print(f"COE structure over {int(report['n_records'])} outliers "
+              f"({args.dataset}, n={args.records}, {args.detector}):")
+        print(f"  mean COE size          : {report['mean_coe_size']:.1f} contexts")
+        print(f"  connected fraction     : {report['connected_fraction']:.0%}")
+        print(f"  mean components        : {report['mean_components']:.2f}")
+        print(f"  max-component coverage : {report['mean_coverage']:.0%}")
+        print(f"  sampler utility ceiling: {report['mean_ceiling_ratio']:.2f} "
+              "(structural bound for uniform starting contexts)")
+        print(f"  mean distance to best  : {report['mean_distance_to_best']:.1f} flips")
+        return 0
+
+    if args.command == "release":
+        return _run_release(args)
+
+    if args.command == "generate-data":
+        dataset = DATASET_FACTORIES[args.dataset](n_records=args.records, seed=args.seed)
+        write_csv(dataset, args.out)
+        print(f"wrote {len(dataset)} records to {args.out}")
+        return 0
+
+    if args.command == "build-reference":
+        dataset = DATASET_FACTORIES[args.dataset](n_records=args.records, seed=args.seed)
+        detector = make_detector(args.detector, **DETECTOR_KWARGS.get(args.detector, {}))
+        reference = ReferenceFile.build(OutlierVerifier(dataset, detector))
+        reference.to_json(args.out)
+        print(
+            f"built reference over {len(reference)} contexts "
+            f"({len(reference.outlier_records())} outlier records) -> {args.out}"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _run_release(args: argparse.Namespace) -> int:
+    detector_kwargs = DETECTOR_KWARGS.get(args.detector, {})
+    dataset = DATASET_FACTORIES[args.dataset](n_records=args.records, seed=args.seed)
+    space = ContextSpace(dataset.schema)
+
+    if space.n_structurally_valid > DEFAULT_ENUMERATION_LIMIT:
+        # Full-schema datasets (e.g. salary_full, t=25) are exactly the
+        # regime PCOR exists for: no reference file is computable, so we
+        # release via local search + sampling only.
+        return _run_release_without_reference(args, dataset, detector_kwargs)
+
+    bench = Workbench.get(
+        args.dataset, args.records, args.seed, args.detector, detector_kwargs
+    )
+    record_id = args.record_id
+    if record_id is None:
+        record_id = bench.pick_outliers(1, args.seed)[0]
+        print(f"auto-picked outlier record {record_id}")
+    starting = starting_context_from_reference(bench.reference, record_id, args.seed)
+    pcor = PCOR(
+        bench.dataset,
+        bench.detector,
+        utility=args.utility,
+        epsilon=args.epsilon,
+        sampler=make_sampler(args.sampler, args.samples),
+        verifier=bench.fresh_verifier(),
+    )
+    result = pcor.release(record_id, starting_context=starting, seed=args.seed)
+    print(result.describe())
+    max_util = bench.reference.max_population_utility(record_id)
+    if args.utility == "population_size" and max_util > 0:
+        print(f"  utility ratio    : {result.utility_value / max_util:.3f} of maximum")
+    return 0
+
+
+def _run_release_without_reference(args, dataset, detector_kwargs) -> int:
+    """Release against a context space too large to enumerate (paper scale)."""
+    import numpy as np
+
+    detector = make_detector(args.detector, **detector_kwargs)
+    verifier = OutlierVerifier(dataset, detector)
+    rng = np.random.default_rng(args.seed)
+    print(
+        f"context space has {ContextSpace(dataset.schema).n_structurally_valid:,} "
+        "valid contexts - releasing without a reference file"
+    )
+
+    record_id = args.record_id
+    starting = None
+    if record_id is None:
+        # Scan random records until one has a findable matching context.
+        for candidate in rng.permutation(len(dataset))[:500]:
+            rid = int(dataset.ids[int(candidate)])
+            try:
+                starting = find_starting_context(verifier, rid, rng, max_steps=500)
+                record_id = rid
+                break
+            except ReproError:
+                continue
+        if record_id is None:
+            print("error: no contextual outlier found in 500 sampled records", file=sys.stderr)
+            return 1
+        print(f"auto-picked outlier record {record_id}")
+    pcor = PCOR(
+        dataset,
+        detector,
+        utility=args.utility,
+        epsilon=args.epsilon,
+        sampler=make_sampler(args.sampler, args.samples),
+        verifier=verifier,
+    )
+    result = pcor.release(record_id, starting_context=starting, seed=rng)
+    print(result.describe())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Contexts as bitvectors, the context space, and the context graph."""
+
+from repro.context.context import Context
+from repro.context.graph import ContextGraph
+from repro.context.space import ContextSpace
+
+__all__ = ["Context", "ContextSpace", "ContextGraph"]

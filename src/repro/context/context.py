@@ -1,0 +1,192 @@
+"""The context bitvector of Section 3.
+
+A context ``C`` is a binary vector ``<c_11 .. c_1|A1| .. c_m1 .. c_m|Am|>``
+of length ``t = sum(|A_i|)``; bit ``c_ij = 1`` means predicate
+``A_i = v_ij`` is part of the context.  The context filters the dataset as a
+conjunction over attributes of disjunctions over selected values.
+
+We store the vector as a single Python ``int`` — immutable, hashable,
+O(t/64) bit operations, and ``int.bit_count()`` gives the Hamming weight for
+free.  :class:`Context` is a thin frozen wrapper binding bits to a schema so
+that contexts from different schemas can never be confused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import ContextError
+from repro.schema import Predicate, Schema
+
+
+@dataclass(frozen=True)
+class Context:
+    """An immutable context bitvector bound to a schema."""
+
+    schema: Schema
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 0 or self.bits >> self.schema.t:
+            raise ContextError(
+                f"bits {self.bits:#x} out of range for t={self.schema.t}"
+            )
+
+    # ----------------------------------------------------------- constructors
+
+    @classmethod
+    def from_predicates(
+        cls, schema: Schema, predicates: Mapping[str, Sequence[str]]
+    ) -> "Context":
+        """Build a context from ``{attribute: [selected values...]}``."""
+        bits = 0
+        for attr_name, values in predicates.items():
+            for value in values:
+                bits |= 1 << schema.bit_for(attr_name, value)
+        return cls(schema, bits)
+
+    @classmethod
+    def from_bitstring(cls, schema: Schema, bitstring: str) -> "Context":
+        """Build from the paper's vector notation, e.g. ``"101001010"``.
+
+        The paper writes vectors left-to-right as ``c_11 c_12 ...``, i.e. the
+        first character is bit 0.
+        """
+        clean = bitstring.strip()
+        if len(clean) != schema.t or set(clean) - {"0", "1"}:
+            raise ContextError(
+                f"bitstring must be {schema.t} characters of 0/1, got {bitstring!r}"
+            )
+        bits = 0
+        for pos, ch in enumerate(clean):
+            if ch == "1":
+                bits |= 1 << pos
+        return cls(schema, bits)
+
+    @classmethod
+    def full(cls, schema: Schema) -> "Context":
+        """The whole-domain context (every predicate selected)."""
+        return cls(schema, schema.full_bits)
+
+    @classmethod
+    def exact(cls, schema: Schema, record: Mapping[str, str]) -> "Context":
+        """The smallest context containing ``record`` (its own values only)."""
+        return cls(schema, schema.record_bits(record))
+
+    # ------------------------------------------------------------- bit access
+
+    def __contains__(self, bit: int) -> bool:
+        return bool((self.bits >> bit) & 1)
+
+    def __len__(self) -> int:
+        return self.schema.t
+
+    @property
+    def hamming_weight(self) -> int:
+        """Number of selected predicates."""
+        return self.bits.bit_count()
+
+    def hamming_distance(self, other: "Context") -> int:
+        self._check_same_schema(other)
+        return (self.bits ^ other.bits).bit_count()
+
+    def is_connected_to(self, other: "Context") -> bool:
+        """Paper's connectivity: Hamming distance exactly 1."""
+        return self.hamming_distance(other) == 1
+
+    def with_bit(self, bit: int) -> "Context":
+        self._check_bit(bit)
+        return Context(self.schema, self.bits | (1 << bit))
+
+    def without_bit(self, bit: int) -> "Context":
+        self._check_bit(bit)
+        return Context(self.schema, self.bits & ~(1 << bit))
+
+    def flip_bit(self, bit: int) -> "Context":
+        """The connected context differing in exactly this predicate."""
+        self._check_bit(bit)
+        return Context(self.schema, self.bits ^ (1 << bit))
+
+    def neighbors(self) -> Iterator["Context"]:
+        """All ``t`` contexts at Hamming distance 1 (graph neighbours)."""
+        for bit in range(self.schema.t):
+            yield self.flip_bit(bit)
+
+    # -------------------------------------------------------------- structure
+
+    def block_bits(self, attr_index: int) -> int:
+        """The sub-bitmask of attribute ``attr_index``, shifted to zero."""
+        off = self.schema.offsets[attr_index]
+        size = len(self.schema.attributes[attr_index])
+        return (self.bits >> off) & ((1 << size) - 1)
+
+    @property
+    def is_structurally_valid(self) -> bool:
+        """True iff every attribute block selects at least one value.
+
+        The paper: "any non-empty context should include at least one
+        predicate of each attribute" — minimum Hamming weight ``m``.
+        """
+        return all(self.block_bits(i) != 0 for i in range(self.schema.m))
+
+    def contains_record_bits(self, record_bits: int) -> bool:
+        """Does this context contain a record with exact-context ``record_bits``?"""
+        return (record_bits & self.bits) == record_bits
+
+    def intersection(self, other: "Context") -> "Context":
+        self._check_same_schema(other)
+        return Context(self.schema, self.bits & other.bits)
+
+    def union(self, other: "Context") -> "Context":
+        self._check_same_schema(other)
+        return Context(self.schema, self.bits | other.bits)
+
+    # ------------------------------------------------------------- rendering
+
+    def selected_predicates(self) -> List[Predicate]:
+        """The predicates selected by this context, in bit order."""
+        return [
+            self.schema.predicate_at(bit)
+            for bit in range(self.schema.t)
+            if (self.bits >> bit) & 1
+        ]
+
+    def selected_values(self) -> Mapping[str, Tuple[str, ...]]:
+        """``{attribute: (selected values...)}``."""
+        out = {}
+        for i, attr in enumerate(self.schema.attributes):
+            block = self.block_bits(i)
+            out[attr.name] = tuple(
+                attr.domain[j] for j in range(len(attr)) if (block >> j) & 1
+            )
+        return out
+
+    def to_bitstring(self) -> str:
+        """Paper-style left-to-right vector notation."""
+        return "".join(
+            "1" if (self.bits >> pos) & 1 else "0" for pos in range(self.schema.t)
+        )
+
+    def describe(self) -> str:
+        """SQL-ish rendering: ``[A IN {v1, v2}] AND [B IN {v3}]``."""
+        parts = []
+        for attr_name, values in self.selected_values().items():
+            if not values:
+                parts.append(f"[{attr_name} IN {{}}]")
+            else:
+                parts.append(f"[{attr_name} IN {{{', '.join(values)}}}]")
+        return " AND ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Context({self.to_bitstring()!r})"
+
+    # -------------------------------------------------------------- internals
+
+    def _check_bit(self, bit: int) -> None:
+        if not 0 <= bit < self.schema.t:
+            raise ContextError(f"bit {bit} out of range for t={self.schema.t}")
+
+    def _check_same_schema(self, other: "Context") -> None:
+        if other.schema is not self.schema and other.schema != self.schema:
+            raise ContextError("contexts belong to different schemas")

@@ -1,0 +1,174 @@
+"""The space of all contexts over a schema.
+
+Provides enumeration (all ``2^t`` bitmasks, or only the structurally valid
+ones), uniform random draws, and counting — the raw material for the direct
+approach (Algorithm 1), uniform sampling (Algorithm 2) and the reference
+file of Section 6.2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.context.context import Context
+from repro.exceptions import EnumerationError
+from repro.rng import RngLike, ensure_rng
+from repro.schema import Schema
+
+# A soft cap: full enumeration above this many contexts is almost certainly a
+# configuration mistake (the whole point of the paper is avoiding it).
+DEFAULT_ENUMERATION_LIMIT = 1 << 22
+
+
+class ContextSpace:
+    """All contexts over one schema, with enumeration and sampling helpers."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    # ---------------------------------------------------------------- counts
+
+    @property
+    def t(self) -> int:
+        return self.schema.t
+
+    @property
+    def size(self) -> int:
+        """Total number of bitmasks, ``2^t``."""
+        return 1 << self.schema.t
+
+    @property
+    def n_structurally_valid(self) -> int:
+        """Number of contexts selecting >=1 value in every attribute block.
+
+        Product over attributes of ``(2^{|A_i|} - 1)``.
+        """
+        out = 1
+        for attr in self.schema.attributes:
+            out *= (1 << len(attr)) - 1
+        return out
+
+    # ----------------------------------------------------------- enumeration
+
+    def enumerate_all(
+        self, limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT
+    ) -> Iterator[Context]:
+        """Yield every bitmask ``0 .. 2^t - 1`` as a context."""
+        if limit is not None and self.size > limit:
+            raise EnumerationError(
+                f"context space has {self.size} elements (> limit {limit}); "
+                "full enumeration refused - use a sampler"
+            )
+        for bits in range(self.size):
+            yield Context(self.schema, bits)
+
+    def enumerate_valid(
+        self, limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT
+    ) -> Iterator[Context]:
+        """Yield only structurally valid contexts (>=1 predicate per block).
+
+        Enumerates block-wise (skipping empty blocks) rather than filtering
+        all ``2^t`` masks, so the cost is proportional to the number of valid
+        contexts.
+        """
+        if limit is not None and self.n_structurally_valid > limit:
+            raise EnumerationError(
+                f"{self.n_structurally_valid} valid contexts (> limit {limit}); "
+                "full enumeration refused - use a sampler"
+            )
+        offsets = self.schema.offsets
+        sizes = [len(a) for a in self.schema.attributes]
+
+        def rec(attr_index: int, acc_bits: int) -> Iterator[int]:
+            if attr_index == len(sizes):
+                yield acc_bits
+                return
+            off, size = offsets[attr_index], sizes[attr_index]
+            for block in range(1, 1 << size):
+                yield from rec(attr_index + 1, acc_bits | (block << off))
+
+        for bits in rec(0, 0):
+            yield Context(self.schema, bits)
+
+    def enumerate_containing(
+        self, record_bits: int, limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT
+    ) -> Iterator[Context]:
+        """Yield every context containing a record with the given exact bits.
+
+        Containing contexts are exactly the supersets of ``record_bits``:
+        the record's own ``m`` bits are forced on and the remaining ``t - m``
+        bits range freely — ``2^(t-m)`` contexts, all structurally valid.
+        """
+        free_bits = [
+            b for b in range(self.schema.t) if not (record_bits >> b) & 1
+        ]
+        count = 1 << len(free_bits)
+        if limit is not None and count > limit:
+            raise EnumerationError(
+                f"{count} containing contexts (> limit {limit}); enumeration refused"
+            )
+        for mask in range(count):
+            bits = record_bits
+            for k, b in enumerate(free_bits):
+                if (mask >> k) & 1:
+                    bits |= 1 << b
+            yield Context(self.schema, bits)
+
+    # -------------------------------------------------------------- sampling
+
+    def random_context(
+        self, rng: RngLike = None, p: float = 0.5
+    ) -> Context:
+        """Draw a context with each bit set independently w.p. ``p``.
+
+        ``p = 0.5`` is the uniform draw of Algorithm 2.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        gen = ensure_rng(rng)
+        draws = gen.random(self.schema.t) < p
+        bits = 0
+        for pos in np.flatnonzero(draws):
+            bits |= 1 << int(pos)
+        return Context(self.schema, bits)
+
+    def random_valid_context(self, rng: RngLike = None) -> Context:
+        """Draw uniformly among structurally valid contexts.
+
+        Each attribute block is drawn uniformly from its ``2^{|A_i|} - 1``
+        non-empty sub-masks; blocks are independent, so the product measure
+        is uniform over the valid set.
+        """
+        gen = ensure_rng(rng)
+        bits = 0
+        for off, attr in zip(self.schema.offsets, self.schema.attributes):
+            block = int(gen.integers(1, 1 << len(attr)))
+            bits |= block << off
+        return Context(self.schema, bits)
+
+    def random_containing(self, record_bits: int, rng: RngLike = None) -> Context:
+        """Uniform draw among contexts containing the given record bits."""
+        gen = ensure_rng(rng)
+        bits = record_bits
+        for b in range(self.schema.t):
+            if not (record_bits >> b) & 1 and gen.random() < 0.5:
+                bits |= 1 << b
+        return Context(self.schema, bits)
+
+    # ------------------------------------------------------------------ misc
+
+    def log2_size(self) -> float:
+        return float(self.schema.t)
+
+    def expected_uniform_draws(self, n_samples: int, n_matching: int) -> float:
+        """Expected draws for Algorithm 2 to collect ``n_samples`` matches.
+
+        Theorem 5.2: with ``N`` matching contexts among ``2^t``, the expected
+        number of draws is ``n * 2^t / N``.
+        """
+        if n_matching <= 0:
+            return math.inf
+        return n_samples * self.size / n_matching

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: PCOR and its five algorithms."""
+
+from repro.core.direct import DirectPCOR
+from repro.core.enumeration import COEEnumerator
+from repro.core.pcor import PCOR
+from repro.core.reference import ReferenceFile
+from repro.core.result import PCORResult
+from repro.core.sampling import (
+    BFSSampler,
+    DFSSampler,
+    RandomWalkSampler,
+    Sampler,
+    SamplingStats,
+    UniformSampler,
+)
+from repro.core.starting import find_starting_context, starting_context_from_reference
+from repro.core.utility import (
+    OverlapUtility,
+    PopulationSizeUtility,
+    SparsityUtility,
+    StartingDistanceUtility,
+    UtilityFunction,
+)
+from repro.core.verification import OutlierVerifier
+
+__all__ = [
+    "PCOR",
+    "PCORResult",
+    "DirectPCOR",
+    "OutlierVerifier",
+    "COEEnumerator",
+    "ReferenceFile",
+    "UtilityFunction",
+    "PopulationSizeUtility",
+    "OverlapUtility",
+    "SparsityUtility",
+    "StartingDistanceUtility",
+    "Sampler",
+    "SamplingStats",
+    "UniformSampler",
+    "RandomWalkSampler",
+    "DFSSampler",
+    "BFSSampler",
+    "find_starting_context",
+    "starting_context_from_reference",
+]

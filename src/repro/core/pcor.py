@@ -1,0 +1,181 @@
+"""The PCOR facade — Definition 3.2 end to end.
+
+Composes a dataset, a deterministic outlier detector, a utility function, a
+sampling algorithm and a total privacy budget into a single
+``release(record_id)`` call that returns a valid, differentially private,
+high-utility context:
+
+>>> from repro import PCOR, BFSSampler, LOFDetector, salary_reduced
+>>> dataset = salary_reduced(n_records=2000, seed=7)
+>>> pcor = PCOR(dataset, LOFDetector(k=10), utility="population_size",
+...             epsilon=0.2, sampler=BFSSampler(n_samples=50))
+>>> result = pcor.release(record_id=17, seed=42)   # doctest: +SKIP
+
+The facade owns the verifier (and thus the context-profile cache) so that
+repeated releases against the same dataset amortise detector runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Union
+
+from repro.context.context import Context
+from repro.core.result import PCORResult
+from repro.core.sampling.base import Sampler
+from repro.core.sampling.bfs import BFSSampler
+from repro.core.starting import find_starting_context
+from repro.core.utility import UtilityFunction, make_utility
+from repro.core.verification import OutlierVerifier
+from repro.data.table import Dataset
+from repro.exceptions import SamplingError
+from repro.mechanisms.accounting import epsilon_one_for
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.outliers.base import OutlierDetector
+from repro.rng import RngLike, ensure_rng
+
+#: A utility spec: registry name, or a factory (verifier, record_id,
+#: starting_bits) -> UtilityFunction.
+UtilitySpec = Union[str, Callable[[OutlierVerifier, int, Optional[int]], UtilityFunction]]
+
+
+class PCOR:
+    """Private contextual outlier release for one dataset + detector."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        detector: OutlierDetector,
+        utility: UtilitySpec = "population_size",
+        epsilon: float = 0.2,
+        sampler: Optional[Sampler] = None,
+        half_sensitivity: bool = False,
+        verifier: Optional[OutlierVerifier] = None,
+    ):
+        self.dataset = dataset
+        self.detector = detector
+        self.utility_spec = utility
+        self.epsilon = float(epsilon)
+        self.sampler = sampler if sampler is not None else BFSSampler(n_samples=50)
+        self.half_sensitivity = bool(half_sensitivity)
+        self.verifier = (
+            verifier
+            if verifier is not None
+            else OutlierVerifier(dataset, detector)
+        )
+        if self.verifier.dataset is not dataset:
+            raise SamplingError("verifier was built for a different dataset")
+
+    # ------------------------------------------------------------------ main
+
+    def release(
+        self,
+        record_id: int,
+        starting_context: Union[None, int, Context] = None,
+        seed: RngLike = None,
+    ) -> PCORResult:
+        """Release one private context for ``record_id``.
+
+        Parameters
+        ----------
+        record_id:
+            The outlier ``V``.  Reporting the record itself is assumed to be
+            permitted (paper Section 1); this call protects everyone else.
+        starting_context:
+            A valid context to start graph samplers from.  If omitted, a
+            local search finds one (:func:`find_starting_context`).
+        seed:
+            RNG seed/generator for this release.
+        """
+        gen = ensure_rng(seed)
+        t0 = time.perf_counter()
+        fm_before = self.verifier.fm_evaluations
+
+        starting_bits = self._resolve_starting_bits(record_id, starting_context, gen)
+        utility = self._make_utility(record_id, starting_bits)
+
+        eps1 = epsilon_one_for(
+            self.sampler.accounting_name, self.epsilon, self.sampler.n_samples
+        )
+        mechanism = ExponentialMechanism(
+            eps1,
+            sensitivity=utility.sensitivity or 1.0,
+            half_sensitivity=self.half_sensitivity,
+        )
+
+        run = self.sampler.sample(
+            self.verifier, utility, record_id, starting_bits, mechanism, gen
+        )
+        if not run.candidates:
+            raise SamplingError(
+                f"sampler {self.sampler.name!r} collected no candidates for "
+                f"record {record_id}"
+            )
+
+        scores = utility.scores(run.candidates)
+        run.stats.mechanism_invocations += 1
+        chosen, _ = mechanism.select(run.candidates, scores, gen)
+
+        return PCORResult(
+            context=Context(self.verifier.schema, chosen),
+            record_id=record_id,
+            utility_value=float(utility.score(chosen)),
+            utility_name=utility.name,
+            epsilon_total=self.epsilon,
+            epsilon_one=eps1,
+            algorithm=self.sampler.name,
+            n_candidates=len(run.candidates),
+            starting_context=(
+                Context(self.verifier.schema, starting_bits)
+                if starting_bits is not None
+                else None
+            ),
+            stats=run.stats,
+            fm_evaluations=self.verifier.fm_evaluations - fm_before,
+            wall_time_s=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _resolve_starting_bits(
+        self,
+        record_id: int,
+        starting_context: Union[None, int, Context],
+        gen,
+    ) -> Optional[int]:
+        needs_start = self.sampler.requires_starting_context or self._utility_needs_start()
+        if starting_context is None:
+            if not needs_start:
+                return None
+            ctx = find_starting_context(self.verifier, record_id, gen)
+            return ctx.bits
+        bits = (
+            starting_context.bits
+            if isinstance(starting_context, Context)
+            else int(starting_context)
+        )
+        if not self.verifier.is_matching(bits, record_id):
+            raise SamplingError(
+                f"starting context {bits:#x} is not a matching context for "
+                f"record {record_id}; graph samplers must start from a valid "
+                "context (Section 5.2)"
+            )
+        return bits
+
+    def _utility_needs_start(self) -> bool:
+        return self.utility_spec in ("overlap", "starting_distance")
+
+    def _make_utility(
+        self, record_id: int, starting_bits: Optional[int]
+    ) -> UtilityFunction:
+        if callable(self.utility_spec):
+            return self.utility_spec(self.verifier, record_id, starting_bits)
+        return make_utility(
+            self.utility_spec, self.verifier, record_id, starting_bits
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PCOR(detector={self.detector.name}, sampler={self.sampler.name}, "
+            f"utility={self.utility_spec!r}, epsilon={self.epsilon})"
+        )

@@ -1,0 +1,73 @@
+"""Result record returned by every PCOR release."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.context.context import Context
+from repro.core.sampling.base import SamplingStats
+
+
+@dataclass(frozen=True)
+class PCORResult:
+    """Everything a data owner learns from one private context release.
+
+    Attributes
+    ----------
+    context:
+        The released private context ``C_p``.
+    record_id:
+        The queried outlier ``V``.
+    utility_value:
+        ``u_V(D, C_p)`` of the released context (the data owner may inspect
+        this; releasing it verbatim would cost extra budget).
+    utility_name:
+        Which utility function scored the candidates.
+    epsilon_total:
+        Total OCDP budget consumed by the release.
+    epsilon_one:
+        Per-invocation Exponential-mechanism parameter used.
+    algorithm:
+        Sampler (or ``"direct"``) that produced the candidate pool.
+    n_candidates:
+        Size of the pool the final mechanism selected from.
+    starting_context:
+        The starting context used, if any.
+    stats:
+        Sampler cost counters (contexts examined, mechanism invocations...).
+    fm_evaluations:
+        Uncached detector runs performed during this release.
+    wall_time_s:
+        Wall-clock duration of the release.
+    """
+
+    context: Context
+    record_id: int
+    utility_value: float
+    utility_name: str
+    epsilon_total: float
+    epsilon_one: float
+    algorithm: str
+    n_candidates: int
+    starting_context: Optional[Context] = None
+    stats: SamplingStats = field(default_factory=SamplingStats)
+    fm_evaluations: int = 0
+    wall_time_s: float = 0.0
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"record {self.record_id}: released context {self.context.describe()}",
+            f"  bitvector        : {self.context.to_bitstring()}",
+            f"  utility ({self.utility_name}): {self.utility_value:g}",
+            f"  algorithm        : {self.algorithm} "
+            f"(pool of {self.n_candidates} candidates)",
+            f"  privacy          : epsilon={self.epsilon_total:g} "
+            f"(epsilon_1={self.epsilon_one:.6g})",
+            f"  cost             : {self.fm_evaluations} detector runs, "
+            f"{self.wall_time_s * 1000:.1f} ms",
+        ]
+        if self.starting_context is not None:
+            lines.insert(2, f"  starting context : {self.starting_context.describe()}")
+        return "\n".join(lines)

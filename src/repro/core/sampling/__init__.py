@@ -1,0 +1,16 @@
+"""Sampling layer (Section 5): the polynomial-time route to PCOR."""
+
+from repro.core.sampling.base import Sampler, SamplingStats
+from repro.core.sampling.bfs import BFSSampler
+from repro.core.sampling.dfs import DFSSampler
+from repro.core.sampling.random_walk import RandomWalkSampler
+from repro.core.sampling.uniform import UniformSampler
+
+__all__ = [
+    "Sampler",
+    "SamplingStats",
+    "UniformSampler",
+    "RandomWalkSampler",
+    "DFSSampler",
+    "BFSSampler",
+]

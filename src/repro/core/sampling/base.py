@@ -1,0 +1,90 @@
+"""Sampler interface shared by Algorithms 2-5.
+
+A sampler collects a pool of candidate contexts (``C_M`` in the paper's
+notation, or ``Visited`` for the searches); the PCOR facade then applies the
+final Exponential mechanism over the pool.  Each sampler declares its budget
+multiplier — the factor relating its total OCDP cost to the per-invocation
+``epsilon_1`` — so the facade can split a total budget correctly
+(see :mod:`repro.mechanisms.accounting`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.utility import UtilityFunction
+from repro.core.verification import OutlierVerifier
+from repro.exceptions import SamplingError
+from repro.mechanisms.exponential import ExponentialMechanism
+
+
+@dataclass
+class SamplingStats:
+    """Cost accounting for one sampling run (hardware-independent)."""
+
+    candidates_collected: int = 0
+    contexts_examined: int = 0  # matching checks the sampler issued
+    mechanism_invocations: int = 0  # internal Exp-mechanism draws (DFS/BFS)
+    steps: int = 0  # outer-loop iterations
+
+    def merge(self, other: "SamplingStats") -> "SamplingStats":
+        return SamplingStats(
+            candidates_collected=self.candidates_collected + other.candidates_collected,
+            contexts_examined=self.contexts_examined + other.contexts_examined,
+            mechanism_invocations=self.mechanism_invocations + other.mechanism_invocations,
+            steps=self.steps + other.steps,
+        )
+
+
+@dataclass
+class SamplingRun:
+    """Output of one sampler invocation: the candidate pool plus stats."""
+
+    candidates: List[int] = field(default_factory=list)
+    stats: SamplingStats = field(default_factory=SamplingStats)
+
+
+class Sampler(ABC):
+    """Collect ``n_samples`` candidate contexts for the final mechanism.
+
+    Parameters
+    ----------
+    n_samples:
+        Target pool size (the paper's ``n``).
+    """
+
+    #: Registry/report name; subclasses override.
+    name: str = "abstract"
+    #: Accounting key in :mod:`repro.mechanisms.accounting`.
+    accounting_name: str = "abstract"
+    #: Does this sampler need a valid starting context?
+    requires_starting_context: bool = True
+
+    def __init__(self, n_samples: int = 50):
+        if n_samples < 1:
+            raise SamplingError(f"n_samples must be >= 1, got {n_samples}")
+        self.n_samples = int(n_samples)
+
+    @abstractmethod
+    def sample(
+        self,
+        verifier: OutlierVerifier,
+        utility: UtilityFunction,
+        record_id: int,
+        starting_bits: int | None,
+        mechanism: ExponentialMechanism,
+        rng: np.random.Generator,
+    ) -> SamplingRun:
+        """Collect the candidate pool.
+
+        ``mechanism`` carries the per-invocation ``epsilon_1``; only the
+        search samplers (DFS/BFS) consult it during collection, but it is
+        threaded everywhere for interface uniformity.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_samples={self.n_samples})"

@@ -1,0 +1,92 @@
+"""Algorithm 3 — Random Walk Sampling on the context graph.
+
+Starting from a valid context ``C_V``, repeatedly pick a uniformly random
+connected context (one-bit flip); if it matches, append it to the multiset
+``C_M`` and walk there, otherwise strike it from the current neighbour set
+and redraw.  If every neighbour of the current context is struck out, the
+walk is stuck and collection stops early — exactly the paper's loop guard
+``C_conn != empty``.
+
+Privacy (Theorem 5.3): neighbour selection is uniform, hence
+data-independent; only the final Exponential mechanism touches the data
+through utilities, so the total cost is ``2 * epsilon_1``.  Complexity
+(Theorem 5.4): O(n * t).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sampling.base import Sampler, SamplingRun, SamplingStats
+from repro.core.utility import UtilityFunction
+from repro.core.verification import OutlierVerifier
+from repro.exceptions import SamplingError
+from repro.mechanisms.exponential import ExponentialMechanism
+
+
+class RandomWalkSampler(Sampler):
+    """Utility-blind random walk over matching contexts.
+
+    Parameters
+    ----------
+    n_samples:
+        Pool size ``n``.
+    restart_on_stuck:
+        Extension beyond the paper's Algorithm 3: when every neighbour of
+        the current context is struck out, jump back to the starting context
+        and keep walking instead of stopping with a short pool.  Restarting
+        is data-independent (it ignores utilities entirely), so Theorem
+        5.3's privacy argument is unaffected.  Off by default for paper
+        fidelity.
+    """
+
+    name = "random_walk"
+    accounting_name = "random_walk"
+    requires_starting_context = True
+
+    def __init__(self, n_samples: int = 50, restart_on_stuck: bool = False):
+        super().__init__(n_samples)
+        self.restart_on_stuck = bool(restart_on_stuck)
+
+    def sample(
+        self,
+        verifier: OutlierVerifier,
+        utility: UtilityFunction,
+        record_id: int,
+        starting_bits: int | None,
+        mechanism: ExponentialMechanism,
+        rng: np.random.Generator,
+    ) -> SamplingRun:
+        if starting_bits is None:
+            raise SamplingError("random walk needs a starting context")
+        stats = SamplingStats()
+        t = verifier.schema.t
+        current = int(starting_bits)
+        candidates: list[int] = [current]  # C_M initialised with C_V
+        stats.candidates_collected += 1
+
+        while len(candidates) < self.n_samples:
+            stats.steps += 1
+            remaining = list(range(t))  # neighbour flips not yet struck out
+            moved = False
+            while remaining:
+                pick = int(rng.integers(0, len(remaining)))
+                bit = remaining.pop(pick)
+                neighbor = current ^ (1 << bit)
+                stats.contexts_examined += 1
+                if verifier.is_matching(neighbor, record_id):
+                    candidates.append(neighbor)  # multiset: repeats allowed
+                    stats.candidates_collected += 1
+                    current = neighbor
+                    moved = True
+                    break
+            if not moved:
+                # C_conn exhausted: the walk is stuck on an isolated matching
+                # context (its matching neighbourhood is empty).
+                if self.restart_on_stuck and current != int(starting_bits):
+                    current = int(starting_bits)
+                    continue
+                # Paper behaviour: stop with a short pool (the final
+                # mechanism still works on whatever was collected).
+                break
+        return SamplingRun(candidates=candidates, stats=stats)

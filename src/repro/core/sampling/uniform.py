@@ -1,0 +1,79 @@
+"""Algorithm 2 — Uniform Sampling.
+
+Draw random context bitvectors (each bit i.i.d. Bernoulli(p), p = 1/2 for
+the uniform case) and keep the ones matching the queried outlier until ``n``
+are collected.  Privacy (Theorem 5.1): the draw probability of a context is
+data-independent, so the run costs the same ``2 * epsilon_1`` as the direct
+approach.  Complexity (Theorem 5.2): expected ``n * 2^t / N`` draws for
+``N`` matching contexts — still exponential, which the experiments confirm
+(Table 2's 24-hour worst case).
+
+``max_draws`` bounds the rejection loop so a record with few matching
+contexts fails loudly instead of spinning forever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.context.space import ContextSpace
+from repro.core.sampling.base import Sampler, SamplingRun, SamplingStats
+from repro.core.utility import UtilityFunction
+from repro.core.verification import OutlierVerifier
+from repro.exceptions import SamplingError
+from repro.mechanisms.exponential import ExponentialMechanism
+
+
+class UniformSampler(Sampler):
+    """Rejection-sample matching contexts from the whole space.
+
+    Parameters
+    ----------
+    n_samples:
+        Pool size ``n``.
+    p:
+        Per-bit inclusion probability (paper uses 1/2).
+    max_draws:
+        Hard cap on total draws before raising :class:`SamplingError`.
+    """
+
+    name = "uniform"
+    accounting_name = "uniform"
+    requires_starting_context = False
+
+    def __init__(self, n_samples: int = 50, p: float = 0.5, max_draws: int = 2_000_000):
+        super().__init__(n_samples)
+        if not 0.0 < p < 1.0:
+            raise SamplingError(f"p must be in (0, 1), got {p}")
+        if max_draws < 1:
+            raise SamplingError(f"max_draws must be >= 1, got {max_draws}")
+        self.p = float(p)
+        self.max_draws = int(max_draws)
+
+    def sample(
+        self,
+        verifier: OutlierVerifier,
+        utility: UtilityFunction,
+        record_id: int,
+        starting_bits: int | None,
+        mechanism: ExponentialMechanism,
+        rng: np.random.Generator,
+    ) -> SamplingRun:
+        space = ContextSpace(verifier.schema)
+        stats = SamplingStats()
+        candidates: list[int] = []
+        while len(candidates) < self.n_samples:
+            if stats.steps >= self.max_draws:
+                raise SamplingError(
+                    f"uniform sampling drew {stats.steps} contexts but found only "
+                    f"{len(candidates)}/{self.n_samples} matching ones for record "
+                    f"{record_id}; the matching set is too sparse for rejection "
+                    "sampling (exactly the paper's complexity argument)"
+                )
+            stats.steps += 1
+            bits = space.random_context(rng, p=self.p).bits
+            stats.contexts_examined += 1
+            if verifier.is_matching(bits, record_id):
+                candidates.append(bits)
+                stats.candidates_collected += 1
+        return SamplingRun(candidates=candidates, stats=stats)

@@ -1,0 +1,166 @@
+"""Utility functions over contexts (Section 3.2).
+
+A utility function scores a context for a fixed outlier ``V``; non-matching
+contexts score ``-inf`` so the Exponential mechanism assigns them
+probability zero — the mechanics behind PCOR's validity guarantee
+(property (a) of Definition 3.2).
+
+The two paper utilities are:
+
+* :class:`PopulationSizeUtility` — ``|D_C|``; larger populations mean a more
+  significant outlier (Section 3.2.1).  Sensitivity 1.
+* :class:`OverlapUtility` — ``|D_C intersect D_{C_V}|`` for a chosen
+  starting context ``C_V`` (Section 3.2.2).  Sensitivity 1.
+
+Two extra utilities demonstrate the "compatible with any utility function"
+claim: :class:`StartingDistanceUtility` (structural closeness to a chosen
+context) and :class:`SparsityUtility` (shorter context descriptions).  Both
+are data-independent given validity, hence sensitivity 0 under the OCDP
+constraint — only the validity gate can change between f-neighbours, and
+f-neighbours share it by definition.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict
+
+import numpy as np
+
+from repro.core.verification import OutlierVerifier
+from repro.exceptions import ContextError
+
+
+class UtilityFunction(ABC):
+    """Score contexts for one fixed outlier record.
+
+    Instances are bound to a verifier and a record id; ``score(bits)``
+    returns ``-inf`` for any context that is not a matching context of the
+    record.
+    """
+
+    #: Registry/report name; subclasses override.
+    name: str = "abstract"
+    #: Sensitivity Delta_u of the matching-context score under add/remove.
+    sensitivity: float = 1.0
+
+    def __init__(self, verifier: OutlierVerifier, record_id: int):
+        if not verifier.dataset.has_record(record_id):
+            raise ContextError(f"record {record_id} not in dataset")
+        self.verifier = verifier
+        self.record_id = int(record_id)
+
+    def score(self, bits: int) -> float:
+        """Utility of context ``bits`` (``-inf`` when non-matching)."""
+        if not self.verifier.is_matching(bits, self.record_id):
+            return -math.inf
+        return self._raw_score(bits)
+
+    @abstractmethod
+    def _raw_score(self, bits: int) -> float:
+        """Score of a context already known to be matching."""
+
+    def scores(self, bits_list) -> np.ndarray:
+        """Vector of scores for a sequence of context bitmasks."""
+        return np.array([self.score(b) for b in bits_list], dtype=np.float64)
+
+
+class PopulationSizeUtility(UtilityFunction):
+    """``u_V(D, C) = |D_C|`` for matching contexts (Section 3.2.1)."""
+
+    name = "population_size"
+    sensitivity = 1.0
+
+    def _raw_score(self, bits: int) -> float:
+        return float(self.verifier.population_size(bits))
+
+
+class OverlapUtility(UtilityFunction):
+    """``u_V(D, C) = |D_C intersect D_{C_V}|`` (Section 3.2.2).
+
+    ``starting_bits`` is the chosen/starting context the analyst wants the
+    released explanation to relate to.
+    """
+
+    name = "overlap"
+    sensitivity = 1.0
+
+    def __init__(self, verifier: OutlierVerifier, record_id: int, starting_bits: int):
+        super().__init__(verifier, record_id)
+        t = verifier.schema.t
+        if starting_bits < 0 or starting_bits >> t:
+            raise ContextError(f"starting_bits {starting_bits:#x} out of range for t={t}")
+        self.starting_bits = int(starting_bits)
+        self._starting_mask = verifier.masks.population_mask(starting_bits)
+        self._overlap_cache: Dict[int, int] = {}
+
+    def overlap_size(self, bits: int) -> int:
+        """``|D_C intersect D_{C_V}|`` regardless of matching status."""
+        cached = self._overlap_cache.get(bits)
+        if cached is None:
+            mask = self.verifier.masks.population_mask(bits)
+            cached = int(np.count_nonzero(mask & self._starting_mask))
+            self._overlap_cache[bits] = cached
+        return cached
+
+    def _raw_score(self, bits: int) -> float:
+        return float(self.overlap_size(bits))
+
+
+class StartingDistanceUtility(UtilityFunction):
+    """``u = -HammingDistance(C, C_V)``: prefer contexts structurally close
+    to a chosen context.  Data-independent scores => sensitivity 0 under the
+    OCDP constraint."""
+
+    name = "starting_distance"
+    sensitivity = 0.0
+
+    def __init__(self, verifier: OutlierVerifier, record_id: int, starting_bits: int):
+        super().__init__(verifier, record_id)
+        self.starting_bits = int(starting_bits)
+
+    def _raw_score(self, bits: int) -> float:
+        return -float((bits ^ self.starting_bits).bit_count())
+
+
+class SparsityUtility(UtilityFunction):
+    """``u = t - HammingWeight(C)``: prefer short, human-readable contexts.
+
+    Data-independent scores => sensitivity 0 under the OCDP constraint."""
+
+    name = "sparsity"
+    sensitivity = 0.0
+
+    def _raw_score(self, bits: int) -> float:
+        return float(self.verifier.schema.t - bits.bit_count())
+
+
+# --------------------------------------------------------------------- specs
+
+#: Names accepted by :class:`repro.core.pcor.PCOR` for its ``utility=`` arg.
+UTILITY_SPECS = {
+    "population_size": PopulationSizeUtility,
+    "overlap": OverlapUtility,
+    "starting_distance": StartingDistanceUtility,
+    "sparsity": SparsityUtility,
+}
+
+
+def make_utility(
+    spec: str,
+    verifier: OutlierVerifier,
+    record_id: int,
+    starting_bits: int | None = None,
+) -> UtilityFunction:
+    """Instantiate a utility function from its registry name."""
+    if spec not in UTILITY_SPECS:
+        raise ContextError(
+            f"unknown utility {spec!r}; available: {sorted(UTILITY_SPECS)}"
+        )
+    cls = UTILITY_SPECS[spec]
+    if cls in (OverlapUtility, StartingDistanceUtility):
+        if starting_bits is None:
+            raise ContextError(f"utility {spec!r} requires a starting context")
+        return cls(verifier, record_id, starting_bits)
+    return cls(verifier, record_id)

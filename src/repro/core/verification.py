@@ -1,0 +1,100 @@
+"""Outlier verification ``f_M(D_C, V)`` with per-context caching (Section 3).
+
+``f_M`` answers "is record V an outlier in the population selected by
+context C?".  Every sampler, the enumerator and both utility functions ask
+this question about overlapping sets of contexts, so the verifier computes a
+*context profile* — population size plus the full set of outlier record ids
+— once per context bitmask and memoises it.  This mirrors the paper's
+reference-file trick (Section 6.2) at the granularity of a single run.
+
+The profile also powers both utility functions for free: population size is
+the first profile component, and outlier-membership is a set lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.data.masks import PredicateMaskIndex
+from repro.data.table import Dataset
+from repro.exceptions import VerificationError
+from repro.outliers.base import OutlierDetector
+
+#: (population size, frozenset of outlier record ids)
+ContextProfile = Tuple[int, FrozenSet[int]]
+
+
+class OutlierVerifier:
+    """Cached implementation of the verification function ``f_M``."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        detector: OutlierDetector,
+        mask_index: Optional[PredicateMaskIndex] = None,
+    ):
+        self.dataset = dataset
+        self.detector = detector
+        self.masks = mask_index if mask_index is not None else PredicateMaskIndex(dataset)
+        if self.masks.dataset is not dataset:
+            raise VerificationError("mask index was built for a different dataset")
+        self._profiles: Dict[int, ContextProfile] = {}
+        self.fm_evaluations = 0  # number of *uncached* detector runs
+        self.fm_queries = 0  # number of f_M questions asked (cached or not)
+
+    @property
+    def schema(self):
+        return self.dataset.schema
+
+    # ------------------------------------------------------------------ core
+
+    def context_profile(self, bits: int) -> ContextProfile:
+        """Population size and outlier record ids of context ``bits`` (cached)."""
+        cached = self._profiles.get(bits)
+        if cached is not None:
+            return cached
+        self.fm_evaluations += 1
+        positions, record_ids, metric_values = self.masks.population(bits)
+        if positions.shape[0] == 0:
+            profile: ContextProfile = (0, frozenset())
+        else:
+            outlier_pos = self.detector.outlier_positions(metric_values)
+            profile = (
+                int(positions.shape[0]),
+                frozenset(int(record_ids[p]) for p in outlier_pos),
+            )
+        self._profiles[bits] = profile
+        return profile
+
+    def population_size(self, bits: int) -> int:
+        return self.context_profile(bits)[0]
+
+    def outlier_ids(self, bits: int) -> FrozenSet[int]:
+        return self.context_profile(bits)[1]
+
+    def is_matching(self, bits: int, record_id: int) -> bool:
+        """The paper's matching-context test: ``V in D_C`` and ``f_M = true``.
+
+        The containment test is a pure bit operation, so non-containing
+        contexts never trigger a detector run.
+        """
+        self.fm_queries += 1
+        if not self.dataset.has_record(record_id):
+            raise VerificationError(f"record {record_id} not in dataset")
+        record_bits = self.dataset.record_bits(record_id)
+        if (record_bits & bits) != record_bits:
+            return False
+        return record_id in self.outlier_ids(bits)
+
+    # --------------------------------------------------------------- plumbing
+
+    def cache_size(self) -> int:
+        return len(self._profiles)
+
+    def reset_counters(self) -> None:
+        self.fm_evaluations = 0
+        self.fm_queries = 0
+        self.masks.reset_counters()
+
+    def clear_cache(self) -> None:
+        self._profiles.clear()

@@ -1,0 +1,27 @@
+"""Dataset substrate: column-store table, predicate bitmap index, generators."""
+
+from repro.data.binning import BinSpec, bin_numeric_column
+from repro.data.generators import (
+    homicide_reduced,
+    salary_reduced,
+    synthetic_homicide_dataset,
+    synthetic_salary_dataset,
+    tiny_income_dataset,
+)
+from repro.data.masks import PredicateMaskIndex
+from repro.data.neighbors import add_random_records, remove_random_records
+from repro.data.table import Dataset
+
+__all__ = [
+    "Dataset",
+    "BinSpec",
+    "bin_numeric_column",
+    "PredicateMaskIndex",
+    "synthetic_salary_dataset",
+    "synthetic_homicide_dataset",
+    "salary_reduced",
+    "homicide_reduced",
+    "tiny_income_dataset",
+    "add_random_records",
+    "remove_random_records",
+]

@@ -1,0 +1,90 @@
+"""CSV import/export for datasets.
+
+Kept dependency-free (stdlib ``csv``) so users can round-trip real data —
+e.g. the actual Ontario sunshine list — into :class:`repro.data.Dataset`
+without pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.data.table import Dataset
+from repro.exceptions import DatasetError
+from repro.schema import CategoricalAttribute, MetricAttribute, Schema
+
+PathLike = Union[str, Path]
+
+
+def write_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write a dataset (categoricals + metric + stable id) to CSV."""
+    path = Path(path)
+    fieldnames = (
+        ["_id"]
+        + [a.name for a in dataset.schema.attributes]
+        + [dataset.schema.metric.name]
+    )
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        for rid, row in dataset.iter_records():
+            row_out: Dict[str, object] = {"_id": rid}
+            row_out.update(row)
+            writer.writerow(row_out)
+
+
+def read_csv(
+    path: PathLike,
+    schema: Optional[Schema] = None,
+    metric: Optional[str] = None,
+    attributes: Optional[Sequence[str]] = None,
+) -> Dataset:
+    """Read a dataset from CSV.
+
+    If ``schema`` is omitted, one is inferred: ``metric`` names the numeric
+    column, ``attributes`` (default: every non-metric, non-``_id`` column)
+    become categorical attributes whose domains are the observed values in
+    sorted order.  Inferred domains cover only observed values; for the
+    privacy guarantees of Section 4, prefer passing an explicit schema whose
+    domains include plausible-but-absent values.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise DatasetError(f"{path} has no header row")
+        rows = list(reader)
+    if not rows:
+        raise DatasetError(f"{path} contains no data rows")
+
+    if schema is None:
+        if metric is None:
+            raise DatasetError("read_csv needs either a schema or a metric name")
+        if metric not in rows[0]:
+            raise DatasetError(f"metric column {metric!r} not found in {path}")
+        if attributes is None:
+            attributes = [
+                c for c in reader.fieldnames if c not in {metric, "_id"}
+            ]
+        attrs: List[CategoricalAttribute] = []
+        for name in attributes:
+            if name not in rows[0]:
+                raise DatasetError(f"attribute column {name!r} not found in {path}")
+            domain = sorted({row[name] for row in rows})
+            attrs.append(CategoricalAttribute(name, domain))
+        schema = Schema(attributes=attrs, metric=MetricAttribute(metric))
+
+    ids: Optional[List[int]] = None
+    if "_id" in rows[0]:
+        ids = [int(row["_id"]) for row in rows]
+
+    columns = {
+        attr.name: [row[attr.name] for row in rows] for attr in schema.attributes
+    }
+    try:
+        metric_values = [float(row[schema.metric.name]) for row in rows]
+    except (KeyError, ValueError) as exc:
+        raise DatasetError(f"bad metric column in {path}: {exc}") from exc
+    return Dataset(schema, columns, metric_values, ids=ids)

@@ -1,0 +1,260 @@
+"""A small column-store relational table.
+
+The paper treats the dataset as a relation with categorical attributes and
+one numeric metric column.  PCOR only ever touches the data through two
+operations — filter records by a context, and read the metric values of the
+filtered population — so the substrate is a column store:
+
+* each categorical column is an ``int16`` array of domain-value codes,
+* the metric column is a ``float64`` array,
+* per-predicate boolean masks (see :mod:`repro.data.masks`) make context
+  filtering a handful of vectorised OR/AND passes.
+
+Records are identified by *stable record ids* (the ``ids`` array) which
+survive record removal/addition; positions (row indices) do not.  Everything
+that crosses dataset versions — neighbouring datasets in particular — speaks
+record ids, never positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError, SchemaError
+from repro.schema import Schema
+
+
+class Dataset:
+    """An immutable dataset instance ``D`` of a schema ``R``.
+
+    Parameters
+    ----------
+    schema:
+        The relational schema (categorical attributes + metric).
+    columns:
+        Mapping from categorical attribute name to a sequence of values.
+    metric_values:
+        The numeric metric column, same length as every categorical column.
+    ids:
+        Optional stable record ids.  Defaults to ``0..n-1``.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, Sequence[str]],
+        metric_values: Sequence[float],
+        ids: Optional[Sequence[int]] = None,
+    ):
+        self.schema = schema
+        metric = np.asarray(metric_values, dtype=np.float64)
+        if metric.ndim != 1:
+            raise DatasetError("metric column must be one-dimensional")
+        n = metric.shape[0]
+        if not np.all(np.isfinite(metric)):
+            raise DatasetError("metric column contains non-finite values")
+
+        codes: Dict[str, np.ndarray] = {}
+        for attr in schema.attributes:
+            if attr.name not in columns:
+                raise DatasetError(f"missing column for attribute {attr.name!r}")
+            raw = columns[attr.name]
+            if len(raw) != n:
+                raise DatasetError(
+                    f"column {attr.name!r} has {len(raw)} rows, metric has {n}"
+                )
+            col = np.empty(n, dtype=np.int16)
+            lookup = {v: j for j, v in enumerate(attr.domain)}
+            for row, value in enumerate(raw):
+                try:
+                    col[row] = lookup[str(value)]
+                except KeyError:
+                    raise DatasetError(
+                        f"row {row}: value {value!r} not in domain of {attr.name!r}"
+                    ) from None
+            codes[attr.name] = col
+
+        if ids is None:
+            id_arr = np.arange(n, dtype=np.int64)
+        else:
+            id_arr = np.asarray(ids, dtype=np.int64)
+            if id_arr.shape != (n,):
+                raise DatasetError("ids must have one entry per record")
+            if len(np.unique(id_arr)) != n:
+                raise DatasetError("record ids must be unique")
+
+        self._codes = codes
+        self._metric = metric
+        self._ids = id_arr
+        self._id_to_pos = {int(rid): pos for pos, rid in enumerate(id_arr)}
+        # Smallest id guaranteed never to have been used. Propagated through
+        # without_records/with_records so removed ids are never resurrected
+        # (record identity must be stable across neighbouring datasets).
+        self._id_ceiling = int(id_arr.max()) + 1 if n else 0
+        # Precompute per-record "exact context" bits lazily.
+        self._record_bits_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_records(
+        cls,
+        schema: Schema,
+        records: Iterable[Mapping[str, object]],
+        ids: Optional[Sequence[int]] = None,
+    ) -> "Dataset":
+        """Build a dataset from row dictionaries including the metric column."""
+        rows = list(records)
+        columns: Dict[str, List[str]] = {a.name: [] for a in schema.attributes}
+        metric: List[float] = []
+        for row in rows:
+            for attr in schema.attributes:
+                if attr.name not in row:
+                    raise DatasetError(f"record missing attribute {attr.name!r}")
+                columns[attr.name].append(str(row[attr.name]))
+            if schema.metric.name not in row:
+                raise DatasetError(f"record missing metric {schema.metric.name!r}")
+            metric.append(float(row[schema.metric.name]))  # type: ignore[arg-type]
+        return cls(schema, columns, metric, ids=ids)
+
+    # ----------------------------------------------------------------- basics
+
+    def __len__(self) -> int:
+        return int(self._metric.shape[0])
+
+    @property
+    def n_records(self) -> int:
+        return len(self)
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Stable record ids, aligned with row positions (read-only view)."""
+        view = self._ids.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def metric(self) -> np.ndarray:
+        """The metric column (read-only view)."""
+        view = self._metric.view()
+        view.flags.writeable = False
+        return view
+
+    def codes(self, attribute: str) -> np.ndarray:
+        """Domain-value codes of a categorical column (read-only view)."""
+        if attribute not in self._codes:
+            raise DatasetError(f"no categorical column {attribute!r}")
+        view = self._codes[attribute].view()
+        view.flags.writeable = False
+        return view
+
+    def position_of(self, record_id: int) -> int:
+        """Row position of a stable record id."""
+        try:
+            return self._id_to_pos[int(record_id)]
+        except KeyError:
+            raise DatasetError(f"no record with id {record_id}") from None
+
+    def has_record(self, record_id: int) -> bool:
+        return int(record_id) in self._id_to_pos
+
+    def record(self, record_id: int) -> Dict[str, object]:
+        """Materialise one record (attribute values + metric) by id."""
+        pos = self.position_of(record_id)
+        row: Dict[str, object] = {}
+        for attr in self.schema.attributes:
+            row[attr.name] = attr.domain[int(self._codes[attr.name][pos])]
+        row[self.schema.metric.name] = float(self._metric[pos])
+        return row
+
+    def iter_records(self) -> Iterable[Tuple[int, Dict[str, object]]]:
+        """Yield ``(record_id, record_dict)`` pairs in row order."""
+        for rid in self._ids:
+            yield int(rid), self.record(int(rid))
+
+    # ----------------------------------------------------------- context bits
+
+    def record_bits(self, record_id: int) -> int:
+        """Exact-context bitmask of record ``record_id`` (see Schema.record_bits)."""
+        all_bits = self.all_record_bits()
+        return int(all_bits[self.position_of(record_id)])
+
+    def all_record_bits(self) -> np.ndarray:
+        """Exact-context bitmask of every record as an ``object`` array of ints."""
+        if self._record_bits_cache is None:
+            n = len(self)
+            bits = np.zeros(n, dtype=np.object_)
+            for off, attr in zip(self.schema.offsets, self.schema.attributes):
+                col = self._codes[attr.name].astype(np.int64)
+                for pos in range(n):
+                    bits[pos] = int(bits[pos]) | (1 << (off + int(col[pos])))
+            self._record_bits_cache = bits
+        return self._record_bits_cache
+
+    # ------------------------------------------------------------- mutations
+    # Datasets are immutable; "mutations" return new Dataset objects that
+    # preserve stable ids. These back the neighbouring-dataset machinery.
+
+    def without_positions(self, positions: Sequence[int]) -> "Dataset":
+        """A new dataset with the given row positions removed."""
+        drop = set(int(p) for p in positions)
+        for p in drop:
+            if not 0 <= p < len(self):
+                raise DatasetError(f"position {p} out of range")
+        keep = np.array([p for p in range(len(self)) if p not in drop], dtype=np.int64)
+        columns = {
+            attr.name: [
+                attr.domain[int(self._codes[attr.name][p])] for p in keep
+            ]
+            for attr in self.schema.attributes
+        }
+        out = Dataset(
+            self.schema,
+            columns,
+            self._metric[keep],
+            ids=self._ids[keep],
+        )
+        out._id_ceiling = max(out._id_ceiling, self._id_ceiling)
+        return out
+
+    def without_records(self, record_ids: Sequence[int]) -> "Dataset":
+        """A new dataset with the given stable record ids removed."""
+        return self.without_positions([self.position_of(r) for r in record_ids])
+
+    def with_records(
+        self, records: Iterable[Mapping[str, object]], start_id: Optional[int] = None
+    ) -> "Dataset":
+        """A new dataset with extra records appended (fresh stable ids)."""
+        rows = list(records)
+        if not rows:
+            return self
+        next_id = self._id_ceiling
+        if start_id is not None:
+            next_id = max(next_id, int(start_id))
+        columns = {
+            attr.name: [
+                attr.domain[int(c)] for c in self._codes[attr.name]
+            ]
+            for attr in self.schema.attributes
+        }
+        metric = list(self._metric)
+        ids = list(self._ids)
+        for i, row in enumerate(rows):
+            for attr in self.schema.attributes:
+                if attr.name not in row:
+                    raise DatasetError(f"record missing attribute {attr.name!r}")
+                columns[attr.name].append(str(row[attr.name]))
+            metric.append(float(row[self.schema.metric.name]))  # type: ignore[arg-type]
+            ids.append(next_id + i)
+        return Dataset(self.schema, columns, metric, ids=ids)
+
+    # ------------------------------------------------------------------- misc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset(n={len(self)}, attrs="
+            f"{[a.name for a in self.schema.attributes]}, "
+            f"metric={self.schema.metric.name!r})"
+        )

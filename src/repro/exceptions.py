@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed (duplicate names, empty domains, bad metric)."""
+
+
+class DatasetError(ReproError):
+    """A dataset is inconsistent with its schema or otherwise unusable."""
+
+
+class ContextError(ReproError):
+    """A context bitvector is malformed for the given schema."""
+
+
+class PrivacyBudgetError(ReproError):
+    """A privacy parameter is invalid (non-positive epsilon, bad split)."""
+
+
+class MechanismError(ReproError):
+    """A differential-privacy mechanism received unusable inputs."""
+
+
+class SamplingError(ReproError):
+    """A sampler could not produce the requested number of samples."""
+
+
+class VerificationError(ReproError):
+    """Outlier verification was asked about a record outside the dataset."""
+
+
+class EnumerationError(ReproError):
+    """Full context enumeration failed or was refused (space too large)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or a run cannot proceed."""

@@ -1,0 +1,67 @@
+"""ASCII rendering of tables and histograms.
+
+The benchmark harness prints the same rows the paper's tables report and an
+ASCII version of the appendix histograms, so every experiment's output is
+readable straight from the terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.stats import histogram_series
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Fixed-width ASCII table with a title rule and optional footnote."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * max(len(title), len(rule))]
+    lines.append(fmt(list(headers)))
+    lines.append(rule)
+    lines.extend(fmt(row) for row in str_rows)
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    value_range: Tuple[float, float] | None = None,
+    label: str = "",
+) -> str:
+    """ASCII bar-chart histogram (the appendix figures, terminal edition)."""
+    counts, edges = histogram_series(values, bins=bins, value_range=value_range)
+    peak = int(counts.max()) if counts.size else 0
+    lines = []
+    if label:
+        lines.append(label)
+    for i, count in enumerate(counts):
+        bar = "#" * (0 if peak == 0 else round(width * int(count) / peak))
+        lines.append(
+            f"  [{edges[i]:>10.4g}, {edges[i + 1]:>10.4g}) "
+            f"{str(int(count)).rjust(5)} {bar}"
+        )
+    arr = np.asarray(values, dtype=np.float64)
+    lines.append(
+        f"  n={arr.size} mean={arr.mean():.4g} min={arr.min():.4g} max={arr.max():.4g}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Differential-privacy substrate: mechanisms, OCDP, budget accounting."""
+
+from repro.mechanisms.accounting import PrivacyAccountant, epsilon_one_for, total_epsilon_for
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.mechanisms.ocdp import FNeighborChecker, ocdp_ratio_bound
+
+__all__ = [
+    "ExponentialMechanism",
+    "LaplaceMechanism",
+    "PrivacyAccountant",
+    "epsilon_one_for",
+    "total_epsilon_for",
+    "FNeighborChecker",
+    "ocdp_ratio_bound",
+]

@@ -1,0 +1,63 @@
+"""The Laplace mechanism (Dwork et al. 2006) — numeric-query DP substrate.
+
+PCOR's context release uses the Exponential mechanism, but a complete
+DP toolkit needs the Laplace mechanism too: the examples use it to release
+noisy population counts *alongside* a private context, and the accountant
+composes both kinds of invocation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import PrivacyBudgetError
+from repro.rng import RngLike, ensure_rng
+
+
+class LaplaceMechanism:
+    """Add Laplace(sensitivity / epsilon) noise to numeric query answers."""
+
+    def __init__(self, epsilon: float, sensitivity: float = 1.0):
+        if not (epsilon > 0.0 and math.isfinite(epsilon)):
+            raise PrivacyBudgetError(f"epsilon must be positive and finite, got {epsilon}")
+        if not (sensitivity > 0.0 and math.isfinite(sensitivity)):
+            raise PrivacyBudgetError(
+                f"sensitivity must be positive and finite, got {sensitivity}"
+            )
+        self.epsilon = float(epsilon)
+        self.sensitivity = float(sensitivity)
+
+    @property
+    def scale(self) -> float:
+        """The Laplace scale parameter ``b = sensitivity / epsilon``."""
+        return self.sensitivity / self.epsilon
+
+    @property
+    def privacy_cost(self) -> float:
+        """One invocation costs exactly ``epsilon``."""
+        return self.epsilon
+
+    def release(
+        self, true_value: Union[float, Sequence[float]], rng: RngLike = None
+    ) -> Union[float, np.ndarray]:
+        """Noisy release of a scalar or vector query answer."""
+        gen = ensure_rng(rng)
+        arr = np.asarray(true_value, dtype=np.float64)
+        noise = gen.laplace(0.0, self.scale, size=arr.shape)
+        noisy = arr + noise
+        if noisy.shape == ():
+            return float(noisy)
+        return noisy
+
+    def release_count(self, true_count: int, rng: RngLike = None) -> float:
+        """Noisy count (not clamped; callers may round/clamp as they see fit)."""
+        return float(self.release(float(true_count), rng))
+
+    def confidence_halfwidth(self, confidence: float = 0.95) -> float:
+        """Half-width ``h`` with ``P(|noise| <= h) = confidence``."""
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        return -self.scale * math.log(1.0 - confidence)

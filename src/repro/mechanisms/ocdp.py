@@ -1,0 +1,87 @@
+"""Output-Constrained Differential Privacy (Definitions 2.4 and 2.5).
+
+OCDP relaxes DP to pairs of *f-neighbours*: datasets that (1) differ in one
+record and (2) map to the same non-empty output under a fixed function
+``f``.  In PCOR, ``f = COE_M(., V)`` — the set of all valid contexts for the
+queried outlier — so the guarantee reads: *as long as adding/removing one
+record does not change which contexts are valid for V, the released context
+is epsilon-indistinguishable.*  Section 6.7 measures how often the
+constraint actually holds; :mod:`repro.experiments.coe_match` reproduces
+that measurement using the helpers here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Callable, FrozenSet, Tuple
+
+from repro.data.table import Dataset
+
+
+def differ_by_one_record(d1: Dataset, d2: Dataset) -> bool:
+    """General neighbouring condition: symmetric difference of one record.
+
+    Record identity is judged by stable record id (this library's datasets
+    preserve ids across add/remove), so ``D2 = D1 minus one record`` and
+    ``D2 = D1 plus one record`` both qualify.
+    """
+    ids1 = set(int(i) for i in d1.ids)
+    ids2 = set(int(i) for i in d2.ids)
+    return len(ids1 ^ ids2) == 1
+
+
+class FNeighborChecker:
+    """Decides whether two datasets are neighbours w.r.t. a function ``f``.
+
+    Parameters
+    ----------
+    f:
+        The constraint function, mapping a dataset to a frozen set of
+        outputs (for PCOR: the set of valid context bitmasks for a fixed
+        outlier ``V``).
+    """
+
+    def __init__(self, f: Callable[[Dataset], FrozenSet[int]]):
+        self.f = f
+
+    def outputs(self, dataset: Dataset) -> FrozenSet[int]:
+        return frozenset(self.f(dataset))
+
+    def are_f_neighbors(self, d1: Dataset, d2: Dataset) -> Tuple[bool, str]:
+        """``(verdict, reason)`` for Definition 2.4.
+
+        The reason string distinguishes the three failure modes: not
+        one-record neighbours, empty output, or differing output sets.
+        """
+        if not differ_by_one_record(d1, d2):
+            return False, "datasets do not differ by exactly one record"
+        out1 = self.outputs(d1)
+        out2 = self.outputs(d2)
+        if not out1 or not out2:
+            return False, "f maps at least one dataset to the empty set"
+        if out1 != out2:
+            return False, (
+                f"f outputs differ: |only D1|={len(out1 - out2)}, "
+                f"|only D2|={len(out2 - out1)}"
+            )
+        return True, "f-neighbors"
+
+
+def ocdp_ratio_bound(epsilon: float) -> float:
+    """The OCDP guarantee: probability ratios are bounded by ``e^epsilon``."""
+    if epsilon < 0.0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    return math.exp(epsilon)
+
+
+def set_match_fraction(a: AbstractSet[int], b: AbstractSet[int]) -> float:
+    """Jaccard similarity of two output sets, the paper's "COE match".
+
+    Section 6.7 reports the "contexts set match of the original dataset and
+    its neighboring datasets"; we quantify it as ``|A & B| / |A | B|``
+    (1.0 when both are empty: identical outputs).
+    """
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)

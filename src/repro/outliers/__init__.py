@@ -1,0 +1,30 @@
+"""Deterministic, unsupervised outlier detectors (Section 2.1).
+
+One detector per category evaluated in the paper:
+
+* :class:`GrubbsDetector` — statistics-based, hypothesis testing.
+* :class:`HistogramDetector` — statistics-based, distribution fitting.
+* :class:`LOFDetector` — distance/density based.
+
+plus two simple extras (:class:`ZScoreDetector`, :class:`IQRDetector`) that
+back the paper's claim that PCOR "fits any outlier detection algorithm".
+"""
+
+from repro.outliers.base import OutlierDetector, available_detectors, make_detector, register_detector
+from repro.outliers.grubbs import GrubbsDetector
+from repro.outliers.histogram import HistogramDetector
+from repro.outliers.iqr import IQRDetector
+from repro.outliers.lof import LOFDetector
+from repro.outliers.zscore import ZScoreDetector
+
+__all__ = [
+    "OutlierDetector",
+    "GrubbsDetector",
+    "HistogramDetector",
+    "LOFDetector",
+    "ZScoreDetector",
+    "IQRDetector",
+    "make_detector",
+    "register_detector",
+    "available_detectors",
+]

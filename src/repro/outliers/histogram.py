@@ -1,0 +1,77 @@
+"""Histogram-based outlier detection — distribution-fitting detector.
+
+Following Section 6.5 of the paper: the metric values of a population
+``D_C`` are binned into ``sqrt(|D_C|)`` equal-width bins, and every value
+falling in a bin with frequency below ``frequency_fraction * |D_C|`` is an
+outlier (the paper uses ``2.5e-3``).
+
+At laptop-scale populations the paper's fraction can drop below one record,
+in which case no occupied bin ever qualifies; ``min_count_floor`` optionally
+raises the cutoff to an absolute count so the detector stays useful on small
+populations (set it to 0 for strict paper behaviour).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.outliers.base import OutlierDetector, register_detector
+
+
+class HistogramDetector(OutlierDetector):
+    """Sparse-bin histogram detector.
+
+    Parameters
+    ----------
+    frequency_fraction:
+        A bin is an outlier bin when ``count < frequency_fraction * n``
+        (paper: 2.5e-3).
+    min_count_floor:
+        Lower bound applied to the cutoff, in records.  The effective rule is
+        ``count < max(frequency_fraction * n, min_count_floor)``.  The
+        default of 0 reproduces the paper exactly.
+    n_bins:
+        Optional fixed bin count; default ``round(sqrt(n))``.
+    """
+
+    name = "histogram"
+
+    def __init__(
+        self,
+        frequency_fraction: float = 2.5e-3,
+        min_count_floor: float = 0.0,
+        n_bins: int | None = None,
+        min_population: int = 10,
+    ):
+        super().__init__(min_population=min_population)
+        if frequency_fraction < 0.0:
+            raise ValueError(
+                f"frequency_fraction must be >= 0, got {frequency_fraction}"
+            )
+        if min_count_floor < 0.0:
+            raise ValueError(f"min_count_floor must be >= 0, got {min_count_floor}")
+        if n_bins is not None and n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        self.frequency_fraction = float(frequency_fraction)
+        self.min_count_floor = float(min_count_floor)
+        self.n_bins = n_bins
+
+    def _outlier_positions(self, values: np.ndarray) -> np.ndarray:
+        n = values.shape[0]
+        lo, hi = float(values.min()), float(values.max())
+        if lo == hi:
+            return np.empty(0, dtype=np.int64)  # single bin holds everything
+        bins = self.n_bins if self.n_bins is not None else max(1, round(math.sqrt(n)))
+        counts, edges = np.histogram(values, bins=bins, range=(lo, hi))
+        cutoff = max(self.frequency_fraction * n, self.min_count_floor)
+        sparse = counts < cutoff
+        if not sparse.any():
+            return np.empty(0, dtype=np.int64)
+        # Assign each value to its bin; the top edge belongs to the last bin.
+        bin_of = np.clip(np.digitize(values, edges[1:-1], right=False), 0, bins - 1)
+        return np.flatnonzero(sparse[bin_of]).astype(np.int64)
+
+
+register_detector("histogram", HistogramDetector)

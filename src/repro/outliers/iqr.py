@@ -1,0 +1,34 @@
+"""Tukey fence (IQR) detector — robust statistics-based baseline.
+
+Included, like :mod:`repro.outliers.zscore`, to demonstrate PCOR's
+detector-genericity; robust to the masking effect that afflicts the z-score
+rule when several outliers inflate the standard deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.outliers.base import OutlierDetector, register_detector
+
+
+class IQRDetector(OutlierDetector):
+    """Flag values outside ``[Q1 - factor*IQR, Q3 + factor*IQR]``."""
+
+    name = "iqr"
+
+    def __init__(self, factor: float = 1.5, min_population: int = 10):
+        super().__init__(min_population=min_population)
+        if factor <= 0.0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self.factor = float(factor)
+
+    def _outlier_positions(self, values: np.ndarray) -> np.ndarray:
+        q1, q3 = np.percentile(values, [25.0, 75.0])
+        iqr = q3 - q1
+        lo = q1 - self.factor * iqr
+        hi = q3 + self.factor * iqr
+        return np.flatnonzero((values < lo) | (values > hi)).astype(np.int64)
+
+
+register_detector("iqr", IQRDetector)

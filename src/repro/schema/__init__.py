@@ -1,0 +1,11 @@
+"""Relational schema: categorical attributes, metric attribute, predicates."""
+
+from repro.schema.attribute import CategoricalAttribute, MetricAttribute, Predicate
+from repro.schema.relation import Schema
+
+__all__ = [
+    "CategoricalAttribute",
+    "MetricAttribute",
+    "Predicate",
+    "Schema",
+]

@@ -1,0 +1,93 @@
+"""Attribute definitions for the relational schema of Section 3.
+
+The paper models a relation ``R`` with categorical attributes
+``A_1 .. A_m`` and a numeric *metric* attribute ``M`` (e.g. ``Salary``)
+against which outlierness is judged.  A predicate ``P_ij`` selects the
+``j``-th value in the domain of ``A_i``.
+
+A crucial privacy detail (Section 4): the domain of an attribute is declared
+up front and may contain values that never occur in a particular dataset
+instance.  Enumerating over the *declared* domain — not the observed values —
+is what prevents a released context from revealing exactly which attribute
+values are present in the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """A categorical attribute with an explicit, ordered domain.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    domain:
+        Ordered tuple of distinct values the attribute may take.  The order
+        fixes the bit layout of context vectors, so it must be stable.
+    """
+
+    name: str
+    domain: Tuple[str, ...]
+
+    def __init__(self, name: str, domain: Sequence[str]):
+        if not name:
+            raise SchemaError("attribute name must be non-empty")
+        values = tuple(str(v) for v in domain)
+        if not values:
+            raise SchemaError(f"attribute {name!r} has an empty domain")
+        if len(set(values)) != len(values):
+            raise SchemaError(f"attribute {name!r} has duplicate domain values")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "domain", values)
+
+    def __len__(self) -> int:
+        return len(self.domain)
+
+    def index_of(self, value: str) -> int:
+        """Position of ``value`` in the domain (raises ``SchemaError`` if absent)."""
+        try:
+            return self.domain.index(str(value))
+        except ValueError:
+            raise SchemaError(
+                f"value {value!r} not in domain of attribute {self.name!r}"
+            ) from None
+
+    def __contains__(self, value: object) -> bool:
+        return str(value) in self.domain
+
+
+@dataclass(frozen=True)
+class MetricAttribute:
+    """The numeric metric attribute ``M`` outlierness is measured against."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("metric attribute name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single predicate ``P_ij``: ``attribute = value``.
+
+    ``attr_index`` and ``value_index`` locate the predicate inside the
+    schema's flattened bit layout; ``bit`` is its global bit position in a
+    context vector.
+    """
+
+    attribute: str
+    value: str
+    attr_index: int
+    value_index: int
+    bit: int = field(compare=False)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.attribute} = {self.value}]"

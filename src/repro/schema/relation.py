@@ -1,0 +1,188 @@
+"""The relational schema ``R`` of Section 3.
+
+A :class:`Schema` holds the ordered categorical attributes ``A_1..A_m`` plus
+the metric attribute ``M`` and owns the *bit layout* shared by every context
+vector: bit positions ``offset(i) .. offset(i) + |A_i| - 1`` correspond to
+the domain values of attribute ``A_i``, giving context vectors of total
+length ``t = sum(|A_i|)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+from repro.schema.attribute import CategoricalAttribute, MetricAttribute, Predicate
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered categorical attributes plus one numeric metric attribute.
+
+    Examples
+    --------
+    >>> schema = Schema(
+    ...     attributes=[
+    ...         CategoricalAttribute("Jobtitle", ["CEO", "MedicalDoctor", "Lawyer"]),
+    ...         CategoricalAttribute("City", ["Montreal", "Ottawa", "Toronto"]),
+    ...     ],
+    ...     metric=MetricAttribute("Salary"),
+    ... )
+    >>> schema.t
+    6
+    """
+
+    attributes: Tuple[CategoricalAttribute, ...]
+    metric: MetricAttribute
+
+    def __init__(
+        self,
+        attributes: Sequence[CategoricalAttribute],
+        metric: MetricAttribute | str,
+    ):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("schema needs at least one categorical attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        if isinstance(metric, str):
+            metric = MetricAttribute(metric)
+        if metric.name in names:
+            raise SchemaError(
+                f"metric attribute {metric.name!r} collides with a categorical attribute"
+            )
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "metric", metric)
+
+    # ------------------------------------------------------------------ layout
+
+    @property
+    def m(self) -> int:
+        """Number of categorical attributes."""
+        return len(self.attributes)
+
+    @property
+    def t(self) -> int:
+        """Total number of attribute values: the context vector length."""
+        return sum(len(a) for a in self.attributes)
+
+    @property
+    def offsets(self) -> Tuple[int, ...]:
+        """Starting bit of each attribute block."""
+        offs: List[int] = []
+        acc = 0
+        for attr in self.attributes:
+            offs.append(acc)
+            acc += len(attr)
+        return tuple(offs)
+
+    @property
+    def block_masks(self) -> Tuple[int, ...]:
+        """Per-attribute bitmasks over the ``t``-bit context layout."""
+        masks: List[int] = []
+        for off, attr in zip(self.offsets, self.attributes):
+            masks.append(((1 << len(attr)) - 1) << off)
+        return tuple(masks)
+
+    @property
+    def full_bits(self) -> int:
+        """Bitmask with every predicate selected (the whole-domain context)."""
+        return (1 << self.t) - 1
+
+    # --------------------------------------------------------------- accessors
+
+    def attribute(self, name: str) -> CategoricalAttribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"no attribute named {name!r} in schema")
+
+    def attribute_index(self, name: str) -> int:
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise SchemaError(f"no attribute named {name!r} in schema")
+
+    def bit_for(self, attribute: str, value: str) -> int:
+        """Global bit position of predicate ``attribute = value``."""
+        i = self.attribute_index(attribute)
+        j = self.attributes[i].index_of(value)
+        return self.offsets[i] + j
+
+    def predicate_at(self, bit: int) -> Predicate:
+        """The :class:`Predicate` living at global bit position ``bit``."""
+        if not 0 <= bit < self.t:
+            raise SchemaError(f"bit {bit} out of range for t={self.t}")
+        for i, (off, attr) in enumerate(zip(self.offsets, self.attributes)):
+            if off <= bit < off + len(attr):
+                j = bit - off
+                return Predicate(
+                    attribute=attr.name,
+                    value=attr.domain[j],
+                    attr_index=i,
+                    value_index=j,
+                    bit=bit,
+                )
+        raise SchemaError(f"bit {bit} not mapped (internal error)")  # pragma: no cover
+
+    def predicates(self) -> Iterator[Predicate]:
+        """Iterate over all ``t`` predicates in bit order."""
+        for bit in range(self.t):
+            yield self.predicate_at(bit)
+
+    def attribute_of_bit(self, bit: int) -> int:
+        """Index of the attribute that owns global bit ``bit``."""
+        if not 0 <= bit < self.t:
+            raise SchemaError(f"bit {bit} out of range for t={self.t}")
+        for i, (off, attr) in enumerate(zip(self.offsets, self.attributes)):
+            if off <= bit < off + len(attr):
+                return i
+        raise SchemaError(f"bit {bit} not mapped (internal error)")  # pragma: no cover
+
+    # ----------------------------------------------------------------- records
+
+    def record_bits(self, record: Mapping[str, str]) -> int:
+        """Bitmask of the ``m`` predicates matching ``record``'s values.
+
+        This is the *exact context* of the record: the smallest context that
+        can still contain it.  A context ``C`` contains the record iff
+        ``record_bits & C == record_bits`` restricted per attribute — since
+        each record has exactly one value per attribute, plain superset
+        testing suffices.
+        """
+        bits = 0
+        for attr in self.attributes:
+            if attr.name not in record:
+                raise SchemaError(f"record missing attribute {attr.name!r}")
+            bits |= 1 << self.bit_for(attr.name, record[attr.name])
+        return bits
+
+    # ------------------------------------------------------------------- misc
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-attribute schema description."""
+        lines = [
+            f"{attr.name}({len(attr)}): {', '.join(attr.domain)}"
+            for attr in self.attributes
+        ]
+        lines.append(f"metric: {self.metric.name}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "attributes": [
+                {"name": a.name, "domain": list(a.domain)} for a in self.attributes
+            ],
+            "metric": self.metric.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Schema":
+        attrs = [
+            CategoricalAttribute(spec["name"], spec["domain"])
+            for spec in payload["attributes"]  # type: ignore[index]
+        ]
+        return cls(attributes=attrs, metric=str(payload["metric"]))

@@ -1,0 +1,128 @@
+"""Unit tests for numeric-attribute binning."""
+
+import numpy as np
+import pytest
+
+from repro.core.verification import OutlierVerifier
+from repro.data.binning import BinSpec, bin_numeric_column
+from repro.data.generators import tiny_income_dataset
+from repro.exceptions import DatasetError, SchemaError
+from repro.outliers.zscore import ZScoreDetector
+
+
+class TestBinSpec:
+    def test_equal_width_edges(self):
+        spec = BinSpec.equal_width("Age", 0.0, 100.0, 4)
+        assert spec.edges == (0.0, 25.0, 50.0, 75.0, 100.0)
+        assert spec.n_bins == 4
+
+    def test_labels_are_intervals(self):
+        spec = BinSpec.equal_width("Age", 0.0, 10.0, 2)
+        assert spec.labels() == ["[0, 5)", "[5, 10]"]
+
+    def test_assign_half_open_semantics(self):
+        spec = BinSpec.equal_width("X", 0.0, 10.0, 2)
+        assert spec.assign([0.0, 4.999, 5.0, 9.0]).tolist() == [0, 0, 1, 1]
+
+    def test_max_value_in_last_bin(self):
+        spec = BinSpec.equal_width("X", 0.0, 10.0, 2)
+        assert spec.assign([10.0]).tolist() == [1]
+
+    def test_out_of_range_rejected(self):
+        spec = BinSpec.equal_width("X", 0.0, 10.0, 2)
+        with pytest.raises(DatasetError, match="outside bin range"):
+            spec.assign([11.0])
+        with pytest.raises(DatasetError, match="outside bin range"):
+            spec.assign([-0.1])
+
+    def test_quantile_bins_balance_population(self):
+        gen = np.random.default_rng(0)
+        values = gen.exponential(scale=10.0, size=4000)  # heavily skewed
+        spec = BinSpec.quantile("X", values, 4)
+        counts = np.bincount(spec.assign(values), minlength=spec.n_bins)
+        assert counts.min() > 800  # near-equal 1000 each
+
+    def test_quantile_needs_enough_values(self):
+        with pytest.raises(SchemaError, match="at least"):
+            BinSpec.quantile("X", [1.0, 2.0], 5)
+
+    def test_quantile_constant_values_rejected(self):
+        with pytest.raises(SchemaError, match="constant"):
+            BinSpec.quantile("X", [3.0] * 100, 4)
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(SchemaError, match="increasing"):
+            BinSpec("X", (0.0, 5.0, 5.0))
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(SchemaError):
+            BinSpec("X", (1.0,))
+
+    def test_bad_equal_width_params(self):
+        with pytest.raises(SchemaError):
+            BinSpec.equal_width("X", 5.0, 5.0, 2)
+        with pytest.raises(SchemaError):
+            BinSpec.equal_width("X", 0.0, 1.0, 0)
+
+    def test_to_attribute(self):
+        attr = BinSpec.equal_width("Age", 0.0, 100.0, 4).to_attribute()
+        assert attr.name == "Age"
+        assert len(attr) == 4
+
+
+class TestBinNumericColumn:
+    @pytest.fixture()
+    def dataset(self):
+        return tiny_income_dataset()
+
+    def test_extends_schema(self, dataset):
+        spec = BinSpec.equal_width("Seniority", 0.0, 30.0, 3)
+        seniority = np.linspace(1.0, 29.0, len(dataset))
+        extended = bin_numeric_column(dataset, seniority, spec)
+        assert extended.schema.m == dataset.schema.m + 1
+        assert extended.schema.t == dataset.schema.t + 3
+        assert extended.schema.attributes[-1].name == "Seniority"
+
+    def test_prefix_bit_layout_preserved(self, dataset):
+        """Existing attributes keep their bit positions."""
+        spec = BinSpec.equal_width("Seniority", 0.0, 30.0, 3)
+        extended = bin_numeric_column(
+            dataset, np.full(len(dataset), 15.0), spec
+        )
+        for attr in dataset.schema.attributes:
+            for value in attr.domain:
+                assert dataset.schema.bit_for(attr.name, value) == extended.schema.bit_for(
+                    attr.name, value
+                )
+
+    def test_records_preserved(self, dataset):
+        spec = BinSpec.equal_width("Seniority", 0.0, 30.0, 3)
+        extended = bin_numeric_column(dataset, np.full(len(dataset), 5.0), spec)
+        assert list(extended.ids) == list(dataset.ids)
+        assert np.array_equal(extended.metric, dataset.metric)
+        rec = extended.record(0)
+        assert rec["Seniority"] == "[0, 10)"
+        assert rec["Jobtitle"] == dataset.record(0)["Jobtitle"]
+
+    def test_contexts_over_binned_attribute_work_end_to_end(self, dataset):
+        """A full PCOR-stack smoke check over a binned numeric attribute."""
+        spec = BinSpec.equal_width("Seniority", 0.0, 30.0, 3)
+        gen = np.random.default_rng(4)
+        extended = bin_numeric_column(
+            dataset, gen.uniform(0.0, 30.0, size=len(dataset)), spec
+        )
+        verifier = OutlierVerifier(
+            extended, ZScoreDetector(z_threshold=1.5, min_population=3)
+        )
+        pop, outliers = verifier.context_profile(extended.schema.full_bits)
+        assert pop == len(extended)
+
+    def test_length_mismatch_rejected(self, dataset):
+        spec = BinSpec.equal_width("X", 0.0, 1.0, 2)
+        with pytest.raises(DatasetError, match="values"):
+            bin_numeric_column(dataset, [0.5], spec)
+
+    def test_name_collision_rejected(self, dataset):
+        spec = BinSpec.equal_width("Jobtitle", 0.0, 1.0, 2)
+        with pytest.raises(SchemaError, match="already exists"):
+            bin_numeric_column(dataset, np.full(len(dataset), 0.5), spec)

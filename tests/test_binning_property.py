@@ -1,0 +1,85 @@
+"""Property-based tests for numeric binning."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.binning import BinSpec
+
+specs = st.builds(
+    BinSpec.equal_width,
+    st.just("X"),
+    st.floats(min_value=-1e3, max_value=0.0),
+    st.floats(min_value=1.0, max_value=1e3),
+    st.integers(min_value=1, max_value=16),
+)
+
+
+@given(spec=specs)
+@settings(max_examples=100)
+def test_labels_match_bin_count(spec):
+    assert len(spec.labels()) == spec.n_bins
+    assert len(set(spec.labels())) == spec.n_bins  # labels are distinct
+
+
+@given(spec=specs, data=st.data())
+@settings(max_examples=100)
+def test_assignment_total_and_in_range(spec, data):
+    lo, hi = spec.edges[0], spec.edges[-1]
+    values = data.draw(
+        arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=50),
+            elements=st.floats(min_value=lo, max_value=hi, allow_nan=False),
+        )
+    )
+    idx = spec.assign(values)
+    assert idx.shape == values.shape
+    assert (idx >= 0).all() and (idx < spec.n_bins).all()
+
+
+@given(spec=specs, data=st.data())
+@settings(max_examples=100)
+def test_assignment_is_monotone(spec, data):
+    """Larger values never land in earlier bins (order preservation)."""
+    lo, hi = spec.edges[0], spec.edges[-1]
+    values = data.draw(
+        arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=2, max_value=40),
+            elements=st.floats(min_value=lo, max_value=hi, allow_nan=False),
+        )
+    )
+    ordered = np.sort(values)
+    idx = spec.assign(ordered)
+    assert (np.diff(idx) >= 0).all()
+
+
+@given(spec=specs)
+@settings(max_examples=100)
+def test_edges_assign_to_their_own_bin(spec):
+    """Every interior edge belongs to the bin it opens (half-open rule)."""
+    interior = np.asarray(spec.edges[1:-1])
+    if interior.size:
+        idx = spec.assign(interior)
+        assert idx.tolist() == list(range(1, spec.n_bins))
+    # The global max goes to the last bin.
+    assert spec.assign([spec.edges[-1]]).tolist() == [spec.n_bins - 1]
+
+
+@given(
+    values=arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=30, max_value=200),
+        elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    ),
+    n_bins=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60)
+def test_quantile_bins_cover_fitted_data(values, n_bins):
+    if np.unique(values).size < 2:
+        return  # constant data is rejected by construction
+    spec = BinSpec.quantile("X", values, n_bins)
+    idx = spec.assign(values)  # must not raise: fitted data is in range
+    assert (idx >= 0).all() and (idx < spec.n_bins).all()

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.csvio import read_csv
+
+
+class TestParser:
+    def test_table_command(self):
+        args = build_parser().parse_args(["table", "3", "--scale", "smoke"])
+        assert args.command == "table"
+        assert args.table_id == "3"
+        assert args.scale == "smoke"
+
+    def test_release_defaults(self):
+        args = build_parser().parse_args(["release"])
+        assert args.sampler == "bfs"
+        assert args.epsilon == 0.2
+        assert args.samples == 50
+
+    def test_unknown_table_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerateData:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        rc = main(
+            [
+                "generate-data",
+                "salary_reduced",
+                "--records",
+                "120",
+                "--seed",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert "wrote 120 records" in capsys.readouterr().out
+        loaded = read_csv(out, metric="Salary")
+        assert len(loaded) == 120
+
+
+class TestBuildReference:
+    def test_writes_reference_json(self, tmp_path, capsys):
+        out = tmp_path / "ref.json"
+        rc = main(
+            [
+                "build-reference",
+                "--dataset",
+                "salary_reduced",
+                "--records",
+                "300",
+                "--detector",
+                "zscore",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert "built reference" in capsys.readouterr().out
+
+
+class TestRelease:
+    def test_end_to_end_release(self, capsys):
+        rc = main(
+            [
+                "release",
+                "--dataset",
+                "salary_reduced",
+                "--records",
+                "400",
+                "--detector",
+                "lof",
+                "--sampler",
+                "bfs",
+                "--samples",
+                "8",
+                "--seed",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "released context" in out
+        assert "epsilon" in out
+        assert "utility ratio" in out
+
+
+class TestLocalityCommand:
+    def test_prints_table(self, capsys):
+        rc = main(["locality", "--scale", "smoke", "--seed", "0"])
+        assert rc == 0
+        assert "Locality" in capsys.readouterr().out
+
+
+class TestReleaseWithoutReference:
+    def test_full_schema_uses_reference_free_path(self, capsys):
+        """salary_full's 33M-context space must trigger the no-reference path."""
+        rc = main(
+            [
+                "release",
+                "--dataset",
+                "salary_full",
+                "--records",
+                "3000",
+                "--detector",
+                "lof",
+                "--sampler",
+                "bfs",
+                "--samples",
+                "10",
+                "--seed",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "without a reference file" in out
+        assert "released context" in out

@@ -1,0 +1,96 @@
+"""Tests for the Section 6.7 experiments (COE match, privacy ratio, locality)."""
+
+import pytest
+
+from repro.experiments.coe_match import coe_match_for_detector, table_12
+from repro.experiments.config import ExperimentScale
+from repro.experiments.harness import Workbench
+from repro.experiments.locality import locality_experiment, locality_table
+from repro.experiments.privacy_ratio import privacy_ratio_experiment
+
+MICRO = ExperimentScale(
+    name="micro",
+    salary_records=400,
+    salary_reduced_records=400,
+    homicide_reduced_records=400,
+    repetitions=2,
+    n_outlier_records=3,
+    n_samples=6,
+    coe_neighbors=1,
+    coe_outliers=4,
+)
+
+
+@pytest.fixture(scope="module")
+def lof_bench():
+    return Workbench.get("salary_reduced", 400, 7, "lof", {"k": 5, "threshold": 1.5})
+
+
+class TestCOEMatch:
+    def test_fractions_in_unit_interval(self, lof_bench):
+        fractions = coe_match_for_detector(
+            lof_bench, deltas=(1, 5), n_neighbors=1, n_outliers=4, rng=0
+        )
+        assert len(fractions) == 2
+        for f in fractions:
+            assert 0.0 <= f <= 1.0
+
+    def test_match_degrades_with_delta(self, lof_bench):
+        """The paper's core finding: bigger Delta-D, lower match."""
+        fractions = coe_match_for_detector(
+            lof_bench, deltas=(1, 25), n_neighbors=2, n_outliers=6, rng=1
+        )
+        assert fractions[0] >= fractions[1] - 0.05  # allow small noise
+
+    def test_table_12_structure(self):
+        table = table_12(MICRO, seed=0, deltas=(1, 5))
+        assert table.table_id == "12"
+        assert [row[0] for row in table.rows] == ["Grubbs", "LOF", "Histogram"]
+        assert all(cell.endswith("%") for row in table.rows for cell in row[1:])
+        rendered = table.render()
+        assert "COE Match" in rendered
+        assert "dD = 1" in rendered
+
+
+class TestPrivacyRatio:
+    def test_experiment_structure(self):
+        result = privacy_ratio_experiment(
+            MICRO, seed=0, epsilon=0.2, detectors=("lof",)
+        )
+        assert result.epsilon == 0.2
+        assert result.bound == pytest.approx(pytest.approx(1.2214, rel=1e-3))
+        (max_ratio, n_measured, n_mismatch) = result.by_detector["lof"]
+        assert max_ratio >= 0.0
+        assert n_measured >= 0
+        table = result.to_table()
+        assert "max ratio" in table.render()
+
+
+class TestLocality:
+    def test_profile_shape_and_bounds(self):
+        results = locality_experiment(
+            MICRO, seed=0, detectors=("lof",), max_radius=2, n_centers=3
+        )
+        assert len(results) == 1
+        res = results[0]
+        assert res.radii == [0, 1, 2]
+        assert res.match_rate_by_radius[0] == 1.0  # the center is matching
+        for rate in res.match_rate_by_radius:
+            assert 0.0 <= rate <= 1.0
+        assert 0.0 < res.global_density < 1.0
+
+    def test_locality_hypothesis_holds(self):
+        """Section 5.2: connected contexts are likelier matches than random."""
+        results = locality_experiment(
+            MICRO, seed=0, detectors=("lof",), max_radius=1, n_centers=5
+        )
+        res = results[0]
+        assert res.match_rate_by_radius[1] > res.global_density
+
+    def test_table_rendering(self):
+        results = locality_experiment(
+            MICRO, seed=0, detectors=("lof",), max_radius=1, n_centers=2
+        )
+        text = locality_table(results).render()
+        assert "match@r=1" in text
+        assert "gain" in text

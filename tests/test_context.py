@@ -1,0 +1,171 @@
+"""Unit tests for the Context bitvector."""
+
+import pytest
+
+from repro.context import Context
+from repro.exceptions import ContextError
+from repro.schema import CategoricalAttribute, MetricAttribute, Schema
+
+
+@pytest.fixture(scope="module")
+def schema() -> Schema:
+    return Schema(
+        attributes=[
+            CategoricalAttribute("Jobtitle", ["CEO", "MedicalDoctor", "Lawyer"]),
+            CategoricalAttribute("City", ["Montreal", "Ottawa", "Toronto"]),
+            CategoricalAttribute("District", ["Business", "Historic", "Diplomatic"]),
+        ],
+        metric=MetricAttribute("Salary"),
+    )
+
+
+class TestConstruction:
+    def test_from_bitstring_paper_example(self, schema):
+        # The paper's running example: CEOs and Lawyers in Toronto, Historic.
+        ctx = Context.from_bitstring(schema, "101001010")
+        values = ctx.selected_values()
+        assert values["Jobtitle"] == ("CEO", "Lawyer")
+        assert values["City"] == ("Toronto",)
+        assert values["District"] == ("Historic",)
+
+    def test_bitstring_round_trip(self, schema):
+        ctx = Context.from_bitstring(schema, "101001010")
+        assert ctx.to_bitstring() == "101001010"
+
+    def test_from_predicates(self, schema):
+        ctx = Context.from_predicates(
+            schema,
+            {"Jobtitle": ["CEO", "Lawyer"], "City": ["Toronto"], "District": ["Historic"]},
+        )
+        assert ctx.to_bitstring() == "101001010"
+
+    def test_full_context(self, schema):
+        ctx = Context.full(schema)
+        assert ctx.hamming_weight == schema.t
+        assert ctx.is_structurally_valid
+
+    def test_exact_context(self, schema):
+        record = {"Jobtitle": "Lawyer", "City": "Ottawa", "District": "Diplomatic"}
+        ctx = Context.exact(schema, record)
+        assert ctx.hamming_weight == schema.m
+
+    def test_bad_bitstring_length(self, schema):
+        with pytest.raises(ContextError, match="characters"):
+            Context.from_bitstring(schema, "101")
+
+    def test_bad_bitstring_chars(self, schema):
+        with pytest.raises(ContextError):
+            Context.from_bitstring(schema, "10100101x")
+
+    def test_out_of_range_bits(self, schema):
+        with pytest.raises(ContextError, match="out of range"):
+            Context(schema, 1 << schema.t)
+
+    def test_negative_bits(self, schema):
+        with pytest.raises(ContextError):
+            Context(schema, -1)
+
+
+class TestBitOperations:
+    def test_contains_bit(self, schema):
+        ctx = Context.from_bitstring(schema, "101001010")
+        assert 0 in ctx
+        assert 1 not in ctx
+
+    def test_hamming_weight(self, schema):
+        assert Context.from_bitstring(schema, "101001010").hamming_weight == 4
+
+    def test_hamming_distance(self, schema):
+        a = Context.from_bitstring(schema, "101001010")
+        b = Context.from_bitstring(schema, "100001010")
+        assert a.hamming_distance(b) == 1
+
+    def test_connectivity_is_distance_one(self, schema):
+        # The paper's example: C and C' differ only in the Lawyer predicate.
+        a = Context.from_bitstring(schema, "101001010")
+        b = Context.from_bitstring(schema, "100001010")
+        assert a.is_connected_to(b)
+        assert not a.is_connected_to(a)
+
+    def test_flip_bit_involution(self, schema):
+        ctx = Context.from_bitstring(schema, "101001010")
+        assert ctx.flip_bit(4).flip_bit(4) == ctx
+
+    def test_with_and_without_bit(self, schema):
+        ctx = Context.from_bitstring(schema, "101001010")
+        assert 1 in ctx.with_bit(1)
+        assert 0 not in ctx.without_bit(0)
+        # Idempotent on already-set / already-clear bits.
+        assert ctx.with_bit(0) == ctx
+        assert ctx.without_bit(1) == ctx
+
+    def test_neighbors_count_and_distance(self, schema):
+        ctx = Context.from_bitstring(schema, "101001010")
+        neighbors = list(ctx.neighbors())
+        assert len(neighbors) == schema.t
+        assert all(ctx.hamming_distance(nb) == 1 for nb in neighbors)
+        assert len({nb.bits for nb in neighbors}) == schema.t
+
+    def test_bit_out_of_range(self, schema):
+        ctx = Context.full(schema)
+        with pytest.raises(ContextError):
+            ctx.flip_bit(schema.t)
+
+
+class TestStructure:
+    def test_block_bits(self, schema):
+        ctx = Context.from_bitstring(schema, "101001010")
+        assert ctx.block_bits(0) == 0b101
+        assert ctx.block_bits(1) == 0b100
+        assert ctx.block_bits(2) == 0b010
+
+    def test_structural_validity(self, schema):
+        assert Context.from_bitstring(schema, "101001010").is_structurally_valid
+        # Empty City block -> invalid.
+        assert not Context.from_bitstring(schema, "101000010").is_structurally_valid
+        assert not Context(schema, 0).is_structurally_valid
+
+    def test_contains_record_bits(self, schema):
+        ctx = Context.from_bitstring(schema, "101001010")
+        lawyer_toronto_historic = schema.record_bits(
+            {"Jobtitle": "Lawyer", "City": "Toronto", "District": "Historic"}
+        )
+        ceo_ottawa_business = schema.record_bits(
+            {"Jobtitle": "CEO", "City": "Ottawa", "District": "Business"}
+        )
+        assert ctx.contains_record_bits(lawyer_toronto_historic)
+        assert not ctx.contains_record_bits(ceo_ottawa_business)
+
+    def test_intersection_union(self, schema):
+        a = Context.from_bitstring(schema, "101001010")
+        b = Context.from_bitstring(schema, "100001011")
+        assert a.intersection(b).to_bitstring() == "100001010"
+        assert a.union(b).to_bitstring() == "101001011"
+
+    def test_cross_schema_operations_rejected(self, schema):
+        other = Schema(
+            attributes=[CategoricalAttribute("X", ["a", "b", "c", "d", "e", "f", "g", "h", "i"])],
+            metric="M",
+        )
+        a = Context(schema, 0b1)
+        b = Context(other, 0b1)
+        with pytest.raises(ContextError, match="different schemas"):
+            a.hamming_distance(b)
+
+
+class TestRendering:
+    def test_describe_lists_values(self, schema):
+        ctx = Context.from_bitstring(schema, "101001010")
+        text = ctx.describe()
+        assert "CEO" in text and "Lawyer" in text
+        assert "Toronto" in text
+        assert "Historic" in text
+        assert " AND " in text
+
+    def test_selected_predicates_in_bit_order(self, schema):
+        ctx = Context.from_bitstring(schema, "101001010")
+        preds = ctx.selected_predicates()
+        assert [p.bit for p in preds] == [0, 2, 5, 7]
+
+    def test_len_is_t(self, schema):
+        assert len(Context.full(schema)) == schema.t

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for Context and the bit layout."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.context import Context
+from repro.schema import CategoricalAttribute, MetricAttribute, Schema
+
+
+def schemas(max_attrs: int = 4, max_domain: int = 4) -> st.SearchStrategy[Schema]:
+    """Random small schemas (t <= 16)."""
+
+    def build(sizes):
+        attrs = [
+            CategoricalAttribute(f"A{i}", [f"v{i}_{j}" for j in range(size)])
+            for i, size in enumerate(sizes)
+        ]
+        return Schema(attributes=attrs, metric=MetricAttribute("M"))
+
+    return st.lists(
+        st.integers(min_value=1, max_value=max_domain),
+        min_size=1,
+        max_size=max_attrs,
+    ).map(build)
+
+
+@st.composite
+def schema_and_bits(draw):
+    schema = draw(schemas())
+    bits = draw(st.integers(min_value=0, max_value=(1 << schema.t) - 1))
+    return schema, bits
+
+
+@st.composite
+def schema_bits_and_bit(draw):
+    schema, bits = draw(schema_and_bits())
+    bit = draw(st.integers(min_value=0, max_value=schema.t - 1))
+    return schema, bits, bit
+
+
+@given(schema_and_bits())
+@settings(max_examples=200)
+def test_bitstring_round_trip(sb):
+    schema, bits = sb
+    ctx = Context(schema, bits)
+    assert Context.from_bitstring(schema, ctx.to_bitstring()).bits == bits
+
+
+@given(schema_bits_and_bit())
+@settings(max_examples=200)
+def test_flip_is_involution_and_distance_one(sbb):
+    schema, bits, bit = sbb
+    ctx = Context(schema, bits)
+    flipped = ctx.flip_bit(bit)
+    assert flipped.flip_bit(bit) == ctx
+    assert ctx.hamming_distance(flipped) == 1
+
+
+@given(schema_and_bits())
+@settings(max_examples=200)
+def test_neighbors_are_exactly_t_distinct_distance_one(sb):
+    schema, bits = sb
+    ctx = Context(schema, bits)
+    neighbors = list(ctx.neighbors())
+    assert len(neighbors) == schema.t
+    assert len({nb.bits for nb in neighbors}) == schema.t
+    assert all(ctx.hamming_distance(nb) == 1 for nb in neighbors)
+
+
+@given(schema_and_bits())
+@settings(max_examples=200)
+def test_hamming_weight_equals_selected_predicates(sb):
+    schema, bits = sb
+    ctx = Context(schema, bits)
+    assert ctx.hamming_weight == len(ctx.selected_predicates())
+    assert ctx.hamming_weight == sum(
+        len(v) for v in ctx.selected_values().values()
+    )
+
+
+@given(schema_and_bits())
+@settings(max_examples=200)
+def test_block_bits_reassemble_to_context(sb):
+    schema, bits = sb
+    ctx = Context(schema, bits)
+    reassembled = 0
+    for i, off in enumerate(schema.offsets):
+        reassembled |= ctx.block_bits(i) << off
+    assert reassembled == bits
+
+
+@given(schema_and_bits())
+@settings(max_examples=200)
+def test_structural_validity_matches_block_definition(sb):
+    schema, bits = sb
+    ctx = Context(schema, bits)
+    expected = all(ctx.block_bits(i) != 0 for i in range(schema.m))
+    assert ctx.is_structurally_valid == expected
+    if ctx.is_structurally_valid:
+        assert ctx.hamming_weight >= schema.m  # paper: min weight m
+
+
+@given(schema_and_bits(), st.integers())
+@settings(max_examples=200)
+def test_hamming_distance_is_metric(sb, salt):
+    schema, bits_a = sb
+    bits_b = (bits_a ^ abs(salt)) & schema.full_bits
+    a, b = Context(schema, bits_a), Context(schema, bits_b)
+    assert a.hamming_distance(b) == b.hamming_distance(a)
+    assert (a.hamming_distance(b) == 0) == (bits_a == bits_b)
+
+
+@given(schema_and_bits())
+@settings(max_examples=100)
+def test_intersection_union_bit_laws(sb):
+    schema, bits = sb
+    ctx = Context(schema, bits)
+    full = Context.full(schema)
+    assert ctx.intersection(full) == ctx
+    assert ctx.union(full) == full
+    assert ctx.intersection(ctx) == ctx
+    assert ctx.union(ctx) == ctx

@@ -1,0 +1,93 @@
+"""Unit tests for CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.data.csvio import read_csv, write_csv
+from repro.data.generators import tiny_income_dataset
+from repro.exceptions import DatasetError
+from repro.schema import CategoricalAttribute, MetricAttribute, Schema
+
+
+@pytest.fixture()
+def tiny(tmp_path):
+    ds = tiny_income_dataset()
+    path = tmp_path / "tiny.csv"
+    write_csv(ds, path)
+    return ds, path
+
+
+class TestRoundTrip:
+    def test_with_explicit_schema(self, tiny):
+        ds, path = tiny
+        loaded = read_csv(path, schema=ds.schema)
+        assert len(loaded) == len(ds)
+        assert np.array_equal(loaded.metric, ds.metric)
+        assert list(loaded.ids) == list(ds.ids)
+        for attr in ds.schema.attributes:
+            assert np.array_equal(loaded.codes(attr.name), ds.codes(attr.name))
+
+    def test_with_inferred_schema(self, tiny):
+        ds, path = tiny
+        loaded = read_csv(path, metric="Salary")
+        assert len(loaded) == len(ds)
+        # Inferred domains cover observed values (sorted).
+        jobs = loaded.schema.attribute("Jobtitle").domain
+        assert set(jobs) == {"CEO", "MedicalDoctor", "Lawyer"}
+        assert list(jobs) == sorted(jobs)
+
+    def test_inferred_schema_with_attribute_subset(self, tiny):
+        ds, path = tiny
+        loaded = read_csv(path, metric="Salary", attributes=["City"])
+        assert loaded.schema.m == 1
+        assert loaded.schema.attribute("City").name == "City"
+
+    def test_header_includes_id_column(self, tiny):
+        _, path = tiny
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("_id,")
+
+
+class TestErrors:
+    def test_missing_metric_name(self, tiny):
+        _, path = tiny
+        with pytest.raises(DatasetError, match="metric name"):
+            read_csv(path)
+
+    def test_unknown_metric_column(self, tiny):
+        _, path = tiny
+        with pytest.raises(DatasetError, match="not found"):
+            read_csv(path, metric="Nope")
+
+    def test_unknown_attribute_column(self, tiny):
+        _, path = tiny
+        with pytest.raises(DatasetError, match="not found"):
+            read_csv(path, metric="Salary", attributes=["Nope"])
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("A,B,M\n")
+        with pytest.raises(DatasetError, match="no data rows"):
+            read_csv(path, metric="M")
+
+    def test_headerless_file(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="no header"):
+            read_csv(path, metric="M")
+
+    def test_bad_metric_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("A,M\nx,notanumber\n")
+        with pytest.raises(DatasetError, match="bad metric"):
+            read_csv(path, metric="M")
+
+    def test_value_outside_explicit_schema(self, tmp_path):
+        schema = Schema(
+            attributes=[CategoricalAttribute("A", ["x"])],
+            metric=MetricAttribute("M"),
+        )
+        path = tmp_path / "outside.csv"
+        path.write_text("A,M\ny,1.0\n")
+        with pytest.raises(DatasetError, match="not in domain"):
+            read_csv(path, schema=schema)

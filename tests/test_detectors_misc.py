@@ -1,0 +1,90 @@
+"""Unit tests for z-score / IQR detectors and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.outliers import (
+    IQRDetector,
+    ZScoreDetector,
+    available_detectors,
+    make_detector,
+    register_detector,
+)
+from repro.outliers.base import OutlierDetector
+
+
+class TestZScore:
+    def test_flags_extreme_value(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, size=100), [15.0]])
+        det = ZScoreDetector(z_threshold=3.0)
+        assert 100 in det.outlier_positions(values)
+
+    def test_constant_data_clean(self):
+        assert ZScoreDetector().outlier_positions(np.full(50, 2.0)).size == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ZScoreDetector(z_threshold=0.0)
+
+    def test_masking_effect_exists(self, rng):
+        # Several huge outliers inflate sigma; the z-score rule misses the
+        # smaller one that IQR still catches - motivates having both.
+        values = np.concatenate(
+            [rng.normal(0.0, 1.0, size=100), [10.0, 500.0, 600.0]]
+        )
+        z = ZScoreDetector(z_threshold=3.0).outlier_positions(values)
+        iqr = IQRDetector(factor=1.5).outlier_positions(values)
+        assert 100 not in z  # masked by the 500/600 pair
+        assert 100 in iqr
+
+
+class TestIQR:
+    def test_flags_both_tails(self, rng):
+        values = np.concatenate([[-50.0], rng.normal(0.0, 1.0, size=100), [50.0]])
+        positions = set(IQRDetector().outlier_positions(values).tolist())
+        assert 0 in positions and 101 in positions
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            IQRDetector(factor=0.0)
+
+    def test_wider_factor_flags_less(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, size=200), [6.0]])
+        narrow = IQRDetector(factor=1.5).outlier_positions(values)
+        wide = IQRDetector(factor=10.0).outlier_positions(values)
+        assert len(wide) <= len(narrow)
+
+
+class TestRegistry:
+    def test_builtin_detectors_registered(self):
+        names = available_detectors()
+        for expected in ("grubbs", "histogram", "lof", "zscore", "iqr"):
+            assert expected in names
+
+    def test_make_detector_with_kwargs(self):
+        det = make_detector("lof", k=7, threshold=2.0)
+        assert det.k == 7
+        assert det.threshold == 2.0
+
+    def test_make_detector_case_insensitive(self):
+        assert make_detector("GRUBBS").name == "grubbs"
+
+    def test_unknown_detector(self):
+        with pytest.raises(ReproError, match="unknown detector"):
+            make_detector("nonsense")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_detector("lof", lambda: None)
+
+    def test_custom_detector_registration(self):
+        class EverythingDetector(OutlierDetector):
+            name = "everything_test"
+
+            def _outlier_positions(self, values):
+                return np.arange(values.shape[0])
+
+        register_detector("everything_test", EverythingDetector)
+        det = make_detector("everything_test", min_population=1)
+        assert det.outlier_positions(np.arange(3.0)).tolist() == [0, 1, 2]

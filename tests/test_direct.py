@@ -1,0 +1,72 @@
+"""Unit tests for the direct approach (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.direct import DirectPCOR
+from repro.core.utility import PopulationSizeUtility
+from repro.exceptions import SamplingError
+from repro.mechanisms.accounting import epsilon_one_for
+
+
+class TestRelease:
+    def test_released_context_is_matching(self, mini_verifier, mini_outlier, rng):
+        direct = DirectPCOR(mini_verifier, epsilon=0.2)
+        util = PopulationSizeUtility(mini_verifier, mini_outlier)
+        result = direct.release(util, mini_outlier, rng)
+        assert mini_verifier.is_matching(result.context.bits, mini_outlier)
+
+    def test_candidate_pool_is_full_coe(self, mini_verifier, mini_reference, mini_outlier, rng):
+        direct = DirectPCOR(mini_verifier, epsilon=0.2)
+        util = PopulationSizeUtility(mini_verifier, mini_outlier)
+        result = direct.release(util, mini_outlier, rng)
+        assert result.n_candidates == len(mini_reference.matching_contexts(mini_outlier))
+
+    def test_budget_split(self, mini_verifier, mini_outlier, rng):
+        direct = DirectPCOR(mini_verifier, epsilon=0.4)
+        util = PopulationSizeUtility(mini_verifier, mini_outlier)
+        result = direct.release(util, mini_outlier, rng)
+        assert result.epsilon_total == 0.4
+        assert result.epsilon_one == pytest.approx(epsilon_one_for("direct", 0.4))
+
+    def test_enumerate_all_same_candidates(self, mini_verifier, mini_outlier):
+        containing = DirectPCOR(mini_verifier, epsilon=0.2, enumerate_mode="containing")
+        everything = DirectPCOR(mini_verifier, epsilon=0.2, enumerate_mode="all")
+        util = PopulationSizeUtility(mini_verifier, mini_outlier)
+        r1 = containing.release(util, mini_outlier, np.random.default_rng(5))
+        r2 = everything.release(util, mini_outlier, np.random.default_rng(5))
+        assert r1.n_candidates == r2.n_candidates
+        # "all" examines the whole 2^t space; "containing" only 2^(t-m).
+        assert r2.stats.contexts_examined > r1.stats.contexts_examined
+
+    def test_no_matching_contexts_raises(self, mini_verifier, mini_reference, mini_dataset, rng):
+        outliers = set(mini_reference.outlier_records())
+        normal = next(int(r) for r in mini_dataset.ids if int(r) not in outliers)
+        direct = DirectPCOR(mini_verifier, epsilon=0.2)
+        util = PopulationSizeUtility(mini_verifier, normal)
+        with pytest.raises(SamplingError, match="no matching context"):
+            direct.release(util, normal, rng)
+
+    def test_bad_enumerate_mode(self, mini_verifier):
+        with pytest.raises(SamplingError, match="enumerate_mode"):
+            DirectPCOR(mini_verifier, enumerate_mode="fast")
+
+    def test_favors_large_populations(self, mini_verifier, mini_reference, mini_outlier):
+        """With a decisive epsilon the direct mechanism picks near-max contexts."""
+        direct = DirectPCOR(mini_verifier, epsilon=50.0)  # essentially greedy
+        util = PopulationSizeUtility(mini_verifier, mini_outlier)
+        max_util = mini_reference.max_population_utility(mini_outlier)
+        gen = np.random.default_rng(0)
+        for _ in range(5):
+            result = direct.release(util, mini_outlier, gen)
+            assert result.utility_value == pytest.approx(max_util)
+
+    def test_result_metadata(self, mini_verifier, mini_outlier, rng):
+        direct = DirectPCOR(mini_verifier, epsilon=0.2)
+        util = PopulationSizeUtility(mini_verifier, mini_outlier)
+        result = direct.release(util, mini_outlier, rng)
+        assert result.algorithm == "direct"
+        assert result.record_id == mini_outlier
+        assert result.utility_name == "population_size"
+        assert result.wall_time_s > 0
+        assert result.stats.mechanism_invocations == 1

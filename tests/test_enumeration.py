@@ -1,0 +1,59 @@
+"""Unit tests for COE_M enumeration, checked against a full-space oracle."""
+
+import pytest
+
+from repro.context import Context, ContextSpace
+from repro.core.enumeration import COEEnumerator
+from repro.exceptions import EnumerationError, VerificationError
+
+
+@pytest.fixture(scope="module")
+def enumerator(mini_verifier) -> COEEnumerator:
+    return COEEnumerator(mini_verifier)
+
+
+class TestCOE:
+    def test_matches_full_space_oracle(self, enumerator, mini_verifier, mini_outlier):
+        """COE via superset enumeration == brute force over all 2^t masks."""
+        space = ContextSpace(mini_verifier.schema)
+        oracle = {
+            ctx.bits
+            for ctx in space.enumerate_all()
+            if mini_verifier.is_matching(ctx.bits, mini_outlier)
+        }
+        assert enumerator.coe(mini_outlier) == frozenset(oracle)
+
+    def test_every_matching_context_contains_record(
+        self, enumerator, mini_verifier, mini_outlier
+    ):
+        record_bits = mini_verifier.dataset.record_bits(mini_outlier)
+        for bits in enumerator.coe(mini_outlier):
+            assert (bits & record_bits) == record_bits
+
+    def test_every_matching_context_structurally_valid(
+        self, enumerator, mini_verifier, mini_outlier
+    ):
+        for bits in enumerator.coe(mini_outlier):
+            assert Context(mini_verifier.schema, bits).is_structurally_valid
+
+    def test_matching_contexts_sorted(self, enumerator, mini_outlier):
+        contexts = enumerator.matching_contexts(mini_outlier)
+        assert contexts == sorted(contexts)
+
+    def test_non_outlier_has_empty_coe(self, enumerator, mini_verifier, mini_reference):
+        outliers = set(mini_reference.outlier_records())
+        normal = next(
+            int(r) for r in mini_verifier.dataset.ids if int(r) not in outliers
+        )
+        assert enumerator.coe(normal) == frozenset()
+
+    def test_agrees_with_reference_file(self, enumerator, mini_reference, mini_outlier):
+        assert enumerator.coe(mini_outlier) == mini_reference.coe(mini_outlier)
+
+    def test_unknown_record(self, enumerator):
+        with pytest.raises(VerificationError):
+            enumerator.coe(123_456)
+
+    def test_limit_enforced(self, enumerator, mini_outlier):
+        with pytest.raises(EnumerationError):
+            list(enumerator.iter_matching(mini_outlier, limit=2))

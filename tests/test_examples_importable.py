@@ -1,0 +1,53 @@
+"""Examples stay loadable: every example compiles and defines main().
+
+Running the examples end to end takes minutes (they are exercised by
+``make examples`` / CI); here we guarantee they can never bit-rot silently:
+each file must parse, compile and expose a ``main`` callable guarded by
+``if __name__ == "__main__"``.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_defines_main_and_guard(path):
+    tree = ast.parse(path.read_text())
+    names = {node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)}
+    assert "main" in names, f"{path.name} must define main()"
+    guards = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+    ]
+    assert guards, f"{path.name} must have an if __name__ == '__main__' guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_module_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} needs a docstring explaining itself"
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "income_analysis.py",
+        "homicide_exploration.py",
+        "privacy_utility_tradeoff.py",
+        "custom_detector_and_utility.py",
+        "paper_scale_release.py",
+    } <= names

@@ -1,0 +1,159 @@
+"""Unit tests for the Exponential mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MechanismError, PrivacyBudgetError
+from repro.mechanisms import ExponentialMechanism
+
+
+class TestConstruction:
+    def test_bad_epsilon(self):
+        for eps in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(PrivacyBudgetError):
+                ExponentialMechanism(eps)
+
+    def test_bad_sensitivity(self):
+        with pytest.raises(PrivacyBudgetError):
+            ExponentialMechanism(0.1, sensitivity=0.0)
+
+    def test_scale_paper_parameterisation(self):
+        mech = ExponentialMechanism(0.1)
+        assert mech.scale == 0.1
+        assert mech.privacy_cost == pytest.approx(0.2)
+
+    def test_scale_half_sensitivity(self):
+        mech = ExponentialMechanism(0.1, sensitivity=2.0, half_sensitivity=True)
+        assert mech.scale == pytest.approx(0.1 / 4.0)
+        assert mech.privacy_cost == pytest.approx(0.1)
+
+    def test_probability_ratio_bound(self):
+        mech = ExponentialMechanism(0.1)
+        assert mech.probability_ratio_bound() == pytest.approx(math.exp(0.2))
+
+
+class TestProbabilities:
+    def test_sum_to_one(self):
+        mech = ExponentialMechanism(0.5)
+        p = mech.probabilities([1.0, 2.0, 3.0])
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_monotone_in_utility(self):
+        mech = ExponentialMechanism(0.5)
+        p = mech.probabilities([1.0, 2.0, 3.0])
+        assert p[0] < p[1] < p[2]
+
+    def test_exact_two_candidate_ratio(self):
+        mech = ExponentialMechanism(0.7)
+        p = mech.probabilities([0.0, 2.0])
+        assert p[1] / p[0] == pytest.approx(math.exp(0.7 * 2.0))
+
+    def test_shift_invariance(self):
+        mech = ExponentialMechanism(0.3)
+        a = mech.probabilities([1.0, 5.0, 9.0])
+        b = mech.probabilities([1001.0, 1005.0, 1009.0])
+        assert np.allclose(a, b)
+
+    def test_neg_inf_gets_zero_probability(self):
+        mech = ExponentialMechanism(0.5)
+        p = mech.probabilities([1.0, -math.inf, 2.0])
+        assert p[1] == 0.0
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_huge_utilities_do_not_overflow(self):
+        mech = ExponentialMechanism(1.0)
+        p = mech.probabilities([1e6, 1e6 + 1.0])
+        assert np.isfinite(p).all()
+        assert p[1] / p[0] == pytest.approx(math.e)
+
+    def test_all_neg_inf_raises(self):
+        mech = ExponentialMechanism(0.5)
+        with pytest.raises(MechanismError, match="-inf"):
+            mech.probabilities([-math.inf, -math.inf])
+
+    def test_nan_rejected(self):
+        with pytest.raises(MechanismError, match="NaN"):
+            ExponentialMechanism(0.5).probabilities([1.0, math.nan])
+
+    def test_pos_inf_rejected(self):
+        with pytest.raises(MechanismError):
+            ExponentialMechanism(0.5).probabilities([1.0, math.inf])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MechanismError):
+            ExponentialMechanism(0.5).probabilities([])
+
+
+class TestSelection:
+    def test_select_respects_zero_probability(self, rng):
+        mech = ExponentialMechanism(0.5)
+        for _ in range(200):
+            idx = mech.select_index([1.0, -math.inf, 1.0], rng)
+            assert idx != 1
+
+    def test_select_returns_candidate_and_index(self, rng):
+        mech = ExponentialMechanism(0.5)
+        candidate, idx = mech.select(["a", "b", "c"], [0.0, 0.0, 100.0], rng)
+        assert candidate == "c"
+        assert idx == 2
+
+    def test_select_length_mismatch(self, rng):
+        with pytest.raises(MechanismError, match="candidates"):
+            ExponentialMechanism(0.5).select(["a"], [1.0, 2.0], rng)
+
+    def test_gumbel_sampling_matches_softmax(self):
+        """Empirical selection frequencies match the exact probabilities."""
+        mech = ExponentialMechanism(0.8)
+        utilities = [0.0, 1.0, 2.0, 3.0]
+        expected = mech.probabilities(utilities)
+        gen = np.random.default_rng(99)
+        n = 20_000
+        counts = np.zeros(4)
+        for _ in range(n):
+            counts[mech.select_index(utilities, gen)] += 1
+        freqs = counts / n
+        # Standard error ~ sqrt(p(1-p)/n) <= 0.0036; allow 5 sigma.
+        assert np.all(np.abs(freqs - expected) < 0.02)
+
+    def test_deterministic_with_seeded_rng(self):
+        mech = ExponentialMechanism(0.5)
+        a = [mech.select_index([1.0, 2.0, 3.0], np.random.default_rng(7)) for _ in range(10)]
+        b = [mech.select_index([1.0, 2.0, 3.0], np.random.default_rng(7)) for _ in range(10)]
+        assert a == b
+
+
+class TestPrivacyProperty:
+    def test_dp_ratio_bound_on_neighboring_utilities(self, rng):
+        """The defining DP inequality on utility vectors differing by <= 1.
+
+        For any two utility vectors u1, u2 with ||u1 - u2||_inf <= Delta_u
+        over the same candidate set, every output probability changes by at
+        most e^(2 * eps * Delta_u)  (Equation 5 of the paper).
+        """
+        eps = 0.3
+        mech = ExponentialMechanism(eps, sensitivity=1.0)
+        bound = math.exp(2.0 * eps)
+        for _ in range(50):
+            u1 = rng.uniform(0.0, 50.0, size=8)
+            u2 = u1 + rng.uniform(-1.0, 1.0, size=8)  # Delta_u <= 1
+            p1 = mech.probabilities(u1)
+            p2 = mech.probabilities(u2)
+            ratios = p1 / p2
+            assert ratios.max() <= bound * (1 + 1e-9)
+            assert ratios.min() >= 1.0 / bound * (1 - 1e-9)
+
+    def test_expected_utility_monotone_in_epsilon(self):
+        utilities = [0.0, 5.0, 10.0]
+        values = [
+            ExponentialMechanism(eps).expected_utility(utilities)
+            for eps in (0.01, 0.1, 1.0, 10.0)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(10.0, abs=1e-3)
+
+    def test_expected_utility_ignores_neg_inf(self):
+        mech = ExponentialMechanism(0.5)
+        val = mech.expected_utility([1.0, -math.inf])
+        assert val == pytest.approx(1.0)

@@ -1,0 +1,135 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    HOMICIDE_AGENCY_TYPES,
+    homicide_reduced,
+    homicide_schema,
+    salary_reduced,
+    salary_schema,
+    synthetic_homicide_dataset,
+    synthetic_salary_dataset,
+    tiny_income_dataset,
+)
+
+
+class TestSalarySchema:
+    def test_paper_domain_sizes(self):
+        schema = salary_schema()
+        sizes = [len(a) for a in schema.attributes]
+        assert sizes == [9, 8, 8]  # Jobtitle x9, Employer x8, Year x8
+        assert schema.t == 25
+        assert schema.metric.name == "Salary"
+
+    def test_reduced_has_14_attribute_values(self):
+        ds = salary_reduced(n_records=100, seed=1)
+        assert ds.schema.t == 14  # Section 6.5/6.7: 14 attribute values
+        assert ds.schema.m == 3
+
+
+class TestHomicideSchema:
+    def test_paper_domain_sizes(self):
+        schema = homicide_schema()
+        sizes = [len(a) for a in schema.attributes]
+        assert sizes == [4, 6, 6]
+        assert schema.metric.name == "VictimAge"
+
+    def test_reduced_has_12_attribute_values(self):
+        ds = homicide_reduced(n_records=100, seed=1)
+        assert ds.schema.t == 12  # Section 6.7: 12 attribute values
+        assert ds.schema.m == 3
+
+
+class TestGeneration:
+    def test_record_count(self):
+        assert len(synthetic_salary_dataset(n_records=500, seed=0)) == 500
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_salary_dataset(n_records=200, seed=42)
+        b = synthetic_salary_dataset(n_records=200, seed=42)
+        assert np.array_equal(a.metric, b.metric)
+        for attr in a.schema.attributes:
+            assert np.array_equal(a.codes(attr.name), b.codes(attr.name))
+
+    def test_different_seeds_differ(self):
+        a = synthetic_salary_dataset(n_records=200, seed=1)
+        b = synthetic_salary_dataset(n_records=200, seed=2)
+        assert not np.array_equal(a.metric, b.metric)
+
+    def test_absent_domain_values_stay_absent(self):
+        ds = synthetic_salary_dataset(n_records=2000, seed=0)
+        # Section 4: the domain declares values the data never contains.
+        jobs = {rec["Jobtitle"] for _, rec in ds.iter_records()}
+        assert "DeputyMinister" not in jobs
+        employers = {rec["Employer"] for _, rec in ds.iter_records()}
+        assert "ProvincialCourts" not in employers
+
+    def test_homicide_absent_agency(self):
+        ds = synthetic_homicide_dataset(n_records=2000, seed=0)
+        agencies = {rec["AgencyType"] for _, rec in ds.iter_records()}
+        assert "FederalAgency" not in agencies
+        assert "FederalAgency" in HOMICIDE_AGENCY_TYPES
+
+    def test_salary_values_positive(self):
+        ds = synthetic_salary_dataset(n_records=500, seed=3)
+        assert (ds.metric > 0).all()
+
+    def test_homicide_age_floor(self):
+        ds = synthetic_homicide_dataset(n_records=500, seed=3)
+        assert (ds.metric >= 1.0).all()
+
+    def test_anomalies_stay_within_global_range_of_base(self):
+        clean = synthetic_salary_dataset(
+            n_records=1000, seed=9, anomaly_fraction=0.0
+        )
+        planted = synthetic_salary_dataset(
+            n_records=1000, seed=9, anomaly_fraction=0.05
+        )
+        # Planting clamps to the clean global range, so the overall spread
+        # must not explode.
+        assert planted.metric.max() <= clean.metric.max() * 1.0001
+        assert planted.metric.min() >= clean.metric.min() * 0.9999
+
+    def test_anomaly_fraction_zero_changes_nothing(self):
+        a = synthetic_salary_dataset(n_records=300, seed=5, anomaly_fraction=0.0)
+        b = synthetic_salary_dataset(n_records=300, seed=5, anomaly_fraction=0.0)
+        assert np.array_equal(a.metric, b.metric)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError, match="n_records"):
+            synthetic_salary_dataset(n_records=0)
+        with pytest.raises(ValueError, match="anomaly_fraction"):
+            synthetic_salary_dataset(n_records=10, anomaly_fraction=1.5)
+
+    def test_anomalies_are_locally_extreme(self):
+        """Planted anomalies should be outliers within their own context."""
+        ds = synthetic_salary_dataset(n_records=3000, seed=13, anomaly_fraction=0.02)
+        # Group records by (Jobtitle, Employer); find per-group z-scores.
+        job = ds.codes("Jobtitle")
+        emp = ds.codes("Employer")
+        keys = job.astype(np.int64) * 100 + emp.astype(np.int64)
+        extreme = 0
+        for key in np.unique(keys):
+            vals = ds.metric[keys == key]
+            if vals.size < 30:
+                continue
+            z = np.abs(vals - np.median(vals)) / (vals.std() or 1.0)
+            extreme += int((z > 3.0).sum())
+        assert extreme >= 5, "expected some strong within-context anomalies"
+
+
+class TestTinyIncome:
+    def test_matches_paper_table_1(self):
+        ds = tiny_income_dataset()
+        assert len(ds) == 10
+        assert ds.schema.t == 9
+        # Record 8 of Table 1 (id 7 here) is the paper's outlier V:
+        # a Lawyer in Ottawa's Diplomatic district.
+        rec = ds.record(7)
+        assert rec["Jobtitle"] == "Lawyer"
+        assert rec["City"] == "Ottawa"
+        assert rec["District"] == "Diplomatic"
+        # And its salary is the extreme one.
+        assert rec["Salary"] == ds.metric.max()

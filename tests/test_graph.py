@@ -1,0 +1,126 @@
+"""Unit tests for the context graph (hypercube structure, search helpers)."""
+
+import networkx as nx
+import pytest
+
+from repro.context import Context, ContextGraph
+from repro.exceptions import EnumerationError
+from repro.schema import CategoricalAttribute, MetricAttribute, Schema
+
+
+@pytest.fixture(scope="module")
+def schema() -> Schema:
+    return Schema(
+        attributes=[
+            CategoricalAttribute("A", ["a1", "a2"]),
+            CategoricalAttribute("B", ["b1", "b2"]),
+        ],
+        metric=MetricAttribute("M"),
+    )
+
+
+@pytest.fixture(scope="module")
+def graph(schema) -> ContextGraph:
+    return ContextGraph(schema)
+
+
+class TestStructure:
+    def test_degree_is_t(self, graph, schema):
+        assert graph.degree == schema.t == 4
+
+    def test_n_vertices(self, graph):
+        assert graph.n_vertices == 16
+
+    def test_neighbors_bits(self, graph):
+        nbs = graph.neighbors_bits(0b0000)
+        assert sorted(nbs) == [0b0001, 0b0010, 0b0100, 0b1000]
+
+    def test_are_connected(self, graph, schema):
+        a = Context(schema, 0b0001)
+        b = Context(schema, 0b0011)
+        c = Context(schema, 0b0111)
+        assert graph.are_connected(a, b)
+        assert not graph.are_connected(a, c)
+
+
+class TestPaths:
+    def test_shortest_path_length_is_hamming(self, graph, schema):
+        a = Context(schema, 0b0000)
+        b = Context(schema, 0b1011)
+        assert graph.shortest_path_length(a, b) == 3
+
+    def test_shortest_path_is_geodesic(self, graph, schema):
+        a = Context(schema, 0b0101)
+        b = Context(schema, 0b1010)
+        path = graph.shortest_path(a, b)
+        assert path[0] == a
+        assert path[-1] == b
+        assert len(path) == a.hamming_distance(b) + 1
+        for u, v in zip(path, path[1:]):
+            assert u.hamming_distance(v) == 1
+
+    def test_shortest_path_same_node(self, graph, schema):
+        a = Context(schema, 0b0101)
+        assert graph.shortest_path(a, a) == [a]
+
+
+class TestBall:
+    def test_ball_radius_zero(self, graph, schema):
+        center = Context(schema, 0b0101)
+        assert [c.bits for c in graph.ball(center, 0)] == [0b0101]
+
+    def test_ball_radius_one_is_closed_neighborhood(self, graph, schema):
+        center = Context(schema, 0b0000)
+        ball = {c.bits for c in graph.ball(center, 1)}
+        assert ball == {0b0000, 0b0001, 0b0010, 0b0100, 0b1000}
+
+    def test_ball_counts_match_binomials(self, graph, schema):
+        center = Context(schema, 0b0000)
+        # |ball(r)| = sum_{i<=r} C(t, i)
+        assert len(list(graph.ball(center, 2))) == 1 + 4 + 6
+
+    def test_full_radius_ball_covers_space(self, graph, schema):
+        center = Context(schema, 0b1111)
+        assert len(list(graph.ball(center, schema.t))) == graph.n_vertices
+
+    def test_negative_radius_rejected(self, graph, schema):
+        with pytest.raises(ValueError):
+            list(graph.ball(Context(schema, 0), -1))
+
+
+class TestLocalityProfile:
+    def test_matcher_everything_gives_ones(self, graph, schema):
+        profile = graph.locality_profile(lambda b: True, Context(schema, 0), 2)
+        assert profile == [1.0, 1.0, 1.0]
+
+    def test_matcher_nothing_gives_zeros_beyond_center(self, graph, schema):
+        profile = graph.locality_profile(lambda b: False, Context(schema, 0), 2)
+        assert profile == [0.0, 0.0, 0.0]
+
+    def test_local_matcher_decays(self, graph, schema):
+        center = Context(schema, 0b0000)
+        # Match only contexts within distance 1 of the center.
+        profile = graph.locality_profile(
+            lambda b: b.bit_count() <= 1, center, 3
+        )
+        assert profile[0] == 1.0
+        assert profile[1] == 1.0
+        assert profile[2] == 0.0
+
+
+class TestMaterialisation:
+    def test_to_networkx_is_hypercube(self, graph):
+        g = graph.to_networkx()
+        assert g.number_of_nodes() == 16
+        assert g.number_of_edges() == 16 * 4 // 2
+        assert nx.is_connected(g)
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_to_networkx_respects_limit(self, graph):
+        with pytest.raises(EnumerationError):
+            graph.to_networkx(limit=8)
+
+    def test_induced_subgraph(self, graph):
+        g = graph.induced_subgraph(lambda b: b.bit_count() <= 1)
+        assert set(g.nodes) == {0b0000, 0b0001, 0b0010, 0b0100, 0b1000}
+        assert g.number_of_edges() == 4  # star around 0

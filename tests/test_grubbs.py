@@ -1,0 +1,126 @@
+"""Unit tests for the Grubbs detector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.outliers.grubbs import GrubbsDetector, grubbs_critical_value
+
+
+class TestCriticalValue:
+    def test_known_value_n20_alpha05(self):
+        # Published two-sided Grubbs critical value for N=20, alpha=0.05.
+        assert grubbs_critical_value(20, 0.05) == pytest.approx(2.708, abs=5e-3)
+
+    def test_known_value_n10_alpha05(self):
+        assert grubbs_critical_value(10, 0.05) == pytest.approx(2.290, abs=5e-3)
+
+    def test_monotone_in_n(self):
+        values = [grubbs_critical_value(n, 0.05) for n in range(5, 200, 10)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_undefined_below_three(self):
+        assert math.isinf(grubbs_critical_value(2, 0.05))
+
+
+class TestDetection:
+    def test_flags_planted_outlier(self, rng):
+        values = np.concatenate([rng.normal(100.0, 5.0, size=99), [200.0]])
+        det = GrubbsDetector(alpha=0.05, min_population=10)
+        positions = det.outlier_positions(values)
+        assert 99 in positions
+
+    def test_clean_normal_sample_mostly_clean(self, rng):
+        det = GrubbsDetector(alpha=0.01, min_population=10)
+        flagged = 0
+        for _ in range(20):
+            values = rng.normal(0.0, 1.0, size=200)
+            flagged += len(det.outlier_positions(values))
+        # alpha=0.01 per test; a handful of false positives over 20 trials
+        # is expected, dozens are not.
+        assert flagged <= 6
+
+    def test_detects_both_tails(self, rng):
+        values = np.concatenate([[-50.0], rng.normal(0.0, 1.0, size=98), [50.0]])
+        det = GrubbsDetector()
+        positions = set(det.outlier_positions(values).tolist())
+        assert 0 in positions and 99 in positions
+
+    def test_iterative_unmasking(self, rng):
+        # Two close-together extremes mask each other for a single Grubbs
+        # pass; the iterative procedure should flag both.
+        values = np.concatenate([rng.normal(0.0, 1.0, size=100), [30.0, 31.0]])
+        det = GrubbsDetector()
+        positions = set(det.outlier_positions(values).tolist())
+        assert {100, 101} <= positions
+
+    def test_max_outliers_budget(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, size=100), [40.0, 50.0, 60.0]])
+        det = GrubbsDetector(max_outliers=2)
+        assert len(det.outlier_positions(values)) <= 2
+
+    def test_constant_values_no_outliers(self):
+        det = GrubbsDetector()
+        assert det.outlier_positions(np.full(50, 7.0)).size == 0
+
+    def test_below_min_population_no_outliers(self):
+        det = GrubbsDetector(min_population=10)
+        values = np.array([1.0, 2.0, 3.0, 100.0])
+        assert det.outlier_positions(values).size == 0
+
+    def test_deterministic(self, rng):
+        values = rng.normal(0.0, 1.0, size=300)
+        values[13] = 9.0
+        det = GrubbsDetector()
+        a = det.outlier_positions(values)
+        b = det.outlier_positions(values.copy())
+        assert np.array_equal(a, b)
+
+    def test_positions_sorted_and_valid(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, 150), [25.0, -25.0, 30.0]])
+        positions = GrubbsDetector().outlier_positions(values)
+        assert np.array_equal(positions, np.sort(positions))
+        assert positions.min() >= 0 and positions.max() < values.shape[0]
+
+    def test_detect_mask_agrees_with_positions(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, 100), [20.0]])
+        det = GrubbsDetector()
+        mask = det.detect(values)
+        positions = det.outlier_positions(values)
+        assert np.array_equal(np.flatnonzero(mask), positions)
+
+    def test_is_outlier(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, 100), [20.0]])
+        det = GrubbsDetector()
+        assert det.is_outlier(values, 100)
+        assert not det.is_outlier(values, 0)
+
+    def test_affine_invariance(self, rng):
+        # Grubbs statistics are location/scale free.
+        values = np.concatenate([rng.normal(10.0, 2.0, 120), [60.0, -40.0]])
+        det = GrubbsDetector()
+        base = det.outlier_positions(values)
+        shifted = det.outlier_positions(values * 3.5 - 100.0)
+        assert np.array_equal(base, shifted)
+
+
+class TestValidation:
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            GrubbsDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            GrubbsDetector(alpha=1.0)
+
+    def test_bad_max_outliers(self):
+        with pytest.raises(ValueError):
+            GrubbsDetector(max_outliers=0)
+
+    def test_bad_min_population(self):
+        with pytest.raises(ValueError):
+            GrubbsDetector(min_population=0)
+
+    def test_rejects_2d_input(self):
+        det = GrubbsDetector()
+        with pytest.raises(Exception):
+            det.outlier_positions(np.zeros((3, 3)))

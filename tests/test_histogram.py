@@ -1,0 +1,87 @@
+"""Unit tests for the histogram detector."""
+
+import numpy as np
+import pytest
+
+from repro.outliers.histogram import HistogramDetector
+
+
+class TestDetection:
+    def test_flags_isolated_value(self, rng):
+        # A dense cluster plus one far-away point: the lone point sits in a
+        # sparse bin.
+        values = np.concatenate([rng.normal(0.0, 1.0, size=400), [50.0]])
+        det = HistogramDetector(frequency_fraction=2.5e-3, min_count_floor=2.0)
+        assert 400 in det.outlier_positions(values)
+
+    def test_dense_data_is_clean(self, rng):
+        values = rng.uniform(0.0, 1.0, size=1000)
+        det = HistogramDetector(frequency_fraction=2.5e-3, min_count_floor=0.0)
+        # Uniform data: all sqrt(n)=32 bins hold ~31 points >> 2.5.
+        assert det.outlier_positions(values).size == 0
+
+    def test_all_equal_values_clean(self):
+        det = HistogramDetector()
+        assert det.outlier_positions(np.full(100, 5.0)).size == 0
+
+    def test_paper_rule_no_floor(self, rng):
+        # Strict paper rule at small n: cutoff 2.5e-3 * 200 = 0.5, so only
+        # empty bins qualify and nothing is flagged.
+        values = np.concatenate([rng.normal(0.0, 1.0, size=199), [25.0]])
+        strict = HistogramDetector(frequency_fraction=2.5e-3, min_count_floor=0.0)
+        assert strict.outlier_positions(values).size == 0
+        # With a floor of 2 records the isolated point is caught.
+        floored = HistogramDetector(frequency_fraction=2.5e-3, min_count_floor=2.0)
+        assert 199 in floored.outlier_positions(values)
+
+    def test_fixed_bin_count(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, size=500), [100.0]])
+        det = HistogramDetector(n_bins=10, min_count_floor=2.0)
+        assert 500 in det.outlier_positions(values)
+
+    def test_cutoff_scales_with_population(self, rng):
+        # frequency_fraction=0.02: bins under 2% of n are sparse.
+        base = np.repeat([0.0, 1.0, 2.0, 3.0], 100)
+        values = np.concatenate([base, [10.0] * 3])
+        det = HistogramDetector(frequency_fraction=0.02, n_bins=11)
+        positions = det.outlier_positions(values)
+        assert set(positions.tolist()) == {400, 401, 402}
+
+    def test_top_edge_belongs_to_last_bin(self):
+        # The maximum value must be binned, not dropped.
+        values = np.concatenate([np.linspace(0, 1, 50), [1.0] * 50])
+        det = HistogramDetector(n_bins=5, frequency_fraction=0.0)
+        # No bin is sparse with fraction 0 -> no outliers, and no crash.
+        assert det.outlier_positions(values).size == 0
+
+    def test_deterministic(self, rng):
+        values = rng.normal(0.0, 1.0, size=500)
+        det = HistogramDetector(min_count_floor=2.0)
+        assert np.array_equal(
+            det.outlier_positions(values), det.outlier_positions(values.copy())
+        )
+
+    def test_below_min_population(self):
+        det = HistogramDetector(min_population=50)
+        assert det.outlier_positions(np.arange(10.0)).size == 0
+
+    def test_shift_invariance(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, size=300), [40.0]])
+        det = HistogramDetector(min_count_floor=2.0)
+        a = det.outlier_positions(values)
+        b = det.outlier_positions(values + 1234.5)
+        assert np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            HistogramDetector(frequency_fraction=-0.1)
+
+    def test_bad_floor(self):
+        with pytest.raises(ValueError):
+            HistogramDetector(min_count_floor=-1.0)
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            HistogramDetector(n_bins=0)

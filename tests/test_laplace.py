@@ -1,0 +1,80 @@
+"""Unit tests for the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.mechanisms import LaplaceMechanism
+
+
+class TestConstruction:
+    def test_scale(self):
+        assert LaplaceMechanism(0.5, sensitivity=2.0).scale == 4.0
+
+    def test_privacy_cost_is_epsilon(self):
+        assert LaplaceMechanism(0.3).privacy_cost == 0.3
+
+    def test_bad_epsilon(self):
+        for eps in (0.0, -1.0, float("nan")):
+            with pytest.raises(PrivacyBudgetError):
+                LaplaceMechanism(eps)
+
+    def test_bad_sensitivity(self):
+        with pytest.raises(PrivacyBudgetError):
+            LaplaceMechanism(0.5, sensitivity=-1.0)
+
+
+class TestRelease:
+    def test_scalar_release_returns_float(self, rng):
+        out = LaplaceMechanism(1.0).release(10.0, rng)
+        assert isinstance(out, float)
+
+    def test_vector_release_shape(self, rng):
+        out = LaplaceMechanism(1.0).release([1.0, 2.0, 3.0], rng)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (3,)
+
+    def test_noise_scale_statistics(self):
+        mech = LaplaceMechanism(0.5)  # scale 2.0, std = sqrt(2)*2
+        gen = np.random.default_rng(42)
+        noise = np.array([mech.release(0.0, gen) for _ in range(20_000)])
+        assert abs(noise.mean()) < 0.1
+        assert noise.std() == pytest.approx(np.sqrt(2.0) * 2.0, rel=0.05)
+
+    def test_release_count(self, rng):
+        out = LaplaceMechanism(1.0).release_count(100, rng)
+        assert isinstance(out, float)
+
+    def test_deterministic_with_seed(self):
+        mech = LaplaceMechanism(1.0)
+        a = mech.release(5.0, np.random.default_rng(3))
+        b = mech.release(5.0, np.random.default_rng(3))
+        assert a == b
+
+    def test_higher_epsilon_less_noise(self):
+        loose = LaplaceMechanism(0.01)
+        tight = LaplaceMechanism(10.0)
+        gen_a, gen_b = np.random.default_rng(1), np.random.default_rng(1)
+        loose_err = abs(loose.release(0.0, gen_a))
+        tight_err = abs(tight.release(0.0, gen_b))
+        # Same underlying uniform draw, scaled differently.
+        assert tight_err < loose_err
+
+
+class TestConfidence:
+    def test_halfwidth_monotone_in_confidence(self):
+        mech = LaplaceMechanism(1.0)
+        hs = [mech.confidence_halfwidth(c) for c in (0.5, 0.9, 0.99)]
+        assert hs[0] < hs[1] < hs[2]
+
+    def test_empirical_coverage(self):
+        mech = LaplaceMechanism(0.7)
+        h = mech.confidence_halfwidth(0.9)
+        gen = np.random.default_rng(5)
+        noise = np.array([mech.release(0.0, gen) for _ in range(10_000)])
+        coverage = float(np.mean(np.abs(noise) <= h))
+        assert coverage == pytest.approx(0.9, abs=0.02)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(1.0).confidence_halfwidth(1.0)

@@ -1,0 +1,134 @@
+"""Unit tests for the from-scratch 1-d LOF, checked against an O(n^2) oracle."""
+
+import numpy as np
+import pytest
+
+from repro.outliers.lof import LOFDetector, lof_scores
+
+
+def lof_scores_bruteforce(values: np.ndarray, k: int) -> np.ndarray:
+    """Direct transcription of Breunig et al. with exact-k neighbours.
+
+    Quadratic reference implementation used only to validate the vectorised
+    windowed version.  Ties broken by (distance, sorted position) like the
+    production code.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    n = arr.shape[0]
+    order = np.argsort(arr, kind="stable")
+    sv = arr[order]
+
+    nbrs = np.zeros((n, k), dtype=np.int64)
+    kdist = np.zeros(n)
+    for i in range(n):
+        dists = np.abs(sv - sv[i])
+        dists[i] = np.inf
+        cand = sorted(range(n), key=lambda j: (dists[j], j))[:k]
+        nbrs[i] = cand
+        kdist[i] = dists[cand[-1]]
+
+    lrd = np.zeros(n)
+    for i in range(n):
+        reach = [max(kdist[j], abs(sv[j] - sv[i])) for j in nbrs[i]]
+        mean_reach = float(np.mean(reach))
+        lrd[i] = np.inf if mean_reach == 0.0 else 1.0 / mean_reach
+
+    scores_sorted = np.zeros(n)
+    for i in range(n):
+        ratios = []
+        for j in nbrs[i]:
+            if np.isinf(lrd[j]) and np.isinf(lrd[i]):
+                ratios.append(1.0)
+            else:
+                ratios.append(lrd[j] / lrd[i])
+        scores_sorted[i] = float(np.mean(ratios))
+
+    scores = np.empty(n)
+    scores[order] = scores_sorted
+    return scores
+
+
+class TestScoresAgainstOracle:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_matches_bruteforce_random(self, k, rng):
+        values = rng.normal(0.0, 1.0, size=60)
+        fast = lof_scores(values, k)
+        slow = lof_scores_bruteforce(values, k)
+        assert np.allclose(fast, slow, rtol=1e-10, equal_nan=True)
+
+    def test_matches_bruteforce_with_cluster_and_outlier(self, rng):
+        values = np.concatenate([rng.normal(0.0, 0.5, size=40), [25.0]])
+        assert np.allclose(
+            lof_scores(values, 4), lof_scores_bruteforce(values, 4), rtol=1e-10
+        )
+
+    def test_matches_bruteforce_with_duplicates(self):
+        values = np.array([1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 9.0])
+        assert np.allclose(
+            lof_scores(values, 2), lof_scores_bruteforce(values, 2), rtol=1e-10
+        )
+
+
+class TestScoreSemantics:
+    def test_uniform_grid_scores_near_one(self):
+        values = np.linspace(0.0, 1.0, 200)
+        scores = lof_scores(values, 5)
+        interior = scores[10:-10]
+        assert np.all(np.abs(interior - 1.0) < 0.25)
+
+    def test_isolated_point_scores_high(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, size=99), [30.0]])
+        scores = lof_scores(values, 10)
+        assert scores[99] > 2.0
+        assert scores[99] == scores.max()
+
+    def test_all_duplicates_score_one(self):
+        scores = lof_scores(np.full(30, 3.0), 5)
+        assert np.allclose(scores, 1.0)
+
+    def test_needs_more_than_k_points(self):
+        with pytest.raises(ValueError, match="more than"):
+            lof_scores(np.arange(5.0), 5)
+
+    def test_deterministic(self, rng):
+        values = rng.normal(size=120)
+        assert np.array_equal(lof_scores(values, 7), lof_scores(values.copy(), 7))
+
+    def test_scale_invariance(self, rng):
+        # LOF is a ratio of densities, so positive rescaling preserves scores.
+        values = rng.normal(size=80)
+        a = lof_scores(values, 5)
+        b = lof_scores(values * 1000.0, 5)
+        assert np.allclose(a, b, rtol=1e-9)
+
+
+class TestDetector:
+    def test_flags_isolated_point(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, size=99), [30.0]])
+        det = LOFDetector(k=10, threshold=1.5)
+        assert 99 in det.outlier_positions(values)
+
+    def test_threshold_controls_strictness(self, rng):
+        values = np.concatenate([rng.normal(0.0, 1.0, size=200), [8.0]])
+        loose = LOFDetector(k=10, threshold=1.1)
+        strict = LOFDetector(k=10, threshold=50.0)
+        assert len(loose.outlier_positions(values)) >= len(
+            strict.outlier_positions(values)
+        )
+        assert strict.outlier_positions(values).size == 0
+
+    def test_min_population_covers_k(self):
+        det = LOFDetector(k=10)
+        assert det.min_population >= 11
+        # Too-small populations are silently clean, never an error.
+        assert det.outlier_positions(np.arange(5.0)).size == 0
+
+    def test_explicit_min_population_respects_k_floor(self):
+        det = LOFDetector(k=10, min_population=2)
+        assert det.min_population == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LOFDetector(k=0)
+        with pytest.raises(ValueError):
+            LOFDetector(threshold=0.0)

@@ -1,0 +1,129 @@
+"""Unit tests for the predicate bitmap index, checked against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.context import Context, ContextSpace
+from repro.data import Dataset, PredicateMaskIndex
+from repro.exceptions import ContextError
+from repro.schema import CategoricalAttribute, MetricAttribute, Schema
+
+
+@pytest.fixture(scope="module")
+def schema() -> Schema:
+    return Schema(
+        attributes=[
+            CategoricalAttribute("A", ["a1", "a2"]),
+            CategoricalAttribute("B", ["b1", "b2", "b3"]),
+        ],
+        metric=MetricAttribute("M"),
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(schema) -> Dataset:
+    gen = np.random.default_rng(11)
+    n = 60
+    a_vals = [("a1", "a2")[i] for i in gen.integers(0, 2, size=n)]
+    b_vals = [("b1", "b2", "b3")[i] for i in gen.integers(0, 3, size=n)]
+    return Dataset(
+        schema,
+        columns={"A": a_vals, "B": b_vals},
+        metric_values=gen.normal(size=n),
+    )
+
+
+@pytest.fixture(scope="module")
+def index(dataset) -> PredicateMaskIndex:
+    return PredicateMaskIndex(dataset)
+
+
+def brute_force_mask(dataset: Dataset, bits: int) -> np.ndarray:
+    """Reference implementation: per-record predicate evaluation."""
+    schema = dataset.schema
+    out = np.zeros(len(dataset), dtype=bool)
+    for pos, (rid, rec) in enumerate(dataset.iter_records()):
+        ok = True
+        for i, attr in enumerate(schema.attributes):
+            block = (bits >> schema.offsets[i]) & ((1 << len(attr)) - 1)
+            j = attr.index_of(rec[attr.name])
+            if not (block >> j) & 1:
+                ok = False
+                break
+        out[pos] = ok
+    return out
+
+
+class TestPredicateMasks:
+    def test_predicate_mask_matches_column(self, index, dataset, schema):
+        for bit in range(schema.t):
+            pred = schema.predicate_at(bit)
+            expected = np.array(
+                [
+                    rec[pred.attribute] == pred.value
+                    for _, rec in dataset.iter_records()
+                ]
+            )
+            assert np.array_equal(index.predicate_mask(bit), expected)
+
+    def test_predicate_mask_read_only(self, index):
+        with pytest.raises(ValueError):
+            index.predicate_mask(0)[0] = True
+
+    def test_predicate_mask_out_of_range(self, index):
+        with pytest.raises(ContextError):
+            index.predicate_mask(99)
+
+
+class TestPopulationMask:
+    def test_matches_brute_force_on_all_contexts(self, index, dataset, schema):
+        for bits in range(1 << schema.t):
+            assert np.array_equal(
+                index.population_mask(bits), brute_force_mask(dataset, bits)
+            ), f"mismatch at bits={bits:05b}"
+
+    def test_empty_block_gives_empty_population(self, index, schema):
+        # Only attribute A selected; attribute B block empty.
+        bits = 0b00011
+        assert not index.population_mask(bits).any()
+
+    def test_full_context_selects_everything(self, index, dataset, schema):
+        assert index.population_mask(schema.full_bits).all()
+
+    def test_population_size(self, index, dataset, schema):
+        assert index.population_size(schema.full_bits) == len(dataset)
+        assert index.population_size(0) == 0
+
+    def test_population_returns_aligned_arrays(self, index, dataset, schema):
+        positions, ids, metric = index.population(schema.full_bits)
+        assert len(positions) == len(ids) == len(metric) == len(dataset)
+        assert np.array_equal(metric, dataset.metric[positions])
+
+    def test_out_of_range_bits_rejected(self, index, schema):
+        with pytest.raises(ContextError):
+            index.population_mask(1 << schema.t)
+        with pytest.raises(ContextError):
+            index.population_mask(-1)
+
+
+class TestContainsRecord:
+    def test_agrees_with_population_membership(self, index, dataset, schema):
+        space = ContextSpace(schema)
+        gen = np.random.default_rng(5)
+        for _ in range(50):
+            ctx = space.random_context(gen)
+            mask = index.population_mask(ctx.bits)
+            for rid in (0, 10, 59):
+                pos = dataset.position_of(rid)
+                assert index.contains_record(ctx.bits, rid) == bool(mask[pos])
+
+
+class TestCounters:
+    def test_population_evaluations_counted(self, dataset):
+        idx = PredicateMaskIndex(dataset)
+        assert idx.population_evaluations == 0
+        idx.population_mask(0b00101)
+        idx.population_size(0b00101)
+        assert idx.population_evaluations == 2
+        idx.reset_counters()
+        assert idx.population_evaluations == 0

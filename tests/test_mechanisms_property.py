@@ -1,0 +1,99 @@
+"""Property-based tests for the DP mechanisms."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mechanisms import ExponentialMechanism, LaplaceMechanism
+
+finite_utilities = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=20),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+)
+
+epsilons = st.floats(min_value=1e-3, max_value=5.0)
+
+
+@given(utilities=finite_utilities, eps=epsilons)
+@settings(max_examples=100)
+def test_probabilities_form_distribution(utilities, eps):
+    p = ExponentialMechanism(eps).probabilities(utilities)
+    assert p.shape == utilities.shape
+    assert (p >= 0.0).all()
+    assert p.sum() == np.float64(1.0) or abs(p.sum() - 1.0) < 1e-9
+
+
+@given(utilities=finite_utilities, eps=epsilons, shift=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+@settings(max_examples=100)
+def test_probabilities_shift_invariant(utilities, eps, shift):
+    mech = ExponentialMechanism(eps)
+    a = mech.probabilities(utilities)
+    b = mech.probabilities(utilities + shift)
+    assert np.allclose(a, b, atol=1e-9)
+
+
+@given(utilities=finite_utilities, eps=epsilons)
+@settings(max_examples=100)
+def test_argmax_utility_has_max_probability(utilities, eps):
+    p = ExponentialMechanism(eps).probabilities(utilities)
+    assert np.argmax(p) == np.argmax(utilities) or math.isclose(
+        p[np.argmax(p)], p[np.argmax(utilities)], rel_tol=1e-9
+    )
+
+
+@given(
+    utilities=arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=2, max_value=12),
+        elements=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    eps=st.floats(min_value=1e-2, max_value=2.0),
+    perturbation=arrays(
+        dtype=np.float64,
+        shape=st.shared(st.integers(min_value=2, max_value=12), key="n"),
+        elements=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    ),
+)
+@settings(max_examples=100)
+def test_dp_inequality_for_bounded_perturbations(utilities, eps, perturbation):
+    """Pointwise-bounded utility changes move probabilities by <= e^(2 eps)."""
+    n = utilities.shape[0]
+    pert = perturbation[:n] if perturbation.shape[0] >= n else np.resize(perturbation, n)
+    mech = ExponentialMechanism(eps, sensitivity=1.0)
+    p1 = mech.probabilities(utilities)
+    p2 = mech.probabilities(utilities + pert)
+    bound = math.exp(2.0 * eps)
+    ratio = p1 / p2
+    assert ratio.max() <= bound * (1 + 1e-7)
+    assert ratio.min() >= (1 / bound) * (1 - 1e-7)
+
+
+@given(
+    eps=epsilons,
+    sensitivity=st.floats(min_value=0.1, max_value=10.0),
+    value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=100)
+def test_laplace_noise_centred_and_scaled(eps, sensitivity, value, seed):
+    mech = LaplaceMechanism(eps, sensitivity)
+    gen = np.random.default_rng(seed)
+    draws = np.array([mech.release(value, gen) for _ in range(200)])
+    # Sample median of Laplace noise concentrates around the true value.
+    assert abs(np.median(draws) - value) < 10.0 * mech.scale
+    assert mech.scale == sensitivity / eps
+
+
+@given(eps=epsilons, conf=st.floats(min_value=0.01, max_value=0.99))
+@settings(max_examples=100)
+def test_laplace_confidence_halfwidth_inverts_cdf(eps, conf):
+    mech = LaplaceMechanism(eps)
+    h = mech.confidence_halfwidth(conf)
+    # P(|X| <= h) for Laplace(b) is 1 - exp(-h/b).
+    assert 1.0 - math.exp(-h / mech.scale) == np.float64(conf) or math.isclose(
+        1.0 - math.exp(-h / mech.scale), conf, rel_tol=1e-9
+    )

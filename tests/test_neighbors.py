@@ -1,0 +1,93 @@
+"""Unit tests for neighbouring-dataset generation (OCDP machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.data.neighbors import add_random_records, neighboring_dataset, remove_random_records
+from repro.exceptions import DatasetError
+from repro.mechanisms.ocdp import differ_by_one_record
+
+
+class TestRemove:
+    def test_removes_exactly_delta(self, mini_dataset, rng):
+        out = remove_random_records(mini_dataset, 5, rng)
+        assert len(out) == len(mini_dataset) - 5
+
+    def test_protected_ids_survive(self, mini_dataset, rng):
+        protected = [0, 1, 2]
+        for _ in range(10):
+            out = remove_random_records(
+                mini_dataset, 50, rng, protected_ids=protected
+            )
+            for rid in protected:
+                assert out.has_record(rid)
+
+    def test_remove_zero_is_identity_sized(self, mini_dataset, rng):
+        out = remove_random_records(mini_dataset, 0, rng)
+        assert len(out) == len(mini_dataset)
+
+    def test_negative_delta_rejected(self, mini_dataset, rng):
+        with pytest.raises(DatasetError):
+            remove_random_records(mini_dataset, -1, rng)
+
+    def test_removing_too_many_rejected(self, mini_dataset, rng):
+        with pytest.raises(DatasetError, match="cannot remove"):
+            remove_random_records(mini_dataset, len(mini_dataset) + 1, rng)
+
+    def test_remove_one_gives_dp_neighbor(self, mini_dataset, rng):
+        out = remove_random_records(mini_dataset, 1, rng)
+        assert differ_by_one_record(mini_dataset, out)
+
+    def test_deterministic_given_seed(self, mini_dataset):
+        a = remove_random_records(mini_dataset, 3, np.random.default_rng(5))
+        b = remove_random_records(mini_dataset, 3, np.random.default_rng(5))
+        assert list(a.ids) == list(b.ids)
+
+
+class TestAdd:
+    def test_adds_exactly_delta(self, mini_dataset, rng):
+        out = add_random_records(mini_dataset, 4, rng)
+        assert len(out) == len(mini_dataset) + 4
+
+    def test_added_records_use_fresh_ids(self, mini_dataset, rng):
+        out = add_random_records(mini_dataset, 2, rng)
+        new_ids = set(int(i) for i in out.ids) - set(int(i) for i in mini_dataset.ids)
+        assert len(new_ids) == 2
+        assert min(new_ids) > int(mini_dataset.ids.max())
+
+    def test_added_records_are_schema_valid(self, mini_dataset, rng):
+        # Construction would raise if categorical values were invalid;
+        # also check the metric is finite.
+        out = add_random_records(mini_dataset, 10, rng)
+        assert np.isfinite(out.metric).all()
+
+    def test_add_zero_is_identity(self, mini_dataset, rng):
+        assert add_random_records(mini_dataset, 0, rng) is mini_dataset
+
+    def test_add_one_gives_dp_neighbor(self, mini_dataset, rng):
+        out = add_random_records(mini_dataset, 1, rng)
+        assert differ_by_one_record(mini_dataset, out)
+
+    def test_negative_delta_rejected(self, mini_dataset, rng):
+        with pytest.raises(DatasetError):
+            add_random_records(mini_dataset, -1, rng)
+
+
+class TestNeighboringDataset:
+    def test_remove_mode(self, mini_dataset, rng):
+        out = neighboring_dataset(mini_dataset, 3, mode="remove", rng=rng)
+        assert len(out) == len(mini_dataset) - 3
+
+    def test_add_mode(self, mini_dataset, rng):
+        out = neighboring_dataset(mini_dataset, 3, mode="add", rng=rng)
+        assert len(out) == len(mini_dataset) + 3
+
+    def test_mixed_mode_total_changes(self, mini_dataset, rng):
+        out = neighboring_dataset(mini_dataset, 4, mode="mixed", rng=rng)
+        ids_before = set(int(i) for i in mini_dataset.ids)
+        ids_after = set(int(i) for i in out.ids)
+        assert len(ids_before ^ ids_after) == 4
+
+    def test_unknown_mode_rejected(self, mini_dataset, rng):
+        with pytest.raises(DatasetError, match="unknown"):
+            neighboring_dataset(mini_dataset, 1, mode="wat", rng=rng)

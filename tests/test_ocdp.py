@@ -1,0 +1,94 @@
+"""Unit tests for OCDP definitions (f-neighbours, match fraction, bound)."""
+
+import math
+
+import pytest
+
+from repro.data.neighbors import add_random_records, remove_random_records
+from repro.mechanisms.ocdp import (
+    FNeighborChecker,
+    differ_by_one_record,
+    ocdp_ratio_bound,
+    set_match_fraction,
+)
+
+
+class TestDifferByOne:
+    def test_remove_one(self, mini_dataset, rng):
+        d2 = remove_random_records(mini_dataset, 1, rng)
+        assert differ_by_one_record(mini_dataset, d2)
+        assert differ_by_one_record(d2, mini_dataset)  # symmetric
+
+    def test_add_one(self, mini_dataset, rng):
+        d2 = add_random_records(mini_dataset, 1, rng)
+        assert differ_by_one_record(mini_dataset, d2)
+
+    def test_same_dataset_not_neighbor(self, mini_dataset):
+        assert not differ_by_one_record(mini_dataset, mini_dataset)
+
+    def test_two_removed_not_neighbor(self, mini_dataset, rng):
+        d2 = remove_random_records(mini_dataset, 2, rng)
+        assert not differ_by_one_record(mini_dataset, d2)
+
+
+class TestFNeighborChecker:
+    def test_constant_f_gives_neighbors(self, mini_dataset, rng):
+        checker = FNeighborChecker(lambda ds: frozenset({1, 2, 3}))
+        d2 = remove_random_records(mini_dataset, 1, rng)
+        verdict, reason = checker.are_f_neighbors(mini_dataset, d2)
+        assert verdict
+        assert reason == "f-neighbors"
+
+    def test_size_dependent_f_fails(self, mini_dataset, rng):
+        checker = FNeighborChecker(lambda ds: frozenset({len(ds)}))
+        d2 = remove_random_records(mini_dataset, 1, rng)
+        verdict, reason = checker.are_f_neighbors(mini_dataset, d2)
+        assert not verdict
+        assert "outputs differ" in reason
+
+    def test_empty_output_fails(self, mini_dataset, rng):
+        checker = FNeighborChecker(lambda ds: frozenset())
+        d2 = remove_random_records(mini_dataset, 1, rng)
+        verdict, reason = checker.are_f_neighbors(mini_dataset, d2)
+        assert not verdict
+        assert "empty" in reason
+
+    def test_not_one_record_apart_fails(self, mini_dataset, rng):
+        checker = FNeighborChecker(lambda ds: frozenset({1}))
+        d2 = remove_random_records(mini_dataset, 3, rng)
+        verdict, reason = checker.are_f_neighbors(mini_dataset, d2)
+        assert not verdict
+        assert "one record" in reason
+
+
+class TestRatioBound:
+    def test_exponential_bound(self):
+        assert ocdp_ratio_bound(0.2) == pytest.approx(math.exp(0.2))
+
+    def test_zero_epsilon_means_no_leakage(self):
+        assert ocdp_ratio_bound(0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ocdp_ratio_bound(-0.1)
+
+
+class TestSetMatchFraction:
+    def test_identical_sets(self):
+        assert set_match_fraction({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert set_match_fraction({1, 2}, {3, 4}) == 0.0
+
+    def test_partial_overlap(self):
+        assert set_match_fraction({1, 2, 3}, {2, 3, 4}) == pytest.approx(2 / 4)
+
+    def test_empty_sets_match(self):
+        assert set_match_fraction(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert set_match_fraction({1}, set()) == 0.0
+
+    def test_symmetric(self):
+        a, b = {1, 2, 3, 4}, {3, 4, 5}
+        assert set_match_fraction(a, b) == set_match_fraction(b, a)

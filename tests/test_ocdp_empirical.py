@@ -1,0 +1,112 @@
+"""Empirical OCDP checks: the privacy inequality measured exactly.
+
+For the direct approach the Exponential mechanism's selection probabilities
+are computable in closed form, so Theorem 4.1 can be *verified numerically*:
+over f-neighbouring datasets the probability of releasing any given context
+changes by at most e^(2 eps1).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reference import ReferenceFile
+from repro.core.verification import OutlierVerifier
+from repro.data.neighbors import remove_random_records
+from repro.experiments.privacy_ratio import max_probability_ratio
+from repro.mechanisms.accounting import epsilon_one_for
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.ocdp import FNeighborChecker
+
+
+@pytest.fixture(scope="module")
+def neighbor_pair(mini_dataset, mini_detector, mini_reference):
+    """(reference_1, reference_2, protected outliers) for one removal."""
+    outliers = mini_reference.outlier_records()
+    gen = np.random.default_rng(17)
+    d2 = remove_random_records(mini_dataset, 1, gen, protected_ids=outliers)
+    ref2 = ReferenceFile.build(OutlierVerifier(d2, mini_detector))
+    return mini_reference, ref2, outliers
+
+
+class TestDirectMechanismPrivacy:
+    def test_ratio_bounded_for_f_neighbors(self, neighbor_pair):
+        """When COE sets match, Theorem 4.1's bound e^(2 eps1) must hold."""
+        ref1, ref2, outliers = neighbor_pair
+        epsilon = 0.2
+        eps1 = epsilon_one_for("direct", epsilon)
+        bound = math.exp(2.0 * eps1)
+        checked = 0
+        for rid in outliers:
+            coe1, coe2 = ref1.coe(rid), ref2.coe(rid)
+            if not coe1 or coe1 != coe2:
+                continue  # not f-neighbours for this record
+            ratio, n, mismatched = max_probability_ratio(ref1, ref2, rid, epsilon)
+            assert not mismatched
+            assert n == len(coe1)
+            assert ratio <= bound * (1 + 1e-9), (
+                f"record {rid}: ratio {ratio} exceeds e^(2 eps1) = {bound}"
+            )
+            checked += 1
+        assert checked >= 1, "no f-neighbouring record found to check"
+
+    def test_mismatch_ratios_mostly_within_e_eps(self, neighbor_pair):
+        """Section 6.7(ii) reports ratios below e^eps even when COE sets
+        differ.  That is an empirical observation at 11k+ records; on this
+        300-record micro dataset a single removal perturbs COE much harder
+        (the paper itself notes small datasets "do not benefit" the match),
+        so here we assert the *typical* case only.  The strict bench-scale
+        measurement lives in benchmarks/bench_privacy_ratio.py."""
+        ref1, ref2, outliers = neighbor_pair
+        epsilon = 0.2
+        bound = math.exp(epsilon)
+        within, total = 0, 0
+        for rid in outliers:
+            ratio, n, _ = max_probability_ratio(ref1, ref2, rid, epsilon)
+            if n == 0:
+                continue
+            assert math.isfinite(ratio) and ratio >= 1.0 - 1e-12
+            total += 1
+            if ratio <= bound * (1 + 1e-9):
+                within += 1
+        assert total >= 1
+        assert within / total >= 0.5, f"only {within}/{total} within e^eps"
+
+    def test_f_neighbor_checker_on_coe(self, mini_dataset, mini_detector, mini_reference, neighbor_pair):
+        ref1, ref2, outliers = neighbor_pair
+        # Find a record whose COE is preserved and wrap COE as the OCDP f.
+        preserved = next(
+            rid for rid in outliers if ref1.coe(rid) and ref1.coe(rid) == ref2.coe(rid)
+        )
+
+        def coe_fn(dataset):
+            verifier = OutlierVerifier(dataset, mini_detector)
+            reference = ReferenceFile.build(verifier)
+            return reference.coe(preserved)
+
+        gen = np.random.default_rng(17)  # same removal as the fixture
+        d2 = remove_random_records(
+            mini_dataset, 1, gen, protected_ids=mini_reference.outlier_records()
+        )
+        checker = FNeighborChecker(coe_fn)
+        verdict, reason = checker.are_f_neighbors(mini_dataset, d2)
+        assert verdict, reason
+
+
+class TestMechanismLevelInequality:
+    def test_population_shift_by_one_respects_bound(self, mini_reference, mini_outlier, rng):
+        """Removing a record changes each context's population by <= 1;
+        the induced probability shift obeys e^(2 eps1) exactly."""
+        eps1 = 0.1
+        mech = ExponentialMechanism(eps1, sensitivity=1.0)
+        contexts = mini_reference.matching_contexts(mini_outlier)
+        pops = np.array([mini_reference.population_size(b) for b in contexts], float)
+        for _ in range(20):
+            # Simulate a neighbouring dataset: each population may lose at
+            # most one record (the removed individual).
+            delta = (rng.random(pops.shape[0]) < 0.5).astype(float)
+            p1 = mech.probabilities(pops)
+            p2 = mech.probabilities(pops - delta)
+            ratio = np.maximum(p1 / p2, p2 / p1).max()
+            assert ratio <= math.exp(2 * eps1) * (1 + 1e-9)

@@ -1,0 +1,109 @@
+"""Fidelity tests against the paper's worked example (Table 1, Sections 1/3).
+
+The running example: record 8 (id 7 here) — a Lawyer in Ottawa's Diplomatic
+district with an extreme salary — is a *hidden* outlier: unremarkable
+against the whole table, anomalous inside the context
+``Jobtitle in {CEO, Lawyer} AND City = Ottawa AND District = Diplomatic``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.context import Context
+from repro.core.enumeration import COEEnumerator
+from repro.core.pcor import PCOR
+from repro.core.sampling import BFSSampler
+from repro.core.verification import OutlierVerifier
+from repro.data.generators import tiny_income_dataset
+from repro.outliers.grubbs import GrubbsDetector
+from repro.outliers.zscore import ZScoreDetector
+
+V = 7  # the paper's outlier record (Table 1 row 8)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_income_dataset()
+
+
+@pytest.fixture(scope="module")
+def paper_context(dataset):
+    """The context the paper's data owner releases for V."""
+    return Context.from_predicates(
+        dataset.schema,
+        {"Jobtitle": ["CEO", "Lawyer"], "City": ["Ottawa"], "District": ["Diplomatic"]},
+    )
+
+
+class TestHiddenOutlier:
+    def test_not_a_global_outlier_under_grubbs(self, dataset):
+        """V is 'normal compared to the whole population' (Section 1)."""
+        detector = GrubbsDetector(alpha=0.05, min_population=3)
+        verifier = OutlierVerifier(dataset, detector)
+        assert not verifier.is_matching(dataset.schema.full_bits, V)
+
+    def test_outlier_in_the_paper_context(self, dataset, paper_context):
+        """...but an outlier among CEOs/Lawyers in Diplomatic Ottawa."""
+        detector = ZScoreDetector(z_threshold=1.0, min_population=3)
+        verifier = OutlierVerifier(dataset, detector)
+        assert verifier.is_matching(paper_context.bits, V)
+        # And V is the *only* outlier there.
+        assert verifier.outlier_ids(paper_context.bits) == frozenset({V})
+
+    def test_paper_context_population(self, dataset, paper_context):
+        """The context covers records 3, 5 and 8 of Table 1 (ids 2, 4, 7)."""
+        detector = ZScoreDetector(z_threshold=1.0, min_population=3)
+        verifier = OutlierVerifier(dataset, detector)
+        _, ids, _ = verifier.masks.population(paper_context.bits)
+        assert set(ids.tolist()) == {2, 4, 7}
+
+    def test_side_information_leak_motivation(self, dataset, paper_context):
+        """The privacy problem: exactly one CEO lives in Diplomatic Ottawa,
+        so a deterministic release of this context reveals their presence."""
+        ceo_in_context = [
+            rid
+            for rid, rec in dataset.iter_records()
+            if rec["Jobtitle"] == "CEO"
+            and rec["City"] == "Ottawa"
+            and rec["District"] == "Diplomatic"
+        ]
+        assert len(ceo_in_context) == 1  # the paper's side-information example
+
+
+class TestEndToEndOnPaperExample:
+    def test_pcor_releases_a_valid_context_for_v(self, dataset, paper_context):
+        detector = ZScoreDetector(z_threshold=1.0, min_population=3)
+        verifier = OutlierVerifier(dataset, detector)
+        pcor = PCOR(
+            dataset,
+            detector,
+            epsilon=0.5,
+            sampler=BFSSampler(n_samples=5),
+            verifier=verifier,
+        )
+        result = pcor.release(V, starting_context=paper_context, seed=0)
+        assert verifier.is_matching(result.context.bits, V)
+        values = result.context.selected_values()
+        # Any valid context for V must include V's own attribute values.
+        assert "Lawyer" in values["Jobtitle"]
+        assert "Ottawa" in values["City"]
+        assert "Diplomatic" in values["District"]
+
+    def test_coe_contains_the_paper_context(self, dataset, paper_context):
+        detector = ZScoreDetector(z_threshold=1.0, min_population=3)
+        verifier = OutlierVerifier(dataset, detector)
+        coe = COEEnumerator(verifier).coe(V)
+        assert paper_context.bits in coe
+
+    def test_example_bitstring_from_section_3(self, dataset):
+        """Section 3 writes C = <101001010> for CEOs+Lawyers/Toronto/Historic."""
+        ctx = Context.from_bitstring(dataset.schema, "101001010")
+        values = ctx.selected_values()
+        assert values == {
+            "Jobtitle": ("CEO", "Lawyer"),
+            "City": ("Toronto",),
+            "District": ("Historic",),
+        }
+        # And its connected context from the paper: drop the Lawyer bit.
+        connected = Context.from_bitstring(dataset.schema, "100001010")
+        assert ctx.is_connected_to(connected)

@@ -1,0 +1,177 @@
+"""Integration tests: the PCOR facade end to end on the micro dataset."""
+
+import numpy as np
+import pytest
+
+from repro.context import Context
+from repro.core.pcor import PCOR
+from repro.core.sampling import BFSSampler, DFSSampler, RandomWalkSampler, UniformSampler
+from repro.core.starting import starting_context_from_reference
+from repro.core.utility import OverlapUtility
+from repro.exceptions import SamplingError
+from repro.mechanisms.accounting import epsilon_one_for
+
+
+@pytest.fixture()
+def start(mini_reference, mini_outlier):
+    return starting_context_from_reference(
+        mini_reference, mini_outlier, np.random.default_rng(1)
+    )
+
+
+@pytest.fixture()
+def pcor(mini_dataset, mini_detector, mini_verifier):
+    return PCOR(
+        mini_dataset,
+        mini_detector,
+        utility="population_size",
+        epsilon=0.2,
+        sampler=BFSSampler(n_samples=10),
+        verifier=mini_verifier,
+    )
+
+
+class TestRelease:
+    def test_released_context_is_valid_for_record(
+        self, pcor, mini_verifier, mini_outlier, start
+    ):
+        """Property (a) of Definition 3.2: f_M(D_C, V) = true."""
+        result = pcor.release(mini_outlier, starting_context=start, seed=3)
+        assert mini_verifier.is_matching(result.context.bits, mini_outlier)
+
+    def test_released_context_is_structurally_valid(self, pcor, mini_outlier, start):
+        result = pcor.release(mini_outlier, starting_context=start, seed=3)
+        assert result.context.is_structurally_valid
+
+    def test_budget_split_in_result(self, pcor, mini_outlier, start):
+        result = pcor.release(mini_outlier, starting_context=start, seed=3)
+        assert result.epsilon_total == 0.2
+        assert result.epsilon_one == pytest.approx(epsilon_one_for("bfs", 0.2, 10))
+
+    def test_deterministic_given_seed(self, pcor, mini_outlier, start):
+        a = pcor.release(mini_outlier, starting_context=start, seed=11)
+        b = pcor.release(mini_outlier, starting_context=start, seed=11)
+        assert a.context == b.context
+
+    def test_auto_starting_context(self, pcor, mini_outlier, mini_verifier):
+        result = pcor.release(mini_outlier, seed=5)
+        assert result.starting_context is not None
+        assert mini_verifier.is_matching(result.starting_context.bits, mini_outlier)
+
+    def test_accepts_int_starting_context(self, pcor, mini_outlier, start):
+        result = pcor.release(mini_outlier, starting_context=start.bits, seed=3)
+        assert result.context.is_structurally_valid
+
+    def test_invalid_starting_context_rejected(self, pcor, mini_outlier, mini_dataset):
+        record_bits = mini_dataset.record_bits(mini_outlier)
+        lowest = record_bits & -record_bits
+        bad = mini_dataset.schema.full_bits & ~lowest  # does not contain V
+        with pytest.raises(SamplingError, match="not a matching context"):
+            pcor.release(mini_outlier, starting_context=bad, seed=3)
+
+    def test_result_describe_mentions_key_fields(self, pcor, mini_outlier, start):
+        result = pcor.release(mini_outlier, starting_context=start, seed=3)
+        text = result.describe()
+        assert str(mini_outlier) in text
+        assert "epsilon" in text
+        assert "bfs" in text
+
+
+class TestUtilitySpecs:
+    def test_overlap_spec(self, mini_dataset, mini_detector, mini_verifier, mini_outlier, start):
+        pcor = PCOR(
+            mini_dataset,
+            mini_detector,
+            utility="overlap",
+            epsilon=0.2,
+            sampler=BFSSampler(n_samples=8),
+            verifier=mini_verifier,
+        )
+        result = pcor.release(mini_outlier, starting_context=start, seed=3)
+        assert result.utility_name == "overlap"
+        assert result.utility_value >= 0
+
+    def test_callable_spec(self, mini_dataset, mini_detector, mini_verifier, mini_outlier, start):
+        def factory(verifier, record_id, starting_bits):
+            return OverlapUtility(verifier, record_id, starting_bits)
+
+        pcor = PCOR(
+            mini_dataset,
+            mini_detector,
+            utility=factory,
+            epsilon=0.2,
+            sampler=DFSSampler(n_samples=8),
+            verifier=mini_verifier,
+        )
+        result = pcor.release(mini_outlier, starting_context=start, seed=3)
+        assert result.utility_name == "overlap"
+
+    def test_sparsity_spec(self, mini_dataset, mini_detector, mini_verifier, mini_outlier, start):
+        pcor = PCOR(
+            mini_dataset,
+            mini_detector,
+            utility="sparsity",
+            epsilon=0.2,
+            sampler=BFSSampler(n_samples=8),
+            verifier=mini_verifier,
+        )
+        result = pcor.release(mini_outlier, starting_context=start, seed=3)
+        assert result.utility_name == "sparsity"
+
+
+class TestAllSamplerPaths:
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            UniformSampler(n_samples=6),
+            RandomWalkSampler(n_samples=6),
+            DFSSampler(n_samples=6),
+            BFSSampler(n_samples=6),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_end_to_end(
+        self, sampler, mini_dataset, mini_detector, mini_verifier, mini_outlier, start
+    ):
+        pcor = PCOR(
+            mini_dataset,
+            mini_detector,
+            epsilon=0.2,
+            sampler=sampler,
+            verifier=mini_verifier,
+        )
+        result = pcor.release(mini_outlier, starting_context=start, seed=9)
+        assert mini_verifier.is_matching(result.context.bits, mini_outlier)
+        assert result.algorithm == sampler.name
+        assert result.n_candidates >= 1
+
+    def test_default_sampler_is_bfs_50(self, mini_dataset, mini_detector):
+        pcor = PCOR(mini_dataset, mini_detector)
+        assert pcor.sampler.name == "bfs"
+        assert pcor.sampler.n_samples == 50
+
+
+class TestValidityGuarantee:
+    def test_released_always_valid_over_many_seeds(
+        self, mini_dataset, mini_detector, mini_verifier, mini_outlier, start
+    ):
+        """Across many randomised releases, validity never fails (Def 3.2a)."""
+        pcor = PCOR(
+            mini_dataset,
+            mini_detector,
+            epsilon=0.2,
+            sampler=RandomWalkSampler(n_samples=8),
+            verifier=mini_verifier,
+        )
+        for seed in range(25):
+            result = pcor.release(mini_outlier, starting_context=start, seed=seed)
+            assert mini_verifier.is_matching(result.context.bits, mini_outlier)
+
+    def test_fm_evaluation_accounting(self, mini_dataset, mini_detector, mini_outlier, start):
+        """fm_evaluations in the result reflects work done during the call."""
+        pcor = PCOR(mini_dataset, mini_detector, sampler=BFSSampler(n_samples=6))
+        result = pcor.release(mini_outlier, starting_context=start, seed=1)
+        assert result.fm_evaluations > 0
+        # Re-running with a warm cache does strictly less fresh work.
+        result2 = pcor.release(mini_outlier, starting_context=start, seed=1)
+        assert result2.fm_evaluations <= result.fm_evaluations

@@ -1,0 +1,100 @@
+"""API-surface hygiene: the documented public interface stays importable."""
+
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestAll:
+    def test_everything_in_all_exists(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing symbol {name!r}"
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "PCOR",
+            "DirectPCOR",
+            "UniformSampler",
+            "RandomWalkSampler",
+            "DFSSampler",
+            "BFSSampler",
+            "GrubbsDetector",
+            "HistogramDetector",
+            "LOFDetector",
+            "ExponentialMechanism",
+            "LaplaceMechanism",
+            "ReferenceFile",
+            "COEEnumerator",
+            "OutlierVerifier",
+            "Context",
+            "ContextSpace",
+            "ContextGraph",
+            "Schema",
+            "Dataset",
+            "BinSpec",
+            "ReleaseSession",
+        ],
+    )
+    def test_core_classes_documented(self, name):
+        obj = getattr(repro, name)
+        assert inspect.isclass(obj)
+        assert obj.__doc__, f"{name} has no docstring"
+
+    def test_public_functions_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj):
+                assert obj.__doc__, f"function {name} has no docstring"
+
+    def test_exceptions_exported(self):
+        assert issubclass(repro.SamplingError, repro.ReproError)
+
+
+class TestModuleDocstrings:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.schema",
+            "repro.data",
+            "repro.data.table",
+            "repro.data.masks",
+            "repro.data.generators",
+            "repro.data.binning",
+            "repro.context",
+            "repro.context.context",
+            "repro.context.space",
+            "repro.context.graph",
+            "repro.outliers",
+            "repro.mechanisms",
+            "repro.mechanisms.exponential",
+            "repro.mechanisms.ocdp",
+            "repro.mechanisms.accounting",
+            "repro.core",
+            "repro.core.pcor",
+            "repro.core.verification",
+            "repro.core.enumeration",
+            "repro.core.reference",
+            "repro.experiments",
+            "repro.analysis",
+            "repro.cli",
+        ],
+    )
+    def test_module_has_docstring(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{module_name} lacks a module docstring"
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for the reference file (Section 6.2)."""
+
+import pytest
+
+from repro.context import ContextSpace
+from repro.core.reference import ReferenceFile
+from repro.core.utility import PopulationSizeUtility
+from repro.exceptions import EnumerationError
+
+
+class TestBuild:
+    def test_covers_every_valid_context(self, mini_reference, mini_schema):
+        space = ContextSpace(mini_schema)
+        assert len(mini_reference) == space.n_structurally_valid
+        for ctx in space.enumerate_valid():
+            assert ctx.bits in mini_reference
+
+    def test_population_sizes_match_verifier(self, mini_reference, mini_verifier):
+        for bits in list(mini_reference._entries)[:50]:
+            assert mini_reference.population_size(bits) == mini_verifier.population_size(bits)
+
+    def test_outlier_lists_match_verifier(self, mini_reference, mini_verifier):
+        for bits in list(mini_reference._entries)[:50]:
+            entry = mini_reference.entry(bits)
+            assert frozenset(entry.outlier_ids) == mini_verifier.outlier_ids(bits)
+
+    def test_invalid_context_not_included(self, mini_reference):
+        with pytest.raises(EnumerationError, match="not in reference"):
+            mini_reference.entry(0)  # empty context is structurally invalid
+
+
+class TestQueries:
+    def test_outlier_records_sorted_unique(self, mini_reference):
+        records = mini_reference.outlier_records()
+        assert records == sorted(set(records))
+        assert len(records) > 0
+
+    def test_matching_contexts_consistent_with_entries(self, mini_reference, mini_outlier):
+        for bits in mini_reference.matching_contexts(mini_outlier):
+            assert mini_outlier in mini_reference.entry(bits).outlier_ids
+
+    def test_max_population_utility(self, mini_reference, mini_outlier):
+        matching = mini_reference.matching_contexts(mini_outlier)
+        expected = max(mini_reference.population_size(b) for b in matching)
+        assert mini_reference.max_population_utility(mini_outlier) == float(expected)
+
+    def test_max_population_utility_no_contexts(self, mini_reference, mini_dataset):
+        outliers = set(mini_reference.outlier_records())
+        normal = next(int(r) for r in mini_dataset.ids if int(r) not in outliers)
+        assert mini_reference.max_population_utility(normal) == 0.0
+
+    def test_max_utility_generic(self, mini_reference, mini_verifier, mini_outlier):
+        util = PopulationSizeUtility(mini_verifier, mini_outlier)
+        assert mini_reference.max_utility(
+            mini_outlier, util
+        ) == mini_reference.max_population_utility(mini_outlier)
+
+    def test_coe_equals_matching_set(self, mini_reference, mini_outlier):
+        assert mini_reference.coe(mini_outlier) == frozenset(
+            mini_reference.matching_contexts(mini_outlier)
+        )
+
+
+class TestSerialization:
+    def test_json_round_trip(self, mini_reference, tmp_path):
+        path = tmp_path / "reference.json"
+        mini_reference.to_json(path)
+        loaded = ReferenceFile.from_json(path)
+        assert len(loaded) == len(mini_reference)
+        assert loaded.schema == mini_reference.schema
+        assert loaded.outlier_records() == mini_reference.outlier_records()
+        for bits in list(mini_reference._entries)[:20]:
+            assert loaded.entry(bits) == mini_reference.entry(bits)

@@ -1,0 +1,51 @@
+"""Unit tests for ASCII table / histogram rendering."""
+
+from repro.experiments.reporting import render_histogram, render_table
+
+
+class TestRenderTable:
+    def test_contains_title_headers_and_rows(self):
+        out = render_table(
+            "Table X: demo",
+            ["Algorithm", "Utility"],
+            [["BFS", "0.90"], ["DFS", "0.88"]],
+        )
+        assert "Table X: demo" in out
+        assert "Algorithm" in out and "Utility" in out
+        assert "BFS" in out and "0.90" in out
+
+    def test_column_alignment(self):
+        out = render_table("T", ["A", "B"], [["xx", "y"], ["x", "yy"]])
+        lines = [l for l in out.splitlines() if "|" in l]
+        # All rows share the same separator position.
+        positions = {line.index("|") for line in lines}
+        assert len(positions) == 1
+
+    def test_notes_appended(self):
+        out = render_table("T", ["A"], [["x"]], notes="scaled down 10x")
+        assert out.endswith("scaled down 10x")
+
+    def test_non_string_cells_coerced(self):
+        out = render_table("T", ["A", "B"], [[1, 2.5]])
+        assert "1" in out and "2.5" in out
+
+
+class TestRenderHistogram:
+    def test_contains_bars_and_stats(self):
+        out = render_histogram([0.1, 0.1, 0.9], bins=2, label="demo")
+        assert "demo" in out
+        assert "#" in out
+        assert "n=3" in out
+        assert "mean=" in out
+
+    def test_bar_lengths_proportional(self):
+        out = render_histogram([0.1] * 10 + [0.9], bins=2, width=20)
+        lines = [l for l in out.splitlines() if "#" in l]
+        big = max(lines, key=lambda l: l.count("#"))
+        small = min(lines, key=lambda l: l.count("#"))
+        assert big.count("#") == 20
+        assert small.count("#") == 2
+
+    def test_fixed_range_edges(self):
+        out = render_histogram([0.5], bins=4, value_range=(0.0, 1.0))
+        assert "[         0," in out

@@ -1,0 +1,75 @@
+"""Unit tests for RNG plumbing and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import exceptions
+from repro.rng import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        gen = ensure_rng(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(ensure_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        children = spawn(ensure_rng(0), 2)
+        assert not np.array_equal(children[0].random(10), children[1].random(10))
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn(ensure_rng(3), 4)]
+        b = [g.random() for g in spawn(ensure_rng(3), 4)]
+        assert a == b
+
+    def test_spawn_zero(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            exceptions.SchemaError,
+            exceptions.DatasetError,
+            exceptions.ContextError,
+            exceptions.PrivacyBudgetError,
+            exceptions.MechanismError,
+            exceptions.SamplingError,
+            exceptions.VerificationError,
+            exceptions.EnumerationError,
+            exceptions.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, exceptions.ReproError)
+        with pytest.raises(exceptions.ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(exceptions.ReproError, Exception)

@@ -1,0 +1,223 @@
+"""Unit tests for the four samplers (Algorithms 2-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import BFSSampler, DFSSampler, RandomWalkSampler, UniformSampler
+from repro.core.starting import starting_context_from_reference
+from repro.core.utility import PopulationSizeUtility
+from repro.exceptions import SamplingError
+from repro.mechanisms.accounting import epsilon_one_for
+from repro.mechanisms.exponential import ExponentialMechanism
+
+ALL_SAMPLERS = [
+    UniformSampler(n_samples=12),
+    RandomWalkSampler(n_samples=12),
+    DFSSampler(n_samples=12),
+    BFSSampler(n_samples=12),
+]
+
+
+@pytest.fixture(scope="module")
+def starting_bits(mini_reference, mini_outlier):
+    return starting_context_from_reference(
+        mini_reference, mini_outlier, np.random.default_rng(0)
+    ).bits
+
+
+@pytest.fixture()
+def mechanism():
+    return ExponentialMechanism(epsilon_one_for("bfs", 0.2, 12))
+
+
+def run_sampler(sampler, verifier, record_id, starting_bits, mechanism, seed=0):
+    utility = PopulationSizeUtility(verifier, record_id)
+    return sampler.sample(
+        verifier, utility, record_id, starting_bits,
+        mechanism, np.random.default_rng(seed),
+    )
+
+
+@pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+class TestAllSamplers:
+    def test_candidates_all_matching(
+        self, sampler, mini_verifier, mini_outlier, starting_bits, mechanism
+    ):
+        run = run_sampler(sampler, mini_verifier, mini_outlier, starting_bits, mechanism)
+        assert run.candidates
+        for bits in run.candidates:
+            assert mini_verifier.is_matching(bits, mini_outlier)
+
+    def test_pool_size_bounded_by_n(
+        self, sampler, mini_verifier, mini_outlier, starting_bits, mechanism
+    ):
+        run = run_sampler(sampler, mini_verifier, mini_outlier, starting_bits, mechanism)
+        assert len(run.candidates) <= sampler.n_samples
+
+    def test_deterministic_given_seed(
+        self, sampler, mini_verifier, mini_outlier, starting_bits, mechanism
+    ):
+        a = run_sampler(sampler, mini_verifier, mini_outlier, starting_bits, mechanism, seed=7)
+        b = run_sampler(sampler, mini_verifier, mini_outlier, starting_bits, mechanism, seed=7)
+        assert a.candidates == b.candidates
+
+    def test_stats_populated(
+        self, sampler, mini_verifier, mini_outlier, starting_bits, mechanism
+    ):
+        run = run_sampler(sampler, mini_verifier, mini_outlier, starting_bits, mechanism)
+        assert run.stats.candidates_collected == len(run.candidates)
+        assert run.stats.contexts_examined > 0
+
+    def test_n_samples_validation(self, sampler):
+        with pytest.raises(SamplingError):
+            type(sampler)(n_samples=0)
+
+
+class TestUniform:
+    def test_no_starting_context_needed(self, mini_verifier, mini_outlier, mechanism, rng):
+        sampler = UniformSampler(n_samples=5)
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        run = sampler.sample(mini_verifier, utility, mini_outlier, None, mechanism, rng)
+        assert len(run.candidates) == 5
+
+    def test_max_draws_enforced(self, mini_verifier, mini_reference, mini_dataset, mechanism, rng):
+        outliers = set(mini_reference.outlier_records())
+        normal = next(int(r) for r in mini_dataset.ids if int(r) not in outliers)
+        sampler = UniformSampler(n_samples=5, max_draws=200)
+        utility = PopulationSizeUtility(mini_verifier, normal)
+        with pytest.raises(SamplingError, match="too sparse"):
+            sampler.sample(mini_verifier, utility, normal, None, mechanism, rng)
+
+    def test_bad_parameters(self):
+        with pytest.raises(SamplingError):
+            UniformSampler(p=0.0)
+        with pytest.raises(SamplingError):
+            UniformSampler(max_draws=0)
+
+    def test_draw_count_in_expected_range(
+        self, mini_verifier, mini_reference, mini_outlier, mechanism
+    ):
+        """Theorem 5.2: expected draws ~ n * 2^t / N."""
+        n_matching = len(mini_reference.matching_contexts(mini_outlier))
+        t = mini_verifier.schema.t
+        sampler = UniformSampler(n_samples=10)
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        draws = []
+        for seed in range(10):
+            run = sampler.sample(
+                mini_verifier, utility, mini_outlier, None,
+                mechanism, np.random.default_rng(seed),
+            )
+            draws.append(run.stats.steps)
+        expected = 10 * (2**t) / n_matching
+        assert np.mean(draws) < 10 * expected  # loose sanity bound
+        assert np.mean(draws) > expected / 10
+
+
+class TestRandomWalk:
+    def test_needs_starting_context(self, mini_verifier, mini_outlier, mechanism, rng):
+        sampler = RandomWalkSampler(n_samples=5)
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        with pytest.raises(SamplingError, match="starting context"):
+            sampler.sample(mini_verifier, utility, mini_outlier, None, mechanism, rng)
+
+    def test_pool_starts_with_cv(
+        self, mini_verifier, mini_outlier, starting_bits, mechanism, rng
+    ):
+        sampler = RandomWalkSampler(n_samples=5)
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        run = sampler.sample(
+            mini_verifier, utility, mini_outlier, starting_bits, mechanism, rng
+        )
+        assert run.candidates[0] == starting_bits
+
+    def test_walk_is_connected_path(
+        self, mini_verifier, mini_outlier, starting_bits, mechanism, rng
+    ):
+        sampler = RandomWalkSampler(n_samples=8)
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        run = sampler.sample(
+            mini_verifier, utility, mini_outlier, starting_bits, mechanism, rng
+        )
+        for a, b in zip(run.candidates, run.candidates[1:]):
+            assert (a ^ b).bit_count() == 1  # consecutive samples connected
+
+    def test_multiset_repeats_allowed(
+        self, mini_verifier, mini_outlier, starting_bits, mechanism
+    ):
+        """Long walks on small matching sets must revisit contexts."""
+        sampler = RandomWalkSampler(n_samples=12)
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        seen_repeat = False
+        for seed in range(10):
+            run = sampler.sample(
+                mini_verifier, utility, mini_outlier, starting_bits,
+                mechanism, np.random.default_rng(seed),
+            )
+            if len(set(run.candidates)) < len(run.candidates):
+                seen_repeat = True
+                break
+        assert seen_repeat
+
+
+class TestSearchSamplers:
+    @pytest.mark.parametrize("cls", [DFSSampler, BFSSampler])
+    def test_needs_starting_context(self, cls, mini_verifier, mini_outlier, mechanism, rng):
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        with pytest.raises(SamplingError, match="starting context"):
+            cls(n_samples=5).sample(
+                mini_verifier, utility, mini_outlier, None, mechanism, rng
+            )
+
+    @pytest.mark.parametrize("cls", [DFSSampler, BFSSampler])
+    def test_no_duplicate_visits(
+        self, cls, mini_verifier, mini_outlier, starting_bits, mechanism, rng
+    ):
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        run = cls(n_samples=12).sample(
+            mini_verifier, utility, mini_outlier, starting_bits, mechanism, rng
+        )
+        assert len(set(run.candidates)) == len(run.candidates)
+
+    @pytest.mark.parametrize("cls", [DFSSampler, BFSSampler])
+    def test_visits_start_first(
+        self, cls, mini_verifier, mini_outlier, starting_bits, mechanism, rng
+    ):
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        run = cls(n_samples=6).sample(
+            mini_verifier, utility, mini_outlier, starting_bits, mechanism, rng
+        )
+        assert run.candidates[0] == starting_bits
+
+    @pytest.mark.parametrize("cls", [DFSSampler, BFSSampler])
+    def test_mechanism_invocations_counted(
+        self, cls, mini_verifier, mini_outlier, starting_bits, mechanism, rng
+    ):
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        run = cls(n_samples=8).sample(
+            mini_verifier, utility, mini_outlier, starting_bits, mechanism, rng
+        )
+        # Internal Exp draws happen during collection (Algorithms 4 & 5).
+        assert run.stats.mechanism_invocations >= 1
+
+    def test_dfs_visits_connected_region(
+        self, mini_verifier, mini_outlier, starting_bits, mechanism, rng
+    ):
+        """Every DFS-visited context is reachable from C_V inside the COE."""
+        utility = PopulationSizeUtility(mini_verifier, mini_outlier)
+        run = DFSSampler(n_samples=12).sample(
+            mini_verifier, utility, mini_outlier, starting_bits, mechanism, rng
+        )
+        visited = set(run.candidates)
+        # BFS closure from the start within matching contexts.
+        t = mini_verifier.schema.t
+        reachable = {starting_bits}
+        frontier = [starting_bits]
+        while frontier:
+            cur = frontier.pop()
+            for bit in range(t):
+                nb = cur ^ (1 << bit)
+                if nb not in reachable and mini_verifier.is_matching(nb, mini_outlier):
+                    reachable.add(nb)
+                    frontier.append(nb)
+        assert visited <= reachable

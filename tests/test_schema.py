@@ -1,0 +1,188 @@
+"""Unit tests for the schema layer (attributes, bit layout, predicates)."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.schema import CategoricalAttribute, MetricAttribute, Predicate, Schema
+
+
+def make_schema() -> Schema:
+    return Schema(
+        attributes=[
+            CategoricalAttribute("Jobtitle", ["CEO", "MedicalDoctor", "Lawyer"]),
+            CategoricalAttribute("City", ["Montreal", "Ottawa", "Toronto"]),
+            CategoricalAttribute("District", ["Business", "Historic", "Diplomatic"]),
+        ],
+        metric=MetricAttribute("Salary"),
+    )
+
+
+class TestCategoricalAttribute:
+    def test_domain_preserved_in_order(self):
+        attr = CategoricalAttribute("A", ["x", "y", "z"])
+        assert attr.domain == ("x", "y", "z")
+
+    def test_len_is_domain_size(self):
+        assert len(CategoricalAttribute("A", ["x", "y"])) == 2
+
+    def test_index_of(self):
+        attr = CategoricalAttribute("A", ["x", "y", "z"])
+        assert attr.index_of("y") == 1
+
+    def test_index_of_missing_value_raises(self):
+        attr = CategoricalAttribute("A", ["x"])
+        with pytest.raises(SchemaError, match="not in domain"):
+            attr.index_of("nope")
+
+    def test_contains(self):
+        attr = CategoricalAttribute("A", ["x", "y"])
+        assert "x" in attr
+        assert "w" not in attr
+
+    def test_values_coerced_to_str(self):
+        attr = CategoricalAttribute("Year", [2012, 2013])
+        assert attr.domain == ("2012", "2013")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError, match="empty domain"):
+            CategoricalAttribute("A", [])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            CategoricalAttribute("A", ["x", "x"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            CategoricalAttribute("", ["x"])
+
+
+class TestMetricAttribute:
+    def test_name(self):
+        assert MetricAttribute("Salary").name == "Salary"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            MetricAttribute("")
+
+
+class TestSchemaLayout:
+    def test_m_and_t(self):
+        schema = make_schema()
+        assert schema.m == 3
+        assert schema.t == 9
+
+    def test_offsets(self):
+        assert make_schema().offsets == (0, 3, 6)
+
+    def test_block_masks(self):
+        schema = make_schema()
+        assert schema.block_masks == (0b000000111, 0b000111000, 0b111000000)
+
+    def test_full_bits(self):
+        assert make_schema().full_bits == (1 << 9) - 1
+
+    def test_metric_from_string(self):
+        schema = Schema(
+            attributes=[CategoricalAttribute("A", ["x"])], metric="Value"
+        )
+        assert schema.metric.name == "Value"
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError, match="at least one"):
+            Schema(attributes=[], metric="M")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(
+                attributes=[
+                    CategoricalAttribute("A", ["x"]),
+                    CategoricalAttribute("A", ["y"]),
+                ],
+                metric="M",
+            )
+
+    def test_metric_name_collision_rejected(self):
+        with pytest.raises(SchemaError, match="collides"):
+            Schema(
+                attributes=[CategoricalAttribute("A", ["x"])],
+                metric=MetricAttribute("A"),
+            )
+
+
+class TestSchemaAccess:
+    def test_attribute_lookup(self):
+        schema = make_schema()
+        assert schema.attribute("City").name == "City"
+
+    def test_attribute_lookup_missing(self):
+        with pytest.raises(SchemaError, match="no attribute"):
+            make_schema().attribute("Nope")
+
+    def test_attribute_index(self):
+        assert make_schema().attribute_index("District") == 2
+
+    def test_bit_for(self):
+        schema = make_schema()
+        # City=Toronto is the paper's P23: attribute 2 (1-indexed), value 3.
+        assert schema.bit_for("City", "Toronto") == 5
+
+    def test_predicate_at_round_trip(self):
+        schema = make_schema()
+        for bit in range(schema.t):
+            pred = schema.predicate_at(bit)
+            assert isinstance(pred, Predicate)
+            assert schema.bit_for(pred.attribute, pred.value) == bit
+
+    def test_predicate_at_out_of_range(self):
+        with pytest.raises(SchemaError, match="out of range"):
+            make_schema().predicate_at(9)
+
+    def test_predicates_iterates_all(self):
+        schema = make_schema()
+        preds = list(schema.predicates())
+        assert len(preds) == schema.t
+        assert [p.bit for p in preds] == list(range(schema.t))
+
+    def test_attribute_of_bit(self):
+        schema = make_schema()
+        assert schema.attribute_of_bit(0) == 0
+        assert schema.attribute_of_bit(3) == 1
+        assert schema.attribute_of_bit(8) == 2
+
+    def test_attribute_of_bit_out_of_range(self):
+        with pytest.raises(SchemaError):
+            make_schema().attribute_of_bit(-1)
+
+
+class TestRecordBits:
+    def test_record_bits_sets_one_bit_per_attribute(self):
+        schema = make_schema()
+        bits = schema.record_bits(
+            {"Jobtitle": "Lawyer", "City": "Ottawa", "District": "Diplomatic"}
+        )
+        assert bits.bit_count() == schema.m
+        assert (bits >> schema.bit_for("Jobtitle", "Lawyer")) & 1
+        assert (bits >> schema.bit_for("City", "Ottawa")) & 1
+        assert (bits >> schema.bit_for("District", "Diplomatic")) & 1
+
+    def test_record_bits_missing_attribute(self):
+        with pytest.raises(SchemaError, match="missing attribute"):
+            make_schema().record_bits({"Jobtitle": "CEO"})
+
+    def test_record_bits_unknown_value(self):
+        with pytest.raises(SchemaError, match="not in domain"):
+            make_schema().record_bits(
+                {"Jobtitle": "Baker", "City": "Ottawa", "District": "Business"}
+            )
+
+
+class TestSchemaSerialization:
+    def test_round_trip(self):
+        schema = make_schema()
+        clone = Schema.from_dict(schema.to_dict())
+        assert clone == schema
+
+    def test_describe_mentions_every_attribute(self):
+        text = make_schema().describe()
+        for name in ("Jobtitle", "City", "District", "Salary"):
+            assert name in text

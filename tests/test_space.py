@@ -1,0 +1,121 @@
+"""Unit tests for ContextSpace enumeration and sampling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.context import Context, ContextSpace
+from repro.exceptions import EnumerationError
+from repro.schema import CategoricalAttribute, MetricAttribute, Schema
+
+
+@pytest.fixture(scope="module")
+def schema() -> Schema:
+    return Schema(
+        attributes=[
+            CategoricalAttribute("A", ["a1", "a2"]),
+            CategoricalAttribute("B", ["b1", "b2", "b3"]),
+        ],
+        metric=MetricAttribute("M"),
+    )
+
+
+@pytest.fixture(scope="module")
+def space(schema) -> ContextSpace:
+    return ContextSpace(schema)
+
+
+class TestCounts:
+    def test_size(self, space):
+        assert space.size == 2**5
+
+    def test_n_structurally_valid(self, space):
+        # (2^2 - 1) * (2^3 - 1) = 3 * 7
+        assert space.n_structurally_valid == 21
+
+    def test_log2_size(self, space):
+        assert space.log2_size() == 5.0
+
+
+class TestEnumeration:
+    def test_enumerate_all_yields_every_bitmask(self, space):
+        bits = [c.bits for c in space.enumerate_all()]
+        assert bits == list(range(32))
+
+    def test_enumerate_valid_matches_filter(self, space):
+        via_enumerate = {c.bits for c in space.enumerate_valid()}
+        via_filter = {
+            c.bits for c in space.enumerate_all() if c.is_structurally_valid
+        }
+        assert via_enumerate == via_filter
+        assert len(via_enumerate) == space.n_structurally_valid
+
+    def test_enumerate_containing(self, space, schema):
+        record_bits = schema.record_bits({"A": "a1", "B": "b2"})
+        containing = [c.bits for c in space.enumerate_containing(record_bits)]
+        assert len(containing) == 2 ** (schema.t - schema.m)
+        assert all((record_bits & b) == record_bits for b in containing)
+        # Every containing context is structurally valid by construction.
+        assert all(Context(schema, b).is_structurally_valid for b in containing)
+
+    def test_enumerate_all_refuses_above_limit(self, space):
+        with pytest.raises(EnumerationError, match="refused"):
+            list(space.enumerate_all(limit=4))
+
+    def test_enumerate_valid_refuses_above_limit(self, space):
+        with pytest.raises(EnumerationError, match="refused"):
+            list(space.enumerate_valid(limit=4))
+
+    def test_enumerate_containing_refuses_above_limit(self, space, schema):
+        record_bits = schema.record_bits({"A": "a1", "B": "b2"})
+        with pytest.raises(EnumerationError, match="refused"):
+            list(space.enumerate_containing(record_bits, limit=2))
+
+    def test_no_limit_allows_enumeration(self, space):
+        assert len(list(space.enumerate_all(limit=None))) == 32
+
+
+class TestSampling:
+    def test_random_context_in_range(self, space, rng):
+        for _ in range(50):
+            ctx = space.random_context(rng)
+            assert 0 <= ctx.bits < space.size
+
+    def test_random_context_p_extremes(self, space, rng):
+        assert space.random_context(rng, p=0.0).bits == 0
+        assert space.random_context(rng, p=1.0).bits == space.size - 1
+
+    def test_random_context_bad_p(self, space, rng):
+        with pytest.raises(ValueError):
+            space.random_context(rng, p=1.5)
+
+    def test_random_valid_context_is_valid(self, space, rng):
+        for _ in range(100):
+            assert space.random_valid_context(rng).is_structurally_valid
+
+    def test_random_valid_context_is_roughly_uniform(self, space):
+        gen = np.random.default_rng(7)
+        draws = [space.random_valid_context(gen).bits for _ in range(4200)]
+        counts = {}
+        for b in draws:
+            counts[b] = counts.get(b, 0) + 1
+        assert len(counts) == space.n_structurally_valid
+        # Expected 200 per context; allow generous slack.
+        assert min(counts.values()) > 120
+        assert max(counts.values()) < 300
+
+    def test_random_containing_contains_record(self, space, schema, rng):
+        record_bits = schema.record_bits({"A": "a2", "B": "b1"})
+        for _ in range(100):
+            ctx = space.random_containing(record_bits, rng)
+            assert (ctx.bits & record_bits) == record_bits
+
+
+class TestExpectedDraws:
+    def test_matches_theorem_5_2(self, space):
+        # n * 2^t / N
+        assert space.expected_uniform_draws(50, 10) == pytest.approx(50 * 32 / 10)
+
+    def test_zero_matching_is_infinite(self, space):
+        assert math.isinf(space.expected_uniform_draws(50, 0))

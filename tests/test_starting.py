@@ -1,0 +1,60 @@
+"""Unit tests for starting-context search."""
+
+import numpy as np
+import pytest
+
+from repro.core.starting import find_starting_context, starting_context_from_reference
+from repro.exceptions import SamplingError
+
+
+class TestLocalSearch:
+    def test_finds_matching_context(self, mini_verifier, mini_outlier, rng):
+        ctx = find_starting_context(mini_verifier, mini_outlier, rng)
+        assert mini_verifier.is_matching(ctx.bits, mini_outlier)
+
+    def test_result_contains_record(self, mini_verifier, mini_outlier, rng):
+        ctx = find_starting_context(mini_verifier, mini_outlier, rng)
+        record_bits = mini_verifier.dataset.record_bits(mini_outlier)
+        assert ctx.contains_record_bits(record_bits)
+
+    def test_raises_for_non_outlier(self, mini_verifier, mini_reference, mini_dataset, rng):
+        outliers = set(mini_reference.outlier_records())
+        normal = next(int(r) for r in mini_dataset.ids if int(r) not in outliers)
+        with pytest.raises(SamplingError, match="no matching context"):
+            find_starting_context(mini_verifier, normal, rng, max_steps=200)
+
+    def test_deterministic_for_seed(self, mini_verifier, mini_outlier):
+        a = find_starting_context(mini_verifier, mini_outlier, np.random.default_rng(9))
+        b = find_starting_context(mini_verifier, mini_outlier, np.random.default_rng(9))
+        assert a == b
+
+
+class TestFromReference:
+    def test_random_mode_returns_matching(self, mini_reference, mini_outlier, rng):
+        for _ in range(10):
+            ctx = starting_context_from_reference(mini_reference, mini_outlier, rng)
+            assert ctx.bits in mini_reference.coe(mini_outlier)
+
+    def test_min_mode(self, mini_reference, mini_outlier):
+        ctx = starting_context_from_reference(mini_reference, mini_outlier, mode="min")
+        matching = mini_reference.matching_contexts(mini_outlier)
+        assert mini_reference.population_size(ctx.bits) == min(
+            mini_reference.population_size(b) for b in matching
+        )
+
+    def test_max_mode(self, mini_reference, mini_outlier):
+        ctx = starting_context_from_reference(mini_reference, mini_outlier, mode="max")
+        matching = mini_reference.matching_contexts(mini_outlier)
+        assert mini_reference.population_size(ctx.bits) == max(
+            mini_reference.population_size(b) for b in matching
+        )
+
+    def test_unknown_mode(self, mini_reference, mini_outlier):
+        with pytest.raises(SamplingError, match="unknown"):
+            starting_context_from_reference(mini_reference, mini_outlier, mode="best")
+
+    def test_record_without_contexts(self, mini_reference, mini_dataset):
+        outliers = set(mini_reference.outlier_records())
+        normal = next(int(r) for r in mini_dataset.ids if int(r) not in outliers)
+        with pytest.raises(SamplingError, match="no matching context"):
+            starting_context_from_reference(mini_reference, normal)

@@ -1,0 +1,118 @@
+"""Unit tests for experiment statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import (
+    format_duration,
+    histogram_series,
+    summarize_runtimes,
+    summarize_utilities,
+)
+
+
+class TestUtilitySummary:
+    def test_mean(self):
+        s = summarize_utilities([0.8, 0.9, 1.0])
+        assert s.mean == pytest.approx(0.9)
+        assert s.n == 3
+
+    def test_ci_contains_mean(self):
+        s = summarize_utilities([0.5, 0.7, 0.9, 0.6, 0.8])
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_ci_narrows_with_samples(self):
+        gen = np.random.default_rng(0)
+        small = summarize_utilities(gen.normal(0.8, 0.1, size=10))
+        large = summarize_utilities(gen.normal(0.8, 0.1, size=1000))
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_higher_confidence_wider_interval(self):
+        data = list(np.random.default_rng(1).normal(0.5, 0.2, size=50))
+        narrow = summarize_utilities(data, confidence=0.5)
+        wide = summarize_utilities(data, confidence=0.99)
+        assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+
+    def test_single_sample_degenerate(self):
+        s = summarize_utilities([0.7])
+        assert s.mean == s.ci_low == s.ci_high == 0.7
+
+    def test_coverage_of_90_ci(self):
+        """The 90% t-interval actually covers the true mean ~90% of the time."""
+        gen = np.random.default_rng(7)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = gen.normal(0.8, 0.1, size=25)
+            s = summarize_utilities(sample, confidence=0.90)
+            if s.ci_low <= 0.8 <= s.ci_high:
+                hits += 1
+        assert 0.85 <= hits / trials <= 0.95
+
+    def test_as_row_format(self):
+        row = summarize_utilities([0.9, 0.9, 0.9]).as_row()
+        assert row[0] == "0.90"
+        assert row[1].startswith("(")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_utilities([])
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            summarize_utilities([0.5], confidence=1.5)
+
+
+class TestRuntimeSummary:
+    def test_min_max_avg(self):
+        s = summarize_runtimes([1.0, 3.0, 2.0])
+        assert s.t_min == 1.0
+        assert s.t_max == 3.0
+        assert s.t_avg == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runtimes([])
+
+    def test_as_row_is_humanised(self):
+        row = summarize_runtimes([0.5, 1.5]).as_row()
+        assert row[0] == "500.0ms"
+        assert row[1] == "1.50s"
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(5e-6) == "5us"
+
+    def test_milliseconds(self):
+        assert format_duration(0.0123) == "12.3ms"
+
+    def test_seconds(self):
+        assert format_duration(42.5) == "42.50s"
+
+    def test_minutes(self):
+        assert format_duration(3600.0) == "60.0m"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+
+class TestHistogramSeries:
+    def test_counts_sum_to_n(self):
+        counts, edges = histogram_series([0.1, 0.2, 0.9], bins=5)
+        assert counts.sum() == 3
+        assert len(edges) == 6
+
+    def test_fixed_range(self):
+        counts, edges = histogram_series([0.5], bins=10, value_range=(0.0, 1.0))
+        assert edges[0] == 0.0
+        assert edges[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_series([])
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            histogram_series([1.0], bins=0)

@@ -1,0 +1,175 @@
+"""Unit tests for the column-store Dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.exceptions import DatasetError
+from repro.schema import CategoricalAttribute, MetricAttribute, Schema
+
+
+@pytest.fixture(scope="module")
+def schema() -> Schema:
+    return Schema(
+        attributes=[
+            CategoricalAttribute("Color", ["red", "green", "blue"]),
+            CategoricalAttribute("Size", ["S", "M", "L"]),
+        ],
+        metric=MetricAttribute("Weight"),
+    )
+
+
+@pytest.fixture()
+def dataset(schema) -> Dataset:
+    return Dataset(
+        schema,
+        columns={
+            "Color": ["red", "green", "blue", "red"],
+            "Size": ["S", "M", "L", "M"],
+        },
+        metric_values=[1.0, 2.0, 3.0, 4.0],
+    )
+
+
+class TestConstruction:
+    def test_len(self, dataset):
+        assert len(dataset) == 4
+        assert dataset.n_records == 4
+
+    def test_default_ids(self, dataset):
+        assert list(dataset.ids) == [0, 1, 2, 3]
+
+    def test_explicit_ids(self, schema):
+        ds = Dataset(
+            schema,
+            columns={"Color": ["red"], "Size": ["S"]},
+            metric_values=[1.0],
+            ids=[42],
+        )
+        assert list(ds.ids) == [42]
+        assert ds.position_of(42) == 0
+
+    def test_from_records(self, schema):
+        ds = Dataset.from_records(
+            schema,
+            [
+                {"Color": "red", "Size": "S", "Weight": 1.5},
+                {"Color": "blue", "Size": "L", "Weight": 2.5},
+            ],
+        )
+        assert len(ds) == 2
+        assert ds.record(1)["Color"] == "blue"
+
+    def test_missing_column_rejected(self, schema):
+        with pytest.raises(DatasetError, match="missing column"):
+            Dataset(schema, columns={"Color": ["red"]}, metric_values=[1.0])
+
+    def test_length_mismatch_rejected(self, schema):
+        with pytest.raises(DatasetError, match="rows"):
+            Dataset(
+                schema,
+                columns={"Color": ["red", "green"], "Size": ["S"]},
+                metric_values=[1.0, 2.0],
+            )
+
+    def test_unknown_value_rejected(self, schema):
+        with pytest.raises(DatasetError, match="not in domain"):
+            Dataset(
+                schema,
+                columns={"Color": ["purple"], "Size": ["S"]},
+                metric_values=[1.0],
+            )
+
+    def test_non_finite_metric_rejected(self, schema):
+        with pytest.raises(DatasetError, match="non-finite"):
+            Dataset(
+                schema,
+                columns={"Color": ["red"], "Size": ["S"]},
+                metric_values=[float("nan")],
+            )
+
+    def test_duplicate_ids_rejected(self, schema):
+        with pytest.raises(DatasetError, match="unique"):
+            Dataset(
+                schema,
+                columns={"Color": ["red", "red"], "Size": ["S", "S"]},
+                metric_values=[1.0, 2.0],
+                ids=[1, 1],
+            )
+
+    def test_missing_metric_in_record(self, schema):
+        with pytest.raises(DatasetError, match="missing metric"):
+            Dataset.from_records(schema, [{"Color": "red", "Size": "S"}])
+
+
+class TestAccess:
+    def test_metric_view_read_only(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.metric[0] = 99.0
+
+    def test_codes(self, dataset):
+        assert list(dataset.codes("Color")) == [0, 1, 2, 0]
+
+    def test_codes_unknown_column(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.codes("Nope")
+
+    def test_record_materialisation(self, dataset):
+        rec = dataset.record(2)
+        assert rec == {"Color": "blue", "Size": "L", "Weight": 3.0}
+
+    def test_record_unknown_id(self, dataset):
+        with pytest.raises(DatasetError, match="no record"):
+            dataset.record(99)
+
+    def test_has_record(self, dataset):
+        assert dataset.has_record(0)
+        assert not dataset.has_record(99)
+
+    def test_iter_records(self, dataset):
+        rows = list(dataset.iter_records())
+        assert len(rows) == 4
+        assert rows[0][0] == 0
+        assert rows[0][1]["Color"] == "red"
+
+
+class TestRecordBits:
+    def test_record_bits_match_schema(self, dataset, schema):
+        bits = dataset.record_bits(3)
+        assert bits == schema.record_bits({"Color": "red", "Size": "M"})
+
+    def test_all_record_bits_have_weight_m(self, dataset, schema):
+        for bits in dataset.all_record_bits():
+            assert int(bits).bit_count() == schema.m
+
+
+class TestImmutability:
+    def test_without_records_drops_and_preserves_ids(self, dataset):
+        smaller = dataset.without_records([1])
+        assert len(smaller) == 3
+        assert list(smaller.ids) == [0, 2, 3]
+        assert smaller.record(2)["Color"] == "blue"
+        # Original untouched.
+        assert len(dataset) == 4
+
+    def test_without_positions_out_of_range(self, dataset):
+        with pytest.raises(DatasetError, match="out of range"):
+            dataset.without_positions([10])
+
+    def test_with_records_appends_fresh_ids(self, dataset):
+        bigger = dataset.with_records(
+            [{"Color": "green", "Size": "S", "Weight": 9.0}]
+        )
+        assert len(bigger) == 5
+        assert list(bigger.ids) == [0, 1, 2, 3, 4]
+        assert bigger.record(4)["Weight"] == 9.0
+
+    def test_with_records_empty_noop(self, dataset):
+        assert dataset.with_records([]) is dataset
+
+    def test_add_after_remove_does_not_reuse_ids(self, dataset):
+        ds = dataset.without_records([3]).with_records(
+            [{"Color": "red", "Size": "S", "Weight": 5.0}]
+        )
+        # Record 3 was removed; the new record must NOT resurrect id 3.
+        assert sorted(int(i) for i in ds.ids) == [0, 1, 2, 4]

@@ -1,0 +1,125 @@
+"""Unit tests for the cached outlier verifier (f_M)."""
+
+import numpy as np
+import pytest
+
+from repro.core.verification import OutlierVerifier
+from repro.data.masks import PredicateMaskIndex
+from repro.exceptions import VerificationError
+from repro.outliers.zscore import ZScoreDetector
+
+
+class TestProfiles:
+    def test_full_context_profile(self, mini_dataset, mini_detector):
+        verifier = OutlierVerifier(mini_dataset, mini_detector)
+        pop, outliers = verifier.context_profile(mini_dataset.schema.full_bits)
+        assert pop == len(mini_dataset)
+        # Outlier ids must be real record ids.
+        for rid in outliers:
+            assert mini_dataset.has_record(rid)
+
+    def test_empty_context_profile(self, mini_dataset, mini_detector):
+        verifier = OutlierVerifier(mini_dataset, mini_detector)
+        pop, outliers = verifier.context_profile(0)
+        assert pop == 0
+        assert outliers == frozenset()
+
+    def test_profile_matches_direct_detector_run(self, mini_dataset, mini_detector):
+        verifier = OutlierVerifier(mini_dataset, mini_detector)
+        bits = mini_dataset.schema.full_bits
+        _, outliers = verifier.context_profile(bits)
+        positions = mini_detector.outlier_positions(mini_dataset.metric)
+        expected = frozenset(int(mini_dataset.ids[p]) for p in positions)
+        assert outliers == expected
+
+    def test_population_size_shortcut(self, mini_verifier, mini_dataset):
+        assert (
+            mini_verifier.population_size(mini_dataset.schema.full_bits)
+            == len(mini_dataset)
+        )
+
+
+class TestCaching:
+    def test_second_profile_is_cached(self, mini_dataset, mini_detector):
+        verifier = OutlierVerifier(mini_dataset, mini_detector)
+        bits = mini_dataset.schema.full_bits
+        verifier.context_profile(bits)
+        evals = verifier.fm_evaluations
+        verifier.context_profile(bits)
+        assert verifier.fm_evaluations == evals
+
+    def test_cache_size_grows(self, mini_dataset, mini_detector):
+        verifier = OutlierVerifier(mini_dataset, mini_detector)
+        assert verifier.cache_size() == 0
+        verifier.context_profile(0b111_111_111)
+        verifier.context_profile(0b111_111_110)
+        assert verifier.cache_size() == 2
+
+    def test_clear_cache(self, mini_dataset, mini_detector):
+        verifier = OutlierVerifier(mini_dataset, mini_detector)
+        verifier.context_profile(0b111_111_111)
+        verifier.clear_cache()
+        assert verifier.cache_size() == 0
+
+    def test_reset_counters(self, mini_dataset, mini_detector):
+        verifier = OutlierVerifier(mini_dataset, mini_detector)
+        verifier.context_profile(0b111_111_111)
+        verifier.reset_counters()
+        assert verifier.fm_evaluations == 0
+        assert verifier.fm_queries == 0
+
+
+class TestIsMatching:
+    def test_requires_containment(self, mini_verifier, mini_dataset):
+        rid = int(mini_dataset.ids[0])
+        record_bits = mini_dataset.record_bits(rid)
+        # A context missing one of the record's own bits can never match.
+        lowest_bit = record_bits & -record_bits
+        bits = mini_dataset.schema.full_bits & ~lowest_bit
+        assert not mini_verifier.is_matching(bits, rid)
+
+    def test_containment_shortcircuit_skips_detector(
+        self, mini_dataset, mini_detector
+    ):
+        verifier = OutlierVerifier(mini_dataset, mini_detector)
+        rid = int(mini_dataset.ids[0])
+        record_bits = mini_dataset.record_bits(rid)
+        lowest_bit = record_bits & -record_bits
+        bits = mini_dataset.schema.full_bits & ~lowest_bit
+        verifier.is_matching(bits, rid)
+        assert verifier.fm_evaluations == 0  # no profile computed
+
+    def test_matching_agrees_with_profile(self, mini_verifier, mini_reference, mini_outlier):
+        for bits in mini_reference.matching_contexts(mini_outlier)[:20]:
+            assert mini_verifier.is_matching(bits, mini_outlier)
+
+    def test_unknown_record_raises(self, mini_verifier, mini_dataset):
+        with pytest.raises(VerificationError, match="not in dataset"):
+            mini_verifier.is_matching(mini_dataset.schema.full_bits, 10_000)
+
+    def test_queries_counted(self, mini_dataset, mini_detector):
+        verifier = OutlierVerifier(mini_dataset, mini_detector)
+        rid = int(mini_dataset.ids[0])
+        verifier.is_matching(mini_dataset.schema.full_bits, rid)
+        verifier.is_matching(mini_dataset.schema.full_bits, rid)
+        assert verifier.fm_queries == 2
+
+
+class TestConstruction:
+    def test_shared_mask_index(self, mini_dataset, mini_detector):
+        index = PredicateMaskIndex(mini_dataset)
+        a = OutlierVerifier(mini_dataset, mini_detector, index)
+        b = OutlierVerifier(mini_dataset, mini_detector, index)
+        assert a.masks is b.masks
+
+    def test_foreign_mask_index_rejected(self, mini_dataset, mini_detector):
+        other = mini_dataset.without_records([int(mini_dataset.ids[0])])
+        index = PredicateMaskIndex(other)
+        with pytest.raises(VerificationError, match="different dataset"):
+            OutlierVerifier(mini_dataset, mini_detector, index)
+
+    def test_min_population_respected(self, mini_dataset):
+        detector = ZScoreDetector(z_threshold=0.1, min_population=10_000)
+        verifier = OutlierVerifier(mini_dataset, detector)
+        _, outliers = verifier.context_profile(mini_dataset.schema.full_bits)
+        assert outliers == frozenset()
