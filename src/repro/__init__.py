@@ -27,6 +27,7 @@ from repro.core import (
     PCOR,
     PCORResult,
     PopulationSizeUtility,
+    ProfileStore,
     RandomWalkSampler,
     ReferenceFile,
     Sampler,
@@ -123,6 +124,7 @@ __all__ = [
     "PCORResult",
     "DirectPCOR",
     "OutlierVerifier",
+    "ProfileStore",
     "COEEnumerator",
     "ReferenceFile",
     "UtilityFunction",

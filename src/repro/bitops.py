@@ -1,0 +1,151 @@
+"""Bit-packing kernels shared by the mask index and the context space.
+
+The batched verification engine keeps record masks as *bit-packed*
+``uint64`` words instead of per-record boolean arrays: a mask over ``n``
+records occupies ``ceil(n / 64)`` words, AND/OR become word-wise NumPy ops,
+and population counting is a single popcount pass.  Context bitmasks (which
+live as arbitrary-precision Python ints because ``t`` can exceed 64) convert
+to and from boolean selection rows through the same little-endian bit
+layout: bit ``i`` lives in word ``i >> 6`` at position ``i & 63``.
+
+Everything here is pure NumPy and allocation-light; the hot batch kernels in
+:mod:`repro.data.masks` are thin loops over these primitives.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+import numpy as np
+
+if sys.byteorder != "little":  # pragma: no cover - exotic platforms only
+    raise ImportError(
+        "repro.bitops packs masks by viewing little-endian byte buffers as "
+        "uint64 words; big-endian hosts would silently scramble record bits"
+    )
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+#: Bytes per packed word.
+WORD_BYTES = 8
+
+
+def words_for(n_bits: int) -> int:
+    """Number of 64-bit words needed to hold ``n_bits`` bits."""
+    return (int(n_bits) + WORD_BITS - 1) >> 6
+
+
+def pack_bool_matrix(rows: np.ndarray) -> np.ndarray:
+    """Pack a ``(r, n)`` boolean matrix into ``(r, ceil(n/64))`` uint64 rows.
+
+    Bit ``i`` of logical row ``k`` lands in ``out[k, i >> 6]`` at position
+    ``i & 63`` (little-endian bit order).  Padding bits beyond ``n`` are
+    zero, so popcounts over packed rows need no masking.
+    """
+    rows = np.ascontiguousarray(rows, dtype=bool)
+    if rows.ndim != 2:
+        raise ValueError(f"expected a 2-d boolean matrix, got ndim={rows.ndim}")
+    r, n = rows.shape
+    n_words = words_for(n)
+    padded = n_words * WORD_BITS
+    if padded != n:
+        rows = np.concatenate(
+            [rows, np.zeros((r, padded - n), dtype=bool)], axis=1
+        )
+    if n_words == 0:
+        return np.zeros((r, 0), dtype=np.uint64)
+    packed_bytes = np.packbits(rows, axis=1, bitorder="little")
+    # Native little-endian word view: byte 8w+b of a row holds bits
+    # 64w+8b .. 64w+8b+7.  (All supported platforms are little-endian.)
+    return packed_bytes.view(np.uint64)
+
+
+def unpack_words(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack one row of uint64 words back into an ``(n_bits,)`` bool array."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim != 1:
+        raise ValueError(f"expected a 1-d word row, got ndim={words.ndim}")
+    if n_bits == 0:
+        return np.zeros(0, dtype=bool)
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return bits[:n_bits].astype(bool)
+
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of a uint64 array (any shape)."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+    _POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of a uint64 array (any shape)."""
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        as_bytes = words.view(np.uint8).reshape(*words.shape, WORD_BYTES)
+        return _POP8[as_bytes].sum(axis=-1, dtype=np.uint64)
+
+
+def popcount_rows(matrix: np.ndarray) -> np.ndarray:
+    """Total popcount of each row of a ``(r, w)`` packed uint64 matrix."""
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    if matrix.shape[-1] == 0:
+        return np.zeros(matrix.shape[:-1], dtype=np.int64)
+    return popcount_words(matrix).sum(axis=-1, dtype=np.int64)
+
+
+# ------------------------------------------------------------- int <-> bits
+
+
+def int_to_bool(bits: int, n_bits: int) -> np.ndarray:
+    """Expand a non-negative Python int into an ``(n_bits,)`` bool array."""
+    if n_bits == 0:
+        return np.zeros(0, dtype=bool)
+    n_bytes = (n_bits + 7) >> 3
+    raw = np.frombuffer(int(bits).to_bytes(n_bytes, "little"), dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:n_bits].astype(bool)
+
+
+def bool_to_int(flags: np.ndarray) -> int:
+    """Collapse a boolean array back into a Python int (bit ``i`` = flag i)."""
+    flags = np.ascontiguousarray(flags, dtype=bool)
+    if flags.size == 0:
+        return 0
+    packed = np.packbits(flags, bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def ints_to_bool_matrix(bits_seq: Sequence[int], n_bits: int) -> np.ndarray:
+    """Expand a sequence of ints into a ``(len(seq), n_bits)`` bool matrix.
+
+    One buffer build + one vectorised :func:`numpy.unpackbits`, so decoding
+    a batch of contexts costs far less than per-bit Python loops.
+    """
+    n_rows = len(bits_seq)
+    if n_rows == 0 or n_bits == 0:
+        return np.zeros((n_rows, n_bits), dtype=bool)
+    n_bytes = (n_bits + 7) >> 3
+    buf = b"".join(int(b).to_bytes(n_bytes, "little") for b in bits_seq)
+    raw = np.frombuffer(buf, dtype=np.uint8).reshape(n_rows, n_bytes)
+    return np.unpackbits(raw, axis=1, bitorder="little")[:, :n_bits].astype(bool)
+
+
+def bool_matrix_to_ints(rows: np.ndarray) -> list[int]:
+    """Collapse each row of a ``(r, n)`` bool matrix into a Python int."""
+    rows = np.ascontiguousarray(rows, dtype=bool)
+    if rows.ndim != 2:
+        raise ValueError(f"expected a 2-d boolean matrix, got ndim={rows.ndim}")
+    if rows.shape[0] == 0:
+        return []
+    if rows.shape[1] == 0:
+        return [0] * rows.shape[0]
+    packed = np.packbits(rows, axis=1, bitorder="little")
+    stride = packed.shape[1]
+    blob = packed.tobytes()
+    return [
+        int.from_bytes(blob[k * stride : (k + 1) * stride], "little")
+        for k in range(rows.shape[0])
+    ]

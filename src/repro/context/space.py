@@ -9,10 +9,11 @@ file of Section 6.2.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro.bitops import bool_matrix_to_ints, bool_to_int, int_to_bool
 from repro.context.context import Context
 from repro.exceptions import EnumerationError
 from repro.rng import RngLike, ensure_rng
@@ -124,16 +125,31 @@ class ContextSpace:
     ) -> Context:
         """Draw a context with each bit set independently w.p. ``p``.
 
-        ``p = 0.5`` is the uniform draw of Algorithm 2.
+        ``p = 0.5`` is the uniform draw of Algorithm 2.  The ``t`` Bernoulli
+        draws collapse to a bitmask in a single vectorised pack.
         """
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p must be in [0, 1], got {p}")
         gen = ensure_rng(rng)
         draws = gen.random(self.schema.t) < p
-        bits = 0
-        for pos in np.flatnonzero(draws):
-            bits |= 1 << int(pos)
-        return Context(self.schema, bits)
+        return Context(self.schema, bool_to_int(draws))
+
+    def random_contexts(
+        self, size: int, rng: RngLike = None, p: float = 0.5
+    ) -> List[Context]:
+        """Draw a batch of ``size`` independent random contexts.
+
+        Equivalent to ``size`` successive :meth:`random_context` calls (the
+        underlying uniform stream is consumed identically), but the draw and
+        the bit-packing are one vectorised pass each.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        gen = ensure_rng(rng)
+        draws = gen.random((size, self.schema.t)) < p
+        return [Context(self.schema, bits) for bits in bool_matrix_to_ints(draws)]
 
     def random_valid_context(self, rng: RngLike = None) -> Context:
         """Draw uniformly among structurally valid contexts.
@@ -150,13 +166,17 @@ class ContextSpace:
         return Context(self.schema, bits)
 
     def random_containing(self, record_bits: int, rng: RngLike = None) -> Context:
-        """Uniform draw among contexts containing the given record bits."""
+        """Uniform draw among contexts containing the given record bits.
+
+        The record's own bits are forced on; the free bits are one batched
+        fair-coin draw, packed back into a bitmask in a single reduction.
+        """
         gen = ensure_rng(rng)
-        bits = record_bits
-        for b in range(self.schema.t):
-            if not (record_bits >> b) & 1 and gen.random() < 0.5:
-                bits |= 1 << b
-        return Context(self.schema, bits)
+        chosen = int_to_bool(record_bits, self.schema.t)
+        free_positions = np.flatnonzero(~chosen)
+        draws = gen.random(free_positions.size) < 0.5
+        chosen[free_positions[draws]] = True
+        return Context(self.schema, bool_to_int(chosen))
 
     # ------------------------------------------------------------------ misc
 

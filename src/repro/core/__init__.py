@@ -3,6 +3,7 @@
 from repro.core.direct import DirectPCOR
 from repro.core.enumeration import COEEnumerator
 from repro.core.pcor import PCOR
+from repro.core.profiles import ContextProfile, ProfileStore, shared_profile_store
 from repro.core.reference import ReferenceFile
 from repro.core.result import PCORResult
 from repro.core.sampling import (
@@ -25,6 +26,9 @@ from repro.core.verification import OutlierVerifier
 
 __all__ = [
     "PCOR",
+    "ContextProfile",
+    "ProfileStore",
+    "shared_profile_store",
     "PCORResult",
     "DirectPCOR",
     "OutlierVerifier",

@@ -18,9 +18,10 @@ repeated releases against the same dataset amortise detector runs.
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.context.context import Context
+from repro.core.profiles import ProfileStore, shared_profile_store
 from repro.core.result import PCORResult
 from repro.core.sampling.base import Sampler
 from repro.core.sampling.bfs import BFSSampler
@@ -40,7 +41,22 @@ UtilitySpec = Union[str, Callable[[OutlierVerifier, int, Optional[int]], Utility
 
 
 class PCOR:
-    """Private contextual outlier release for one dataset + detector."""
+    """Private contextual outlier release for one dataset + detector.
+
+    Parameters
+    ----------
+    share_profiles:
+        When true (and no explicit ``verifier`` is given), the verifier's
+        context-profile memo is the process-wide
+        :func:`~repro.core.profiles.shared_profile_store` for this
+        ``(dataset, detector)`` pair, so every ``PCOR`` instance built over
+        the same data amortises detector runs instead of rebuilding the
+        cache from scratch.  Sharing only skips recomputation of
+        deterministic profiles; it never changes a released context.
+    profile_store:
+        Explicit :class:`~repro.core.profiles.ProfileStore` for the
+        verifier's memo (overrides ``share_profiles``).
+    """
 
     def __init__(
         self,
@@ -51,6 +67,8 @@ class PCOR:
         sampler: Optional[Sampler] = None,
         half_sensitivity: bool = False,
         verifier: Optional[OutlierVerifier] = None,
+        share_profiles: bool = False,
+        profile_store: Optional[ProfileStore] = None,
     ):
         self.dataset = dataset
         self.detector = detector
@@ -58,11 +76,18 @@ class PCOR:
         self.epsilon = float(epsilon)
         self.sampler = sampler if sampler is not None else BFSSampler(n_samples=50)
         self.half_sensitivity = bool(half_sensitivity)
-        self.verifier = (
-            verifier
-            if verifier is not None
-            else OutlierVerifier(dataset, detector)
-        )
+        if verifier is None:
+            store = profile_store
+            if store is None and share_profiles:
+                store = shared_profile_store(dataset, detector)
+            verifier = OutlierVerifier(dataset, detector, profile_store=store)
+        elif profile_store is not None or share_profiles:
+            raise SamplingError(
+                "pass either an explicit verifier or profile_store/"
+                "share_profiles, not both: the verifier already carries "
+                "its own profile store"
+            )
+        self.verifier = verifier
         if self.verifier.dataset is not dataset:
             raise SamplingError("verifier was built for a different dataset")
 
@@ -134,6 +159,77 @@ class PCOR:
             fm_evaluations=self.verifier.fm_evaluations - fm_before,
             wall_time_s=time.perf_counter() - t0,
         )
+
+    def release_many(
+        self,
+        record_ids: Sequence[int],
+        starting_contexts: Optional[Sequence[Union[None, int, Context]]] = None,
+        seed: RngLike = None,
+    ) -> List[PCORResult]:
+        """Release one private context per record, amortising shared work.
+
+        All releases run against this instance's verifier, so the profile
+        store (and hence the expensive uncached detector runs) is shared
+        across records: a context profiled while searching for record ``i``
+        is a cache hit when record ``j``'s search revisits it.  The records'
+        exact contexts are additionally pre-profiled through one batched
+        mask pass, which front-loads the first probe of every
+        starting-context search.
+
+        Privacy accounting is unchanged from :meth:`release`: each record's
+        release spends its own ``epsilon`` of OCDP budget.  **Caveat**: the
+        per-release guarantees compose in the worst case *sequentially* —
+        an individual appearing in the populations of several queried
+        records is protected by ``k * epsilon`` over ``k`` releases, not
+        ``epsilon``.  Only when the released contexts' populations are
+        disjoint does parallel composition tighten the total back to
+        ``epsilon``.  Budgeting across a multi-record release is the data
+        owner's call, exactly as it is across repeated :meth:`release`
+        calls.
+
+        Parameters
+        ----------
+        record_ids:
+            The queried outliers, one release each (order preserved).
+        starting_contexts:
+            Optional per-record starting contexts, aligned with
+            ``record_ids``; ``None`` entries fall back to the automatic
+            starting-context search.
+        seed:
+            RNG seed/generator; all releases draw from the one stream, so a
+            single seed reproduces the whole batch.
+        """
+        ids = [int(r) for r in record_ids]
+        if starting_contexts is None:
+            starts: List[Union[None, int, Context]] = [None] * len(ids)
+        else:
+            starts = list(starting_contexts)
+            if len(starts) != len(ids):
+                raise SamplingError(
+                    f"starting_contexts has {len(starts)} entries for "
+                    f"{len(ids)} record ids"
+                )
+        gen = ensure_rng(seed)
+        # Warm the store with the exact context of every record whose
+        # starting-context search will run (its first f_M probe), in one
+        # batched pass.  Records with an explicit start — or a configuration
+        # that never searches (e.g. uniform sampling with a start-free
+        # utility) — skip the search, so pre-profiling them could only waste
+        # detector runs.
+        if self.sampler.requires_starting_context or self._utility_needs_start():
+            needs_search = [
+                r
+                for r, start in zip(ids, starts)
+                if start is None and self.dataset.has_record(r)
+            ]
+            if needs_search:
+                self.verifier.profiles(
+                    [self.dataset.record_bits(r) for r in needs_search]
+                )
+        return [
+            self.release(rid, starting_context=start, seed=gen)
+            for rid, start in zip(ids, starts)
+        ]
 
     # ------------------------------------------------------------- internals
 

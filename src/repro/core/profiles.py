@@ -1,0 +1,190 @@
+"""Shared, bounded storage for context profiles.
+
+A *context profile* — population size plus the full set of outlier record
+ids — is the unit of work the verifier memoises: computing one costs a
+population-mask pass plus an uncached detector run, the dominant cost of the
+whole pipeline (the paper's ``f_M`` query).  This module provides
+
+* :class:`ProfileStore` — a bounded LRU map ``context bits -> profile`` with
+  hit/miss/eviction counters for the experiment harness, and
+* :func:`shared_profile_store` — a process-wide registry handing out one
+  store per ``(dataset, detector)`` pair, so any number of ``PCOR``
+  instances (and their verifiers) built over the same data share detector
+  work instead of each rebuilding the cache from scratch.
+
+Sharing is read-or-extend only — profiles are immutable values keyed by the
+context bitmask — so cross-instance sharing cannot change any computed
+answer, only skip recomputation.  Registry entries are dropped automatically
+when their dataset is garbage-collected.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.data.table import Dataset
+from repro.outliers.base import OutlierDetector
+
+#: (population size, frozenset of outlier record ids)
+ContextProfile = Tuple[int, FrozenSet[int]]
+
+#: Default bound on profiles kept per store.  A profile is a couple of
+#: machine words plus a (usually tiny) frozenset, so the default allows
+#: multi-hundred-MB caches before eviction starts — far beyond any of the
+#: paper's workloads, while still bounding a long-lived server process.
+DEFAULT_CAPACITY = 1_000_000
+
+
+class ProfileStore:
+    """Bounded LRU map from context bitmask to :data:`ContextProfile`."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._profiles: "OrderedDict[int, ContextProfile]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ core
+
+    def get(self, bits: int) -> Optional[ContextProfile]:
+        """Cached profile of ``bits`` or ``None``; counts the hit/miss."""
+        profile = self._profiles.get(bits)
+        if profile is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._profiles.move_to_end(bits)
+        return profile
+
+    def peek(self, bits: int) -> Optional[ContextProfile]:
+        """Like :meth:`get` but without touching counters or LRU order."""
+        return self._profiles.get(bits)
+
+    def put(self, bits: int, profile: ContextProfile) -> None:
+        """Insert (or refresh) a profile, evicting the LRU entry if full."""
+        self._profiles[bits] = profile
+        self._profiles.move_to_end(bits)
+        while len(self._profiles) > self.capacity:
+            self._profiles.popitem(last=False)
+            self.evictions += 1
+
+    # --------------------------------------------------------------- plumbing
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, bits: int) -> bool:
+        return bits in self._profiles
+
+    def clear(self) -> None:
+        self._profiles.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for the harness / reporting."""
+        return {
+            "size": len(self._profiles),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProfileStore(size={len(self)}, capacity={self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )
+
+
+# ------------------------------------------------------------------ registry
+
+_SHARED_STORES: Dict[Tuple[int, object], ProfileStore] = {}
+
+
+class _IdentityKey:
+    """Registry-key wrapper hashing by wrapped-object identity.
+
+    Used for configuration values with no value-like representation
+    (callables, arbitrary objects).  It holds a strong reference, so while
+    the registry entry lives the object's id cannot be recycled by another
+    allocation — identity comparison stays sound.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: object):
+        self.obj = obj
+
+    def __hash__(self) -> int:
+        return id(self.obj)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _IdentityKey) and other.obj is self.obj
+
+
+def _value_fingerprint(value: object) -> object:
+    """Hashable fingerprint of one detector configuration value.
+
+    Numpy arrays are fingerprinted by full contents (``repr`` elides large
+    arrays), and values whose ``repr`` is address-based (default object or
+    function reprs) fall back to identity so two *different* objects never
+    collide on a recycled address.
+    """
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
+    rep = repr(value)
+    if " at 0x" in rep:
+        return _IdentityKey(value)
+    return rep
+
+
+def _detector_key(detector: OutlierDetector) -> Tuple:
+    """Hashable configuration fingerprint of a detector instance.
+
+    Profiles only depend on detector *behaviour*, and detectors are
+    deterministic functions of their public configuration, so two instances
+    of the same class with equal parameters may share a store.
+    """
+    params = tuple(
+        (k, _value_fingerprint(v))
+        for k, v in sorted(vars(detector).items())
+        if not k.startswith("_")
+    )
+    return (type(detector).__module__, type(detector).__qualname__, params)
+
+
+def shared_profile_store(
+    dataset: Dataset,
+    detector: OutlierDetector,
+    capacity: int = DEFAULT_CAPACITY,
+) -> ProfileStore:
+    """The process-wide store for one ``(dataset, detector)`` pair.
+
+    Keyed by dataset *identity* (datasets are immutable, so identity implies
+    equal contents) and detector *configuration*.  The registry entry is
+    removed when the dataset is garbage-collected.
+
+    ``capacity`` only applies when this call *creates* the store; later
+    callers for the same pair get the existing store back with its original
+    bound (first caller wins).  Pass an explicit :class:`ProfileStore` to
+    consumers that need their own bound.
+    """
+    key = (id(dataset), _detector_key(detector))
+    store = _SHARED_STORES.get(key)
+    if store is None:
+        store = ProfileStore(capacity=capacity)
+        _SHARED_STORES[key] = store
+        weakref.finalize(dataset, _SHARED_STORES.pop, key, None)
+    return store

@@ -63,13 +63,19 @@ class BFSSampler(Sampler):
             visited_set.add(current)
             stats.candidates_collected += 1
 
-            for bit in range(t):
-                child = current ^ (1 << bit)
-                if child in visited_set or child in frontier_set:
-                    continue
-                stats.contexts_examined += 1
-                if verifier.is_matching(child, record_id):
-                    frontier.append(child)
-                    frontier_set.add(child)
+            # All t one-bit-flip children, tested in one batched f_M pass.
+            children = [
+                child
+                for bit in range(t)
+                if (child := current ^ (1 << bit)) not in visited_set
+                and child not in frontier_set
+            ]
+            if children:
+                stats.contexts_examined += len(children)
+                matching = verifier.is_matching_many(children, record_id)
+                for child, ok in zip(children, matching):
+                    if ok:
+                        frontier.append(child)
+                        frontier_set.add(child)
 
         return SamplingRun(candidates=visited, stats=stats)

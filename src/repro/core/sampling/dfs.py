@@ -57,14 +57,17 @@ class DFSSampler(Sampler):
                 if len(visited) >= self.n_samples:
                     break
 
+            # All t one-bit-flip children, tested in one batched f_M pass.
+            unvisited = [
+                child
+                for bit in range(t)
+                if (child := top ^ (1 << bit)) not in visited_set
+            ]
             children: list[int] = []
-            for bit in range(t):
-                child = top ^ (1 << bit)
-                if child in visited_set:
-                    continue
-                stats.contexts_examined += 1
-                if verifier.is_matching(child, record_id):
-                    children.append(child)
+            if unvisited:
+                stats.contexts_examined += len(unvisited)
+                matching = verifier.is_matching_many(unvisited, record_id)
+                children = [c for c, ok in zip(unvisited, matching) if ok]
 
             if not children:
                 stack.pop()

@@ -67,17 +67,26 @@ class RandomWalkSampler(Sampler):
 
         while len(candidates) < self.n_samples:
             stats.steps += 1
+            # All t one-bit-flip neighbours of the current context, tested in
+            # one batched f_M pass; the strike-out draw below then consumes
+            # the precomputed answers.  Neighbour selection stays uniform and
+            # data-independent, so Theorem 5.3 is untouched.  Trade-off vs
+            # the lazy test-per-draw loop: in dense matching regions this
+            # profiles containing neighbours the draw never reaches, but the
+            # walk revisits neighbourhoods constantly, so the shared profile
+            # store converts that eager work into cache hits.
+            neighbors = [current ^ (1 << bit) for bit in range(t)]
+            matching = verifier.is_matching_many(neighbors, record_id)
+            stats.contexts_examined += t
             remaining = list(range(t))  # neighbour flips not yet struck out
             moved = False
             while remaining:
                 pick = int(rng.integers(0, len(remaining)))
                 bit = remaining.pop(pick)
-                neighbor = current ^ (1 << bit)
-                stats.contexts_examined += 1
-                if verifier.is_matching(neighbor, record_id):
-                    candidates.append(neighbor)  # multiset: repeats allowed
+                if matching[bit]:
+                    candidates.append(neighbors[bit])  # multiset: repeats allowed
                     stats.candidates_collected += 1
-                    current = neighbor
+                    current = neighbors[bit]
                     moved = True
                     break
             if not moved:

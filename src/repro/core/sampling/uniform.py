@@ -41,6 +41,9 @@ class UniformSampler(Sampler):
     accounting_name = "uniform"
     requires_starting_context = False
 
+    #: Contexts drawn and tested per batched f_M pass.
+    batch_size: int = 64
+
     def __init__(self, n_samples: int = 50, p: float = 0.5, max_draws: int = 2_000_000):
         super().__init__(n_samples)
         if not 0.0 < p < 1.0:
@@ -70,10 +73,17 @@ class UniformSampler(Sampler):
                     f"{record_id}; the matching set is too sparse for rejection "
                     "sampling (exactly the paper's complexity argument)"
                 )
-            stats.steps += 1
-            bits = space.random_context(rng, p=self.p).bits
-            stats.contexts_examined += 1
-            if verifier.is_matching(bits, record_id):
-                candidates.append(bits)
-                stats.candidates_collected += 1
+            # Draw a whole batch of contexts and test them in one batched
+            # f_M pass; draws stay i.i.d. so Theorem 5.1 is untouched.
+            batch = min(self.batch_size, self.max_draws - stats.steps)
+            drawn = [c.bits for c in space.random_contexts(batch, rng, p=self.p)]
+            stats.steps += batch
+            stats.contexts_examined += batch
+            matching = verifier.is_matching_many(drawn, record_id)
+            for bits, ok in zip(drawn, matching):
+                if ok:
+                    candidates.append(bits)
+                    stats.candidates_collected += 1
+                    if len(candidates) >= self.n_samples:
+                        break
         return SamplingRun(candidates=candidates, stats=stats)

@@ -1,16 +1,23 @@
-"""Utility functions over contexts (Section 3.2).
+"""Utility functions over contexts (Section 3.2), batched end to end.
 
 A utility function scores a context for a fixed outlier ``V``; non-matching
 contexts score ``-inf`` so the Exponential mechanism assigns them
 probability zero — the mechanics behind PCOR's validity guarantee
 (property (a) of Definition 3.2).
 
+The primary entry point is :meth:`UtilityFunction.scores`, which evaluates a
+whole batch of contexts through one :meth:`OutlierVerifier.is_matching_many`
+pass and one vectorised ``_raw_scores`` call over the matching subset.  The
+scalar :meth:`UtilityFunction.score` is a thin wrapper over the batch path,
+so every caller exercises the same engine.
+
 The two paper utilities are:
 
 * :class:`PopulationSizeUtility` — ``|D_C|``; larger populations mean a more
   significant outlier (Section 3.2.1).  Sensitivity 1.
 * :class:`OverlapUtility` — ``|D_C intersect D_{C_V}|`` for a chosen
-  starting context ``C_V`` (Section 3.2.2).  Sensitivity 1.
+  starting context ``C_V`` (Section 3.2.2).  Sensitivity 1.  The
+  intersection is computed word-wise on bit-packed masks plus popcount.
 
 Two extra utilities demonstrate the "compatible with any utility function"
 claim: :class:`StartingDistanceUtility` (structural closeness to a chosen
@@ -22,12 +29,13 @@ f-neighbours share it by definition.
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
-from typing import Dict
+from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.bitops import popcount_rows
+from repro.core.memo import gather_batched
 from repro.core.verification import OutlierVerifier
 from repro.exceptions import ContextError
 
@@ -51,19 +59,35 @@ class UtilityFunction(ABC):
         self.verifier = verifier
         self.record_id = int(record_id)
 
+    def scores(self, bits_seq: Sequence[int]) -> np.ndarray:
+        """Vector of scores for a batch of context bitmasks.
+
+        One batched matching pass; ``-inf`` for non-matching contexts, the
+        (vectorised) raw score for the rest.
+        """
+        bits_list = list(bits_seq)
+        out = np.full(len(bits_list), -np.inf, dtype=np.float64)
+        matching = self.verifier.is_matching_many(bits_list, self.record_id)
+        idx = np.flatnonzero(matching)
+        if idx.size:
+            out[idx] = self._raw_scores([bits_list[i] for i in idx])
+        return out
+
     def score(self, bits: int) -> float:
         """Utility of context ``bits`` (``-inf`` when non-matching)."""
-        if not self.verifier.is_matching(bits, self.record_id):
-            return -math.inf
-        return self._raw_score(bits)
+        return float(self.scores([bits])[0])
 
     @abstractmethod
     def _raw_score(self, bits: int) -> float:
         """Score of a context already known to be matching."""
 
-    def scores(self, bits_list) -> np.ndarray:
-        """Vector of scores for a sequence of context bitmasks."""
-        return np.array([self.score(b) for b in bits_list], dtype=np.float64)
+    def _raw_scores(self, bits_list: List[int]) -> np.ndarray:
+        """Scores of contexts already known to be matching (vectorisable).
+
+        The default delegates to the scalar :meth:`_raw_score`; built-in
+        utilities override with batch kernels.
+        """
+        return np.array([self._raw_score(b) for b in bits_list], dtype=np.float64)
 
 
 class PopulationSizeUtility(UtilityFunction):
@@ -75,12 +99,19 @@ class PopulationSizeUtility(UtilityFunction):
     def _raw_score(self, bits: int) -> float:
         return float(self.verifier.population_size(bits))
 
+    def _raw_scores(self, bits_list: List[int]) -> np.ndarray:
+        # Matching contexts were just profiled by the matching pass, so this
+        # is pure cache reads.
+        profiles = self.verifier.profiles(bits_list)
+        return np.array([p[0] for p in profiles], dtype=np.float64)
+
 
 class OverlapUtility(UtilityFunction):
     """``u_V(D, C) = |D_C intersect D_{C_V}|`` (Section 3.2.2).
 
     ``starting_bits`` is the chosen/starting context the analyst wants the
-    released explanation to relate to.
+    released explanation to relate to.  Intersections are word-wise ANDs of
+    bit-packed population masks plus a popcount, evaluated in batch.
     """
 
     name = "overlap"
@@ -92,20 +123,33 @@ class OverlapUtility(UtilityFunction):
         if starting_bits < 0 or starting_bits >> t:
             raise ContextError(f"starting_bits {starting_bits:#x} out of range for t={t}")
         self.starting_bits = int(starting_bits)
-        self._starting_mask = verifier.masks.population_mask(starting_bits)
+        self._starting_packed = verifier.masks.population_masks([starting_bits])[0]
         self._overlap_cache: Dict[int, int] = {}
+
+    def overlap_sizes(self, bits_seq: Sequence[int]) -> np.ndarray:
+        """``|D_C intersect D_{C_V}|`` for a batch, regardless of matching."""
+
+        def compute_many(misses: List[int]) -> List[int]:
+            packed = self.verifier.masks.population_masks(misses)
+            return [int(c) for c in popcount_rows(packed & self._starting_packed)]
+
+        sizes = gather_batched(
+            [int(b) for b in bits_seq],
+            self._overlap_cache.get,
+            self._overlap_cache.__setitem__,
+            compute_many,
+        )
+        return np.array(sizes, dtype=np.int64)
 
     def overlap_size(self, bits: int) -> int:
         """``|D_C intersect D_{C_V}|`` regardless of matching status."""
-        cached = self._overlap_cache.get(bits)
-        if cached is None:
-            mask = self.verifier.masks.population_mask(bits)
-            cached = int(np.count_nonzero(mask & self._starting_mask))
-            self._overlap_cache[bits] = cached
-        return cached
+        return int(self.overlap_sizes([bits])[0])
 
     def _raw_score(self, bits: int) -> float:
         return float(self.overlap_size(bits))
+
+    def _raw_scores(self, bits_list: List[int]) -> np.ndarray:
+        return self.overlap_sizes(bits_list).astype(np.float64)
 
 
 class StartingDistanceUtility(UtilityFunction):
@@ -123,6 +167,12 @@ class StartingDistanceUtility(UtilityFunction):
     def _raw_score(self, bits: int) -> float:
         return -float((bits ^ self.starting_bits).bit_count())
 
+    def _raw_scores(self, bits_list: List[int]) -> np.ndarray:
+        start = self.starting_bits
+        return np.array(
+            [-(b ^ start).bit_count() for b in bits_list], dtype=np.float64
+        )
+
 
 class SparsityUtility(UtilityFunction):
     """``u = t - HammingWeight(C)``: prefer short, human-readable contexts.
@@ -134,6 +184,10 @@ class SparsityUtility(UtilityFunction):
 
     def _raw_score(self, bits: int) -> float:
         return float(self.verifier.schema.t - bits.bit_count())
+
+    def _raw_scores(self, bits_list: List[int]) -> np.ndarray:
+        t = self.verifier.schema.t
+        return np.array([t - b.bit_count() for b in bits_list], dtype=np.float64)
 
 
 # --------------------------------------------------------------------- specs

@@ -1,11 +1,23 @@
-"""Outlier verification ``f_M(D_C, V)`` with per-context caching (Section 3).
+"""Outlier verification ``f_M(D_C, V)`` — batched, with a shared profile store.
 
 ``f_M`` answers "is record V an outlier in the population selected by
 context C?".  Every sampler, the enumerator and both utility functions ask
 this question about overlapping sets of contexts, so the verifier computes a
 *context profile* — population size plus the full set of outlier record ids
-— once per context bitmask and memoises it.  This mirrors the paper's
-reference-file trick (Section 6.2) at the granularity of a single run.
+— once per context bitmask and memoises it in a :class:`ProfileStore`.
+This mirrors the paper's reference-file trick (Section 6.2) at the
+granularity of a run (private store) or a whole process (shared store, see
+:func:`repro.core.profiles.shared_profile_store`).
+
+The core entry point is batched: :meth:`OutlierVerifier.profiles` partitions
+a batch of contexts into cached and uncached, evaluates all uncached
+population masks in one word-wise pass through the bit-packed
+:class:`~repro.data.masks.PredicateMaskIndex`, then runs the detector once
+per distinct uncached context.  :meth:`is_matching_many` layers the paper's
+matching-context test on top, short-circuiting non-containing contexts with
+pure bit tests so they never touch the detector.  The scalar APIs
+(``context_profile``, ``is_matching`` ...) are thin wrappers over the batch
+kernels.
 
 The profile also powers both utility functions for free: population size is
 the first profile component, and outlier-membership is a set lookup.
@@ -13,32 +25,37 @@ the first profile component, and outlier-membership is a set lookup.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import FrozenSet, List, Optional, Sequence
 
+import numpy as np
+
+from repro.bitops import popcount_rows
+from repro.core.memo import gather_batched
+from repro.core.profiles import ContextProfile, ProfileStore
 from repro.data.masks import PredicateMaskIndex
 from repro.data.table import Dataset
 from repro.exceptions import VerificationError
 from repro.outliers.base import OutlierDetector
 
-#: (population size, frozenset of outlier record ids)
-ContextProfile = Tuple[int, FrozenSet[int]]
+__all__ = ["ContextProfile", "OutlierVerifier"]
 
 
 class OutlierVerifier:
-    """Cached implementation of the verification function ``f_M``."""
+    """Cached, batch-capable implementation of the verification function ``f_M``."""
 
     def __init__(
         self,
         dataset: Dataset,
         detector: OutlierDetector,
         mask_index: Optional[PredicateMaskIndex] = None,
+        profile_store: Optional[ProfileStore] = None,
     ):
         self.dataset = dataset
         self.detector = detector
         self.masks = mask_index if mask_index is not None else PredicateMaskIndex(dataset)
         if self.masks.dataset is not dataset:
             raise VerificationError("mask index was built for a different dataset")
-        self._profiles: Dict[int, ContextProfile] = {}
+        self.profile_store = profile_store if profile_store is not None else ProfileStore()
         self.fm_evaluations = 0  # number of *uncached* detector runs
         self.fm_queries = 0  # number of f_M questions asked (cached or not)
 
@@ -48,22 +65,52 @@ class OutlierVerifier:
 
     # ------------------------------------------------------------------ core
 
+    def profiles(self, bits_seq: Sequence[int]) -> List[ContextProfile]:
+        """Profiles of a whole batch of contexts (one entry per input).
+
+        Cached contexts are answered from the store; the distinct uncached
+        ones share a single batched population-mask pass, then get one
+        detector run each over their population's metric values.
+        """
+        return gather_batched(
+            [int(b) for b in bits_seq],
+            self.profile_store.get,
+            self.profile_store.put,
+            self._compute_profiles,
+        )
+
+    def _compute_profiles(self, misses: List[int]) -> List[ContextProfile]:
+        """Profile the distinct uncached contexts of one batch."""
+        packed = self.masks.population_masks(misses)  # one batched pass
+        pops = popcount_rows(packed)
+        ids = self.dataset.ids
+        metric = self.dataset.metric
+        computed: List[ContextProfile] = []
+        for k in range(len(misses)):
+            self.fm_evaluations += 1
+            pop = int(pops[k])
+            if pop == 0:
+                computed.append((0, frozenset()))
+            else:
+                positions = self.masks.positions_from_packed(packed[k])
+                outlier_pos = self.detector.outlier_positions(metric[positions])
+                computed.append(
+                    (pop, frozenset(int(ids[positions[p]]) for p in outlier_pos))
+                )
+        return computed
+
     def context_profile(self, bits: int) -> ContextProfile:
-        """Population size and outlier record ids of context ``bits`` (cached)."""
-        cached = self._profiles.get(bits)
+        """Population size and outlier record ids of context ``bits`` (cached).
+
+        Fast scalar path: a store hit costs one dict lookup (no batch
+        plumbing); only misses fall through to the batch compute kernel.
+        """
+        bits = int(bits)
+        cached = self.profile_store.get(bits)
         if cached is not None:
             return cached
-        self.fm_evaluations += 1
-        positions, record_ids, metric_values = self.masks.population(bits)
-        if positions.shape[0] == 0:
-            profile: ContextProfile = (0, frozenset())
-        else:
-            outlier_pos = self.detector.outlier_positions(metric_values)
-            profile = (
-                int(positions.shape[0]),
-                frozenset(int(record_ids[p]) for p in outlier_pos),
-            )
-        self._profiles[bits] = profile
+        profile = self._compute_profiles([bits])[0]
+        self.profile_store.put(bits, profile)
         return profile
 
     def population_size(self, bits: int) -> int:
@@ -72,11 +119,39 @@ class OutlierVerifier:
     def outlier_ids(self, bits: int) -> FrozenSet[int]:
         return self.context_profile(bits)[1]
 
+    def is_matching_many(self, bits_seq: Sequence[int], record_id: int) -> np.ndarray:
+        """The matching-context test for a whole batch of contexts.
+
+        Returns a boolean array: entry ``k`` is ``True`` iff the record is
+        contained in context ``bits_seq[k]`` *and* is an outlier there.
+        Containment is a pure bit test, so non-containing contexts never
+        trigger a detector run; the containing remainder is profiled through
+        one batched :meth:`profiles` call.
+        """
+        bits_list = [int(b) for b in bits_seq]
+        self.fm_queries += len(bits_list)
+        if not self.dataset.has_record(record_id):
+            raise VerificationError(f"record {record_id} not in dataset")
+        record_bits = self.dataset.record_bits(record_id)
+        containing = [
+            i for i, bits in enumerate(bits_list)
+            if (record_bits & bits) == record_bits
+        ]
+        out = np.zeros(len(bits_list), dtype=bool)
+        if containing:
+            profiles = self.profiles([bits_list[i] for i in containing])
+            rid = int(record_id)
+            for i, profile in zip(containing, profiles):
+                out[i] = rid in profile[1]
+        return out
+
     def is_matching(self, bits: int, record_id: int) -> bool:
         """The paper's matching-context test: ``V in D_C`` and ``f_M = true``.
 
-        The containment test is a pure bit operation, so non-containing
-        contexts never trigger a detector run.
+        Same semantics as a batch-of-one :meth:`is_matching_many`, minus the
+        batch allocations — the tight scalar loops in the direct approach,
+        the enumerator and the starting-context search call this once per
+        context, so cache hits must stay a couple of dict lookups.
         """
         self.fm_queries += 1
         if not self.dataset.has_record(record_id):
@@ -84,17 +159,30 @@ class OutlierVerifier:
         record_bits = self.dataset.record_bits(record_id)
         if (record_bits & bits) != record_bits:
             return False
-        return record_id in self.outlier_ids(bits)
+        return int(record_id) in self.context_profile(bits)[1]
 
     # --------------------------------------------------------------- plumbing
 
     def cache_size(self) -> int:
-        return len(self._profiles)
+        return len(self.profile_store)
 
     def reset_counters(self) -> None:
+        """Zero this verifier's counters plus the mask/store counters.
+
+        When the verifier is backed by a *shared* profile store, the store's
+        hit/miss/eviction counters are process-wide state: resetting here
+        resets them for every other verifier on the same store.
+        """
         self.fm_evaluations = 0
         self.fm_queries = 0
         self.masks.reset_counters()
+        self.profile_store.reset_counters()
 
     def clear_cache(self) -> None:
-        self._profiles.clear()
+        """Drop all memoised profiles.
+
+        With a shared profile store this clears the cache for every PCOR
+        instance sharing it — use a private store (the default) for
+        measurement runs that clear between repetitions.
+        """
+        self.profile_store.clear()

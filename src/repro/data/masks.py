@@ -2,27 +2,42 @@
 
 A context filters the dataset as a conjunction (across attributes) of
 disjunctions (across selected values of an attribute).  Precomputing one
-boolean record mask per predicate turns population evaluation into
+record mask per predicate turns population evaluation into
 
     AND_i ( OR_{j selected in attr i} mask[i][j] )
 
-which is a handful of vectorised numpy passes per context.  This is the
-module every sampler, the enumerator, and the verifier funnel through, so it
-also keeps simple counters for the experiment harness.
+The masks are stored *bit-packed*: a ``t x ceil(n/64)`` ``uint64`` matrix
+where row ``b`` holds predicate ``b``'s record mask, 64 records per word.
+The batch kernels :meth:`PredicateMaskIndex.population_masks` and
+:meth:`PredicateMaskIndex.population_sizes` evaluate the AND-of-OR filter
+for a whole array of context bitmasks in a handful of word-wise NumPy
+passes plus one popcount — no per-record boolean arrays on the hot path.
+The scalar APIs are thin wrappers over the batch kernels, so every caller
+exercises the same engine.
+
+This is the module every sampler, the enumerator and the verifier funnel
+through, so it also keeps simple counters for the experiment harness.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.bitops import (
+    ints_to_bool_matrix,
+    pack_bool_matrix,
+    popcount_rows,
+    unpack_words,
+    words_for,
+)
 from repro.data.table import Dataset
 from repro.exceptions import ContextError
 
 
 class PredicateMaskIndex:
-    """Per-predicate boolean masks over the records of one dataset."""
+    """Bit-packed per-predicate record masks over one dataset."""
 
     def __init__(self, dataset: Dataset):
         self.dataset = dataset
@@ -30,67 +45,102 @@ class PredicateMaskIndex:
         self.t = schema.t
         self._offsets = schema.offsets
         self._block_sizes = tuple(len(a) for a in schema.attributes)
-        # masks[bit] is a bool array of shape (n_records,)
-        masks: List[np.ndarray] = []
+        n = len(dataset)
+        self.n_words = words_for(n)
+        # Boolean predicate masks (one row per predicate bit) exist only as
+        # a construction temporary; the index keeps just their packed form,
+        # shape (t, ceil(n/64)) uint64 — an 8x memory saving at scale.
+        bool_rows = np.empty((self.t, n), dtype=bool)
+        row = 0
         for attr in schema.attributes:
             codes = dataset.codes(attr.name)
             for j in range(len(attr)):
-                masks.append(codes == j)
-        self._masks = masks
+                np.equal(codes, j, out=bool_rows[row])
+                row += 1
+        self._packed = pack_bool_matrix(bool_rows)
         self.population_evaluations = 0  # harness-visible cost counter
 
     # ------------------------------------------------------------------ core
 
-    def predicate_mask(self, bit: int) -> np.ndarray:
-        """Boolean record mask of one predicate (read-only view)."""
-        if not 0 <= bit < self.t:
-            raise ContextError(f"bit {bit} out of range for t={self.t}")
-        view = self._masks[bit].view()
+    @property
+    def packed_matrix(self) -> np.ndarray:
+        """The ``(t, n_words)`` packed predicate-mask matrix (read-only)."""
+        view = self._packed.view()
         view.flags.writeable = False
         return view
+
+    def predicate_mask(self, bit: int) -> np.ndarray:
+        """Boolean record mask of one predicate (read-only, unpacked on demand)."""
+        if not 0 <= bit < self.t:
+            raise ContextError(f"bit {bit} out of range for t={self.t}")
+        mask = unpack_words(self._packed[bit], len(self.dataset))
+        mask.flags.writeable = False
+        return mask
+
+    def population_masks(self, bits_seq: Sequence[int]) -> np.ndarray:
+        """Packed population masks for a whole batch of context bitmasks.
+
+        Returns a ``(len(bits_seq), n_words)`` ``uint64`` matrix; row ``k``
+        is the bit-packed record mask of context ``bits_seq[k]``.  An
+        attribute block with no selected value yields an all-zero row (the
+        conjunction over an empty disjunction is unsatisfiable), which
+        matches the paper's "any non-empty context includes at least one
+        predicate of each attribute".
+
+        The kernel is word-wise: per predicate one masked OR into the block
+        accumulator, per attribute one AND into the result — ``t`` passes
+        over a ``B x n_words`` matrix, independent of the batch's content.
+        """
+        bits_list = [int(b) for b in bits_seq]
+        for b in bits_list:
+            if b < 0 or b >> self.t:
+                raise ContextError(
+                    f"context bits {b:#x} out of range for t={self.t}"
+                )
+        batch = len(bits_list)
+        self.population_evaluations += batch
+        selection = ints_to_bool_matrix(bits_list, self.t)  # (B, t)
+        result: np.ndarray | None = None
+        for off, size in zip(self._offsets, self._block_sizes):
+            block_or = np.zeros((batch, self.n_words), dtype=np.uint64)
+            for j in range(size):
+                rows = selection[:, off + j]
+                if rows.any():
+                    block_or[rows] |= self._packed[off + j]
+            # Rows whose block selected nothing stay all-zero, zeroing the
+            # conjunction — exactly the empty-block semantics.
+            if result is None:
+                result = block_or
+            else:
+                result &= block_or
+        assert result is not None  # schema has >= 1 attribute
+        return result
+
+    def population_sizes(self, bits_seq: Sequence[int]) -> np.ndarray:
+        """Population size of every context in ``bits_seq`` (int64 array)."""
+        return popcount_rows(self.population_masks(bits_seq))
 
     def population_mask(self, bits: int) -> np.ndarray:
         """Boolean record mask of the population selected by context ``bits``.
 
-        An attribute block with no selected value yields an empty population
-        (the conjunction over an empty disjunction is unsatisfiable), which
-        matches the paper's "any non-empty context includes at least one
-        predicate of each attribute".
+        Thin scalar wrapper over :meth:`population_masks`.
         """
-        if bits < 0 or bits >> self.t:
-            raise ContextError(f"context bits {bits:#x} out of range for t={self.t}")
-        self.population_evaluations += 1
-        n = len(self.dataset)
-        result: Optional[np.ndarray] = None
-        for off, size in zip(self._offsets, self._block_sizes):
-            block = (bits >> off) & ((1 << size) - 1)
-            if block == 0:
-                return np.zeros(n, dtype=bool)
-            block_mask: Optional[np.ndarray] = None
-            j = 0
-            while block:
-                if block & 1:
-                    m = self._masks[off + j]
-                    block_mask = m.copy() if block_mask is None else (block_mask | m)
-                block >>= 1
-                j += 1
-            assert block_mask is not None
-            result = block_mask if result is None else (result & block_mask)
-            if not result.any():
-                # Short-circuit: conjunction already empty.
-                return result
-        assert result is not None
-        return result
+        packed = self.population_masks([bits])
+        return unpack_words(packed[0], len(self.dataset))
 
     def population_size(self, bits: int) -> int:
         """Number of records selected by context ``bits``."""
-        return int(np.count_nonzero(self.population_mask(bits)))
+        return int(self.population_sizes([bits])[0])
 
     def population(self, bits: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(positions, record_ids, metric_values)`` of the population."""
         mask = self.population_mask(bits)
         positions = np.flatnonzero(mask)
         return positions, self.dataset.ids[positions], self.dataset.metric[positions]
+
+    def positions_from_packed(self, packed_row: np.ndarray) -> np.ndarray:
+        """Row positions selected by one packed mask row."""
+        return np.flatnonzero(unpack_words(packed_row, len(self.dataset)))
 
     # -------------------------------------------------------------- utilities
 

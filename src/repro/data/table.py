@@ -49,12 +49,8 @@ class Dataset:
         ids: Optional[Sequence[int]] = None,
     ):
         self.schema = schema
-        metric = np.asarray(metric_values, dtype=np.float64)
-        if metric.ndim != 1:
-            raise DatasetError("metric column must be one-dimensional")
+        metric = self._coerce_metric(metric_values)
         n = metric.shape[0]
-        if not np.all(np.isfinite(metric)):
-            raise DatasetError("metric column contains non-finite values")
 
         codes: Dict[str, np.ndarray] = {}
         for attr in schema.attributes:
@@ -76,10 +72,31 @@ class Dataset:
                     ) from None
             codes[attr.name] = col
 
+        self._finish_init(codes, metric, ids)
+
+    @staticmethod
+    def _coerce_metric(metric_values: Sequence[float]) -> np.ndarray:
+        """Validated *fresh copy* of the metric column (never aliases input)."""
+        metric = np.array(metric_values, dtype=np.float64)
+        if metric.ndim != 1:
+            raise DatasetError("metric column must be one-dimensional")
+        if not np.all(np.isfinite(metric)):
+            raise DatasetError("metric column contains non-finite values")
+        return metric
+
+    def _finish_init(
+        self,
+        codes: Dict[str, np.ndarray],
+        metric: np.ndarray,
+        ids: Optional[Sequence[int]],
+    ) -> None:
+        """Shared tail of construction once code arrays exist."""
+        n = metric.shape[0]
         if ids is None:
             id_arr = np.arange(n, dtype=np.int64)
         else:
-            id_arr = np.asarray(ids, dtype=np.int64)
+            # Fresh copy: the ids array must not alias caller memory either.
+            id_arr = np.array(ids, dtype=np.int64)
             if id_arr.shape != (n,):
                 raise DatasetError("ids must have one entry per record")
             if len(np.unique(id_arr)) != n:
@@ -97,6 +114,52 @@ class Dataset:
         self._record_bits_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_codes(
+        cls,
+        schema: Schema,
+        codes: Mapping[str, np.ndarray],
+        metric_values: Sequence[float],
+        ids: Optional[Sequence[int]] = None,
+    ) -> "Dataset":
+        """Build a dataset directly from integer domain-code arrays.
+
+        The fast constructor behind every dataset rebuild
+        (:meth:`without_positions`, :meth:`with_records`): no per-cell
+        string round-trip, just vectorised range checks on the code arrays.
+        """
+        obj = cls.__new__(cls)
+        obj.schema = schema
+        metric = cls._coerce_metric(metric_values)
+        n = metric.shape[0]
+        checked: Dict[str, np.ndarray] = {}
+        for attr in schema.attributes:
+            if attr.name not in codes:
+                raise DatasetError(f"missing column for attribute {attr.name!r}")
+            raw = np.asarray(codes[attr.name])
+            if raw.shape != (n,):
+                raise DatasetError(
+                    f"column {attr.name!r} has "
+                    f"{raw.shape[0] if raw.ndim == 1 else raw.shape} rows, "
+                    f"metric has {n}"
+                )
+            if raw.size and not np.issubdtype(raw.dtype, np.integer):
+                raise DatasetError(
+                    f"column {attr.name!r} codes must be an integer array, "
+                    f"got dtype {raw.dtype}"
+                )
+            # Validate on the original values *before* the int16 cast, so
+            # out-of-range codes fail loudly instead of wrapping into valid
+            # ones; astype then yields a fresh copy (datasets are immutable,
+            # so the caller's array must never alias our column).
+            if n and ((raw < 0) | (raw >= len(attr))).any():
+                raise DatasetError(
+                    f"column {attr.name!r} has codes outside domain of size {len(attr)}"
+                )
+            checked[attr.name] = raw.astype(np.int16)
+        obj._finish_init(checked, metric, ids)
+        return obj
 
     @classmethod
     def from_records(
@@ -182,14 +245,19 @@ class Dataset:
         return int(all_bits[self.position_of(record_id)])
 
     def all_record_bits(self) -> np.ndarray:
-        """Exact-context bitmask of every record as an ``object`` array of ints."""
+        """Exact-context bitmask of every record as an ``object`` array of ints.
+
+        One shift-table lookup plus one OR per attribute; the per-record
+        loop happens inside NumPy's object-array dispatch, never in Python.
+        (``object`` dtype because ``t`` can exceed 64 bits.)
+        """
         if self._record_bits_cache is None:
-            n = len(self)
-            bits = np.zeros(n, dtype=np.object_)
+            bits = np.zeros(len(self), dtype=np.object_)
             for off, attr in zip(self.schema.offsets, self.schema.attributes):
-                col = self._codes[attr.name].astype(np.int64)
-                for pos in range(n):
-                    bits[pos] = int(bits[pos]) | (1 << (off + int(col[pos])))
+                shifts = np.array(
+                    [1 << (off + j) for j in range(len(attr))], dtype=np.object_
+                )
+                bits = bits | shifts[self._codes[attr.name]]
             self._record_bits_cache = bits
         return self._record_bits_cache
 
@@ -203,16 +271,12 @@ class Dataset:
         for p in drop:
             if not 0 <= p < len(self):
                 raise DatasetError(f"position {p} out of range")
-        keep = np.array([p for p in range(len(self)) if p not in drop], dtype=np.int64)
-        columns = {
-            attr.name: [
-                attr.domain[int(self._codes[attr.name][p])] for p in keep
-            ]
-            for attr in self.schema.attributes
-        }
-        out = Dataset(
+        keep_mask = np.ones(len(self), dtype=bool)
+        keep_mask[list(drop)] = False
+        keep = np.flatnonzero(keep_mask)
+        out = Dataset.from_codes(
             self.schema,
-            columns,
+            {name: col[keep] for name, col in self._codes.items()},
             self._metric[keep],
             ids=self._ids[keep],
         )
@@ -233,22 +297,34 @@ class Dataset:
         next_id = self._id_ceiling
         if start_id is not None:
             next_id = max(next_id, int(start_id))
-        columns = {
-            attr.name: [
-                attr.domain[int(c)] for c in self._codes[attr.name]
-            ]
-            for attr in self.schema.attributes
-        }
-        metric = list(self._metric)
-        ids = list(self._ids)
-        for i, row in enumerate(rows):
-            for attr in self.schema.attributes:
+        # Only the appended rows go through domain-value lookup; the existing
+        # records are carried over as raw code arrays.
+        new_codes: Dict[str, np.ndarray] = {}
+        for attr in self.schema.attributes:
+            lookup = {v: j for j, v in enumerate(attr.domain)}
+            col = np.empty(len(rows), dtype=np.int16)
+            for i, row in enumerate(rows):
                 if attr.name not in row:
                     raise DatasetError(f"record missing attribute {attr.name!r}")
-                columns[attr.name].append(str(row[attr.name]))
-            metric.append(float(row[self.schema.metric.name]))  # type: ignore[arg-type]
-            ids.append(next_id + i)
-        return Dataset(self.schema, columns, metric, ids=ids)
+                value = str(row[attr.name])
+                try:
+                    col[i] = lookup[value]
+                except KeyError:
+                    raise DatasetError(
+                        f"row {i}: value {value!r} not in domain of {attr.name!r}"
+                    ) from None
+            new_codes[attr.name] = np.concatenate([self._codes[attr.name], col])
+        new_metric = np.array(
+            [float(row[self.schema.metric.name]) for row in rows],  # type: ignore[arg-type]
+            dtype=np.float64,
+        )
+        new_ids = np.arange(next_id, next_id + len(rows), dtype=np.int64)
+        return Dataset.from_codes(
+            self.schema,
+            new_codes,
+            np.concatenate([self._metric, new_metric]),
+            ids=np.concatenate([self._ids, new_ids]),
+        )
 
     # ------------------------------------------------------------------- misc
 

@@ -64,6 +64,12 @@ class HistogramDetector(OutlierDetector):
         if lo == hi:
             return np.empty(0, dtype=np.int64)  # single bin holds everything
         bins = self.n_bins if self.n_bins is not None else max(1, round(math.sqrt(n)))
+        width = (hi - lo) / bins
+        if width == 0.0 or not math.isfinite(width):
+            # The value range is too narrow (denormal spread underflows the
+            # bin width) or too wide (the spread overflows float64) to form
+            # finite-width bins; behave like the single-bin case.
+            return np.empty(0, dtype=np.int64)
         counts, edges = np.histogram(values, bins=bins, range=(lo, hi))
         cutoff = max(self.frequency_fraction * n, self.min_count_floor)
         sparse = counts < cutoff

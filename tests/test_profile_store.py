@@ -1,0 +1,132 @@
+"""Unit tests for the bounded LRU profile store and its shared registry."""
+
+import pytest
+
+from repro.core.profiles import ProfileStore, shared_profile_store
+from repro.core.verification import OutlierVerifier
+from repro.outliers.zscore import ZScoreDetector
+
+
+class TestProfileStore:
+    def test_get_put_roundtrip(self):
+        store = ProfileStore(capacity=4)
+        assert store.get(1) is None
+        store.put(1, (10, frozenset({3})))
+        assert store.get(1) == (10, frozenset({3}))
+
+    def test_hit_miss_counters(self):
+        store = ProfileStore(capacity=4)
+        store.get(1)
+        store.put(1, (1, frozenset()))
+        store.get(1)
+        store.get(2)
+        assert store.misses == 2
+        assert store.hits == 1
+
+    def test_capacity_evicts_lru(self):
+        store = ProfileStore(capacity=2)
+        store.put(1, (1, frozenset()))
+        store.put(2, (2, frozenset()))
+        store.get(1)  # refresh 1: now 2 is least recently used
+        store.put(3, (3, frozenset()))
+        assert store.evictions == 1
+        assert 2 not in store
+        assert 1 in store and 3 in store
+
+    def test_peek_does_not_touch_state(self):
+        store = ProfileStore(capacity=2)
+        store.put(1, (1, frozenset()))
+        store.put(2, (2, frozenset()))
+        store.peek(1)  # no LRU refresh
+        store.put(3, (3, frozenset()))
+        assert 1 not in store  # 1 stayed least recently used
+        assert store.hits == 0 and store.misses == 0
+
+    def test_stats_and_reset(self):
+        store = ProfileStore(capacity=2)
+        store.get(1)
+        store.put(1, (1, frozenset()))
+        snap = store.stats()
+        assert snap["size"] == 1
+        assert snap["misses"] == 1
+        store.reset_counters()
+        assert store.stats()["misses"] == 0
+        assert len(store) == 1  # counters reset, contents kept
+
+    def test_clear(self):
+        store = ProfileStore(capacity=2)
+        store.put(1, (1, frozenset()))
+        store.clear()
+        assert len(store) == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ProfileStore(capacity=0)
+
+
+class TestSharedRegistry:
+    def test_same_pair_shares_store(self, mini_dataset):
+        a = shared_profile_store(mini_dataset, ZScoreDetector(z_threshold=2.0))
+        b = shared_profile_store(mini_dataset, ZScoreDetector(z_threshold=2.0))
+        assert a is b
+
+    def test_different_detector_config_separates(self, mini_dataset):
+        a = shared_profile_store(mini_dataset, ZScoreDetector(z_threshold=2.0))
+        b = shared_profile_store(mini_dataset, ZScoreDetector(z_threshold=3.0))
+        assert a is not b
+
+    def test_different_dataset_separates(self, mini_dataset, tiny_dataset):
+        det = ZScoreDetector(z_threshold=2.0)
+        assert shared_profile_store(mini_dataset, det) is not shared_profile_store(
+            tiny_dataset, det
+        )
+
+    def test_verifiers_share_profiles_through_store(self, mini_dataset, mini_detector):
+        store = ProfileStore()
+        a = OutlierVerifier(mini_dataset, mini_detector, profile_store=store)
+        b = OutlierVerifier(mini_dataset, mini_detector, profile_store=store)
+        bits = mini_dataset.schema.full_bits
+        a.context_profile(bits)
+        evals_before = b.fm_evaluations
+        b.context_profile(bits)  # cache hit via the shared store
+        assert b.fm_evaluations == evals_before
+
+    def test_default_verifier_store_is_private(self, mini_dataset, mini_detector):
+        a = OutlierVerifier(mini_dataset, mini_detector)
+        b = OutlierVerifier(mini_dataset, mini_detector)
+        assert a.profile_store is not b.profile_store
+
+
+class TestDetectorFingerprint:
+    def test_callable_configs_never_collide(self, mini_dataset):
+        """Detectors configured with distinct callables (address-based reprs)
+        must not share a store, even though their reprs could coincide."""
+        from repro.outliers.zscore import ZScoreDetector
+
+        def make_detector(fn):
+            det = ZScoreDetector(z_threshold=2.0)
+            det.transform = fn  # user extension carrying a callable
+            return det
+
+        a = shared_profile_store(mini_dataset, make_detector(lambda v: v))
+        b = shared_profile_store(mini_dataset, make_detector(lambda v: v + 1))
+        assert a is not b
+
+    def test_ndarray_configs_compared_by_contents(self, mini_dataset):
+        from repro.outliers.zscore import ZScoreDetector
+        import numpy as np
+
+        def make_detector(arr):
+            det = ZScoreDetector(z_threshold=2.0)
+            det.weights = arr
+            return det
+
+        big = np.arange(5000, dtype=np.float64)
+        tweaked = big.copy()
+        tweaked[2500] = -1.0  # elided from repr() of a large array
+        assert shared_profile_store(
+            mini_dataset, make_detector(big)
+        ) is not shared_profile_store(mini_dataset, make_detector(tweaked))
+        assert shared_profile_store(
+            mini_dataset, make_detector(big)
+        ) is shared_profile_store(mini_dataset, make_detector(big.copy()))

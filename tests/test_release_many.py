@@ -1,0 +1,121 @@
+"""Tests for the multi-record ``PCOR.release_many`` facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.pcor import PCOR
+from repro.core.profiles import ProfileStore
+from repro.core.sampling import BFSSampler
+from repro.exceptions import SamplingError
+
+
+def make_pcor(dataset, detector, n_samples=8, **kwargs):
+    return PCOR(
+        dataset,
+        detector,
+        epsilon=0.2,
+        sampler=BFSSampler(n_samples=n_samples),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def outlier_ids(mini_reference):
+    ids = mini_reference.outlier_records()
+    assert len(ids) >= 2
+    return ids[:6]
+
+
+class TestReleaseMany:
+    def test_one_result_per_record_in_order(
+        self, mini_dataset, mini_detector, outlier_ids
+    ):
+        pcor = make_pcor(mini_dataset, mini_detector)
+        results = pcor.release_many(outlier_ids, seed=5)
+        assert [r.record_id for r in results] == list(outlier_ids)
+
+    def test_results_are_valid_matching_contexts(
+        self, mini_dataset, mini_detector, mini_verifier, outlier_ids
+    ):
+        pcor = make_pcor(mini_dataset, mini_detector)
+        for result in pcor.release_many(outlier_ids, seed=5):
+            assert mini_verifier.is_matching(result.context.bits, result.record_id)
+
+    def test_deterministic_given_seed(self, mini_dataset, mini_detector, outlier_ids):
+        a = make_pcor(mini_dataset, mini_detector).release_many(outlier_ids, seed=11)
+        b = make_pcor(mini_dataset, mini_detector).release_many(outlier_ids, seed=11)
+        assert [r.context for r in a] == [r.context for r in b]
+
+    def test_per_record_budget_unchanged(
+        self, mini_dataset, mini_detector, outlier_ids
+    ):
+        """Each release spends its own epsilon (parallel-composition caveat
+        is the data owner's concern, not silently absorbed here)."""
+        pcor = make_pcor(mini_dataset, mini_detector)
+        for result in pcor.release_many(outlier_ids, seed=3):
+            assert result.epsilon_total == pcor.epsilon
+
+    def test_explicit_starting_contexts(
+        self, mini_dataset, mini_detector, mini_reference, outlier_ids
+    ):
+        starts = [mini_reference.matching_contexts(r)[0] for r in outlier_ids]
+        pcor = make_pcor(mini_dataset, mini_detector)
+        results = pcor.release_many(outlier_ids, starting_contexts=starts, seed=3)
+        assert [r.starting_context.bits for r in results] == starts
+
+    def test_starting_contexts_length_mismatch(
+        self, mini_dataset, mini_detector, outlier_ids
+    ):
+        pcor = make_pcor(mini_dataset, mini_detector)
+        with pytest.raises(SamplingError, match="entries for"):
+            pcor.release_many(outlier_ids, starting_contexts=[None], seed=3)
+
+    def test_amortises_detector_runs_vs_fresh_instances(
+        self, mini_dataset, mini_detector, outlier_ids
+    ):
+        """The acceptance property: one release_many does strictly fewer
+        uncached detector runs than the same releases on fresh instances."""
+        batched = make_pcor(mini_dataset, mini_detector)
+        batched.release_many(outlier_ids, seed=7)
+        amortised = batched.verifier.fm_evaluations
+
+        fresh_total = 0
+        for rid in outlier_ids:
+            fresh = make_pcor(mini_dataset, mini_detector)
+            fresh.release(rid, seed=7)
+            fresh_total += fresh.verifier.fm_evaluations
+        assert amortised < fresh_total
+
+    def test_share_profiles_spans_instances(self, mini_dataset, mini_detector):
+        """Two share_profiles instances use one store; the second benefits."""
+        store = ProfileStore()
+        first = make_pcor(mini_dataset, mini_detector, profile_store=store)
+        second = make_pcor(mini_dataset, mini_detector, profile_store=store)
+        assert first.verifier.profile_store is second.verifier.profile_store
+
+    def test_shared_registry_wires_same_store(self, mini_dataset, mini_detector):
+        a = make_pcor(mini_dataset, mini_detector, share_profiles=True)
+        b = make_pcor(mini_dataset, mini_detector, share_profiles=True)
+        assert a.verifier.profile_store is b.verifier.profile_store
+
+    def test_empty_batch(self, mini_dataset, mini_detector):
+        pcor = make_pcor(mini_dataset, mini_detector)
+        assert pcor.release_many([], seed=1) == []
+
+    def test_single_seed_reproduces_whole_batch(
+        self, mini_dataset, mini_detector, outlier_ids
+    ):
+        rng_a = np.random.default_rng(21)
+        rng_b = np.random.default_rng(21)
+        a = make_pcor(mini_dataset, mini_detector).release_many(outlier_ids, seed=rng_a)
+        b = make_pcor(mini_dataset, mini_detector).release_many(outlier_ids, seed=rng_b)
+        assert [r.context for r in a] == [r.context for r in b]
+
+    def test_verifier_excludes_store_kwargs(self, mini_dataset, mini_detector, mini_verifier):
+        with pytest.raises(SamplingError, match="not both"):
+            make_pcor(mini_dataset, mini_detector, verifier=mini_verifier, share_profiles=True)
+        with pytest.raises(SamplingError, match="not both"):
+            make_pcor(
+                mini_dataset, mini_detector,
+                verifier=mini_verifier, profile_store=ProfileStore(),
+            )

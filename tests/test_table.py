@@ -173,3 +173,82 @@ class TestImmutability:
         )
         # Record 3 was removed; the new record must NOT resurrect id 3.
         assert sorted(int(i) for i in ds.ids) == [0, 1, 2, 4]
+
+
+class TestFromCodes:
+    def test_matches_string_constructor(self, schema, dataset):
+        rebuilt = Dataset.from_codes(
+            schema,
+            {"Color": dataset.codes("Color"), "Size": dataset.codes("Size")},
+            dataset.metric,
+            ids=dataset.ids,
+        )
+        assert [r for _, r in rebuilt.iter_records()] == [
+            r for _, r in dataset.iter_records()
+        ]
+
+    def test_does_not_alias_caller_arrays(self, schema):
+        codes = {
+            "Color": np.array([0, 1, 2], dtype=np.int16),
+            "Size": np.array([0, 0, 0], dtype=np.int16),
+        }
+        ds = Dataset.from_codes(schema, codes, [1.0, 2.0, 3.0])
+        codes["Color"][0] = 2  # caller mutates after construction
+        assert ds.record(0)["Color"] == "red"
+
+    def test_rejects_out_of_domain_codes(self, schema):
+        with pytest.raises(DatasetError, match="outside domain"):
+            Dataset.from_codes(
+                schema,
+                {
+                    "Color": np.array([0, 5], dtype=np.int16),
+                    "Size": np.array([0, 0], dtype=np.int16),
+                },
+                [1.0, 2.0],
+            )
+
+    def test_rejects_missing_column(self, schema):
+        with pytest.raises(DatasetError, match="missing column"):
+            Dataset.from_codes(
+                schema, {"Color": np.array([0], dtype=np.int16)}, [1.0]
+            )
+
+    def test_does_not_alias_metric_or_ids(self, schema):
+        metric = np.array([1.0, 2.0, 3.0])
+        ids = np.array([7, 8, 9], dtype=np.int64)
+        ds = Dataset.from_codes(
+            schema,
+            {
+                "Color": np.array([0, 1, 2], dtype=np.int16),
+                "Size": np.array([0, 0, 0], dtype=np.int16),
+            },
+            metric,
+            ids=ids,
+        )
+        metric[0] = 999.0
+        ids[0] = 999
+        assert ds.metric[0] == 1.0
+        assert int(ds.ids[0]) == 7
+
+    def test_rejects_wrapping_codes(self, schema):
+        """Codes that would wrap through the int16 cast must fail loudly."""
+        with pytest.raises(DatasetError, match="outside domain"):
+            Dataset.from_codes(
+                schema,
+                {
+                    "Color": np.array([65536, 1], dtype=np.int32),  # wraps to 0
+                    "Size": np.array([0, 0], dtype=np.int16),
+                },
+                [1.0, 2.0],
+            )
+
+    def test_rejects_float_codes(self, schema):
+        with pytest.raises(DatasetError, match="integer array"):
+            Dataset.from_codes(
+                schema,
+                {
+                    "Color": np.array([0.9, 1.0]),
+                    "Size": np.array([0, 0], dtype=np.int16),
+                },
+                [1.0, 2.0],
+            )
