@@ -1,0 +1,88 @@
+"""Service-layer overhead: ``ReleaseEngine.submit`` vs ``PCOR.release``.
+
+Since the spec-driven redesign, ``PCOR.release`` is itself a thin wrapper
+that submits a ``ReleaseRequest`` to a private engine, so this bench pins
+down the cost of the service path — request construction, spec metadata
+lookups, ledger plumbing — relative to the facade on the ISSUE's 20-record
+``salary_reduced`` workload.
+
+Gate: the engine path must stay within 5% of the facade's wall time.  Both
+paths share one fully-warmed verifier and run the identical seeded
+workload several times, comparing best-of times, so the gate measures
+dispatch overhead rather than detector work or runner noise.
+"""
+
+import time
+
+from repro.core.pcor import PCOR
+from repro.core.sampling import BFSSampler
+from repro.data.generators import salary_reduced
+from repro.experiments.tables import DETECTOR_KWARGS
+from repro.outliers import LOFDetector
+from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
+
+ROUNDS = 5
+
+
+def test_engine_submit_overhead(emit):
+    dataset = salary_reduced(n_records=2_000, seed=7)
+    detector = LOFDetector(**DETECTOR_KWARGS["lof"])
+    sampler = BFSSampler(n_samples=25)
+
+    pcor = PCOR(dataset, detector, epsilon=0.2, sampler=sampler)
+    record_ids = []
+    for rid in map(int, dataset.ids):
+        if pcor.verifier.is_matching(dataset.record_bits(rid), rid):
+            record_ids.append(rid)
+        if len(record_ids) == 20:
+            break
+    assert len(record_ids) == 20, "dataset yielded too few exact-context outliers"
+
+    spec = PipelineSpec(
+        detector="lof",
+        detector_kwargs=DETECTOR_KWARGS["lof"],
+        sampler="bfs",
+        n_samples=25,
+        epsilon=0.2,
+    )
+    engine = ReleaseEngine(dataset, mask_index=pcor.verifier.masks)
+    engine.adopt_verifier(pcor.verifier)
+
+    def run_facade() -> float:
+        t0 = time.perf_counter()
+        for i, rid in enumerate(record_ids):
+            pcor.release(rid, seed=100 + i)
+        return time.perf_counter() - t0
+
+    def run_engine() -> float:
+        t0 = time.perf_counter()
+        for i, rid in enumerate(record_ids):
+            engine.submit(ReleaseRequest(record_id=rid, spec=spec, seed=100 + i))
+        return time.perf_counter() - t0
+
+    # Warm the shared profile store so timed rounds measure dispatch, not
+    # first-touch detector runs.
+    run_facade()
+    run_engine()
+
+    facade_times, engine_times = [], []
+    for _ in range(ROUNDS):
+        facade_times.append(run_facade())
+        engine_times.append(run_engine())
+
+    t_facade = min(facade_times)
+    t_engine = min(engine_times)
+    overhead = t_engine / t_facade - 1.0
+
+    emit(
+        "bench_service_overhead",
+        "ReleaseEngine.submit vs PCOR.release "
+        "(salary_reduced n=2000, 20 records, LOF k=10, BFS n_samples=25, warmed)\n"
+        f"  PCOR.release loop   : {t_facade * 1000:8.1f} ms (best of {ROUNDS})\n"
+        f"  engine.submit loop  : {t_engine * 1000:8.1f} ms (best of {ROUNDS})\n"
+        f"  service overhead    : {overhead * 100:+8.2f}%",
+    )
+    assert overhead < 0.05, (
+        f"ReleaseEngine.submit adds {overhead * 100:.2f}% over PCOR.release "
+        "(gate: < 5%)"
+    )

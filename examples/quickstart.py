@@ -6,7 +6,8 @@ Walks the full PCOR pipeline on a synthetic Ontario-salary-style dataset:
 2. pick a record that is a *contextual* outlier (normal globally, extreme
    in some neighbourhood),
 3. find a valid starting context,
-4. release a private context with the BFS sampler at eps = 0.2.
+4. release a private context with the BFS sampler at eps = 0.2,
+5. serve the same query through the budgeted, spec-driven service engine.
 
 Run:  python examples/quickstart.py
 """
@@ -15,6 +16,9 @@ from repro import (
     BFSSampler,
     LOFDetector,
     PCOR,
+    PipelineSpec,
+    ReleaseEngine,
+    ReleaseRequest,
     find_starting_context,
     salary_reduced,
 )
@@ -66,6 +70,29 @@ def main() -> None:
         f"individuals to a factor of e^{result.epsilon_total:g} ~= "
         f"{2.718 ** result.epsilon_total:.2f} (output-constrained DP)."
     )
+    print()
+
+    # 5. The same release as a *service*: a long-lived engine with a total
+    #    budget, taking declarative requests.  The spec is plain data (it
+    #    round-trips through JSON/TOML), the ledger is charged before any
+    #    detector run, and identical seeds release identical contexts.
+    engine = ReleaseEngine(dataset, budget=0.5)
+    spec = PipelineSpec(
+        detector="lof",
+        detector_kwargs={"k": 10, "threshold": 1.5},
+        sampler="bfs",
+        n_samples=50,
+        epsilon=0.2,
+    )
+    served = engine.submit(
+        ReleaseRequest(record_id=record_id, spec=spec,
+                       starting_context=starting, seed=42)
+    )
+    assert served.context.bits == result.context.bits, "engine == facade"
+    print("service engine released the identical context from the same seed:")
+    print(f"  spec    : {spec.to_json()}")
+    print(f"  budget  : spent {engine.spent:g} of 0.5")
+    print(f"  metrics : {engine.metrics().to_dict()}")
 
 
 if __name__ == "__main__":

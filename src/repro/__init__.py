@@ -31,13 +31,25 @@ from repro.core import (
     RandomWalkSampler,
     ReferenceFile,
     Sampler,
+    SamplerInfo,
     SparsityUtility,
     StartingDistanceUtility,
     UniformSampler,
     UtilityFunction,
+    UtilityInfo,
+    available_samplers,
+    available_utilities,
     find_starting_context,
+    make_sampler,
+    make_utility,
+    register_sampler,
+    register_utility,
+    sampler_info,
     starting_context_from_reference,
+    utility_info,
+    utility_needs_starting_context,
 )
+from repro.service import EngineMetrics, PipelineSpec, ReleaseEngine, ReleaseRequest
 from repro.data import (
     BinSpec,
     Dataset,
@@ -59,6 +71,7 @@ from repro.exceptions import (
     ReproError,
     SamplingError,
     SchemaError,
+    SpecError,
     VerificationError,
 )
 from repro.mechanisms import (
@@ -112,6 +125,22 @@ __all__ = [
     "IQRDetector",
     "make_detector",
     "available_detectors",
+    # service layer
+    "PipelineSpec",
+    "ReleaseRequest",
+    "ReleaseEngine",
+    "EngineMetrics",
+    "SamplerInfo",
+    "UtilityInfo",
+    "available_samplers",
+    "available_utilities",
+    "make_sampler",
+    "make_utility",
+    "register_sampler",
+    "register_utility",
+    "sampler_info",
+    "utility_info",
+    "utility_needs_starting_context",
     # mechanisms
     "ExponentialMechanism",
     "LaplaceMechanism",
@@ -149,6 +178,7 @@ __all__ = [
     "SchemaError",
     "DatasetError",
     "ContextError",
+    "SpecError",
     "PrivacyBudgetError",
     "MechanismError",
     "SamplingError",

@@ -1,11 +1,12 @@
 """Budgeted multi-release sessions.
 
 A data owner rarely answers a single query.  :class:`ReleaseSession` wraps
-a :class:`~repro.core.pcor.PCOR` pipeline with a
-:class:`~repro.mechanisms.accounting.PrivacyAccountant` so that a sequence
-of releases — different outliers, different utilities — composes under a
-single total budget, and over-budget queries fail *before* any data is
-touched.
+a :class:`~repro.core.pcor.PCOR` pipeline with a budgeted
+:class:`~repro.service.engine.ReleaseEngine`, so that a sequence of
+releases composes under a single total budget and over-budget queries fail
+*before* any data is touched.  The session keeps exactly one ledger — the
+engine's :class:`~repro.mechanisms.accounting.PrivacyAccountant` — so spend
+is never double-counted between layers.
 
 Differential privacy composes sequentially: releasing k contexts at
 epsilon each costs k*epsilon in the worst case.  (OCDP inherits the same
@@ -16,7 +17,7 @@ the ledger tracks the total spend an adversary should be assumed to see.)
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 from repro.context.context import Context
 from repro.core.pcor import PCOR
@@ -24,15 +25,26 @@ from repro.core.result import PCORResult
 from repro.exceptions import PrivacyBudgetError
 from repro.mechanisms.accounting import PrivacyAccountant
 from repro.rng import RngLike
+from repro.service.engine import ReleaseEngine, ReleaseRequest
 
 
 class ReleaseSession:
-    """A sequence of PCOR releases under one total privacy budget."""
+    """A sequence of PCOR releases under one total privacy budget.
+
+    Internally this is a budgeted :class:`ReleaseEngine` sharing the
+    pipeline's verifier (and thus its profile cache), plus a log of results.
+    """
 
     def __init__(self, pcor: PCOR, total_budget: float):
         self.pcor = pcor
-        self.accountant = PrivacyAccountant(budget=total_budget)
+        self.engine = ReleaseEngine(pcor.dataset, budget=total_budget)
+        self.engine.adopt_verifier(pcor.verifier)
         self._results: List[PCORResult] = []
+
+    @property
+    def accountant(self) -> PrivacyAccountant:
+        """The engine's ledger — the session's single source of spend truth."""
+        return self.engine.accountant
 
     @property
     def spent(self) -> float:
@@ -44,12 +56,18 @@ class ReleaseSession:
 
     @property
     def results(self) -> List[PCORResult]:
-        """All releases made in this session (copies the list, not results)."""
+        """All releases made in this session, in release order.
+
+        The returned list is a fresh copy, but the :class:`PCORResult`
+        entries are the session's own objects — in particular each result's
+        ``stats`` is the sampler's mutable counter record, shared, not
+        copied.  Treat results as read-only.
+        """
         return list(self._results)
 
     def can_release(self) -> bool:
         """Would one more release at the pipeline's epsilon fit the budget?"""
-        return self.pcor.epsilon <= self.remaining * (1.0 + 1e-9)
+        return self.engine.can_submit(self.pcor.epsilon)
 
     def release(
         self,
@@ -57,19 +75,20 @@ class ReleaseSession:
         starting_context: Union[None, int, Context] = None,
         seed: RngLike = None,
     ) -> PCORResult:
-        """One budgeted release; charges the ledger before touching data."""
+        """One budgeted release; the engine charges the ledger before
+        touching data (even an aborted mechanism run may leak)."""
         if not self.can_release():
             raise PrivacyBudgetError(
                 f"release needs epsilon={self.pcor.epsilon:g} but only "
                 f"{self.remaining:.6g} of {self.accountant.budget:g} remains"
             )
-        # Charge first: even an aborted mechanism run may leak.
-        self.accountant.charge(
-            f"release(record={record_id}, sampler={self.pcor.sampler.name})",
-            self.pcor.epsilon,
-        )
-        result = self.pcor.release(
-            record_id, starting_context=starting_context, seed=seed
+        result = self.engine.submit(
+            ReleaseRequest(
+                record_id=record_id,
+                spec=self.pcor.spec,
+                starting_context=starting_context,
+                seed=seed,
+            )
         )
         self._results.append(result)
         return result

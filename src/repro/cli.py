@@ -2,13 +2,20 @@
 
 Subcommands
 -----------
-* ``release``       — run one private context release end to end.
+* ``release``       — run one private context release end to end
+  (``--spec file.json|file.toml`` runs a declarative pipeline spec;
+  ``--json`` emits the result as JSON).
+* ``specs``         — list the registered detectors, samplers and utilities.
 * ``table N``       — regenerate paper Table N (2-13).
 * ``figure N``      — regenerate paper Figure N (1-5) as ASCII histograms.
 * ``privacy-ratio`` — the Section 6.7 (ii) empirical privacy measurement.
 * ``locality``      — the Section 5.2 locality-hypothesis measurement.
 * ``generate-data`` — write a synthetic dataset to CSV.
 * ``build-reference`` — build and save a reference file (Section 6.2).
+
+Detector/sampler/utility choice lists are registry queries, so anything a
+plugin registers (``register_detector`` / ``register_sampler`` /
+``register_utility``) is releasable from the CLI without touching this file.
 """
 
 from __future__ import annotations
@@ -18,21 +25,22 @@ import sys
 from typing import Optional, Sequence
 
 from repro.context.space import DEFAULT_ENUMERATION_LIMIT, ContextSpace
-from repro.core.pcor import PCOR
 from repro.core.reference import ReferenceFile
-from repro.core.sampling import BFSSampler
+from repro.core.sampling import available_samplers, sampler_info
 from repro.core.starting import find_starting_context, starting_context_from_reference
+from repro.core.utility import available_utilities, utility_info
 from repro.core.verification import OutlierVerifier
 from repro.data.csvio import write_csv
 from repro.exceptions import ReproError
 from repro.experiments.coe_match import table_12, table_13
 from repro.experiments.config import SCALES
 from repro.experiments.figures import FIGURE_RUNNERS
-from repro.experiments.harness import DATASET_FACTORIES, Workbench, make_sampler
+from repro.experiments.harness import DATASET_FACTORIES, Workbench
 from repro.experiments.locality import locality_experiment, locality_table
 from repro.experiments.privacy_ratio import privacy_ratio_experiment
 from repro.experiments.tables import DETECTOR_KWARGS, TABLE_RUNNERS
 from repro.outliers.base import available_detectors, make_detector
+from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,12 +82,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_rel.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="salary_reduced")
     p_rel.add_argument("--records", type=int, default=2000)
     p_rel.add_argument("--detector", choices=available_detectors(), default="lof")
-    p_rel.add_argument("--sampler", choices=["uniform", "random_walk", "dfs", "bfs"], default="bfs")
-    p_rel.add_argument("--utility", choices=["population_size", "overlap", "sparsity", "starting_distance"], default="population_size")
+    p_rel.add_argument("--sampler", choices=available_samplers(), default="bfs")
+    p_rel.add_argument("--utility", choices=available_utilities(), default="population_size")
     p_rel.add_argument("--epsilon", type=float, default=0.2)
     p_rel.add_argument("--samples", type=int, default=50)
     p_rel.add_argument("--record-id", type=int, default=None, help="outlier record to explain (default: auto-pick)")
     p_rel.add_argument("--seed", type=int, default=0)
+    p_rel.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="pipeline spec file (.json/.toml); overrides --detector/--sampler/"
+        "--utility/--epsilon/--samples",
+    )
+    p_rel.add_argument(
+        "--json", action="store_true", help="emit the release result as JSON"
+    )
+
+    sub.add_parser(
+        "specs", help="list registered detectors, samplers and utilities"
+    )
 
     p_gen = sub.add_parser("generate-data", help="write a synthetic dataset to CSV")
     p_gen.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
@@ -156,6 +178,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "release":
         return _run_release(args)
 
+    if args.command == "specs":
+        return _run_specs()
+
     if args.command == "generate-data":
         dataset = DATASET_FACTORIES[args.dataset](n_records=args.records, seed=args.seed)
         write_csv(dataset, args.out)
@@ -176,8 +201,29 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
+def _release_spec(args: argparse.Namespace) -> PipelineSpec:
+    """The pipeline to run: a spec file if given, else the CLI flags."""
+    if args.spec is not None:
+        return PipelineSpec.from_file(args.spec)
+    return PipelineSpec(
+        detector=args.detector,
+        detector_kwargs=DETECTOR_KWARGS.get(args.detector, {}),
+        sampler=args.sampler,
+        utility=args.utility,
+        epsilon=args.epsilon,
+        n_samples=args.samples,
+    )
+
+
+def _emit_result(args: argparse.Namespace, result) -> None:
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(result.describe())
+
+
 def _run_release(args: argparse.Namespace) -> int:
-    detector_kwargs = DETECTOR_KWARGS.get(args.detector, {})
+    spec = _release_spec(args)
     dataset = DATASET_FACTORIES[args.dataset](n_records=args.records, seed=args.seed)
     space = ContextSpace(dataset.schema)
 
@@ -185,38 +231,36 @@ def _run_release(args: argparse.Namespace) -> int:
         # Full-schema datasets (e.g. salary_full, t=25) are exactly the
         # regime PCOR exists for: no reference file is computable, so we
         # release via local search + sampling only.
-        return _run_release_without_reference(args, dataset, detector_kwargs)
+        return _run_release_without_reference(args, dataset, spec)
 
     bench = Workbench.get(
-        args.dataset, args.records, args.seed, args.detector, detector_kwargs
+        args.dataset, args.records, args.seed, spec.detector, spec.detector_kwargs
     )
     record_id = args.record_id
     if record_id is None:
         record_id = bench.pick_outliers(1, args.seed)[0]
         print(f"auto-picked outlier record {record_id}")
     starting = starting_context_from_reference(bench.reference, record_id, args.seed)
-    pcor = PCOR(
-        bench.dataset,
-        bench.detector,
-        utility=args.utility,
-        epsilon=args.epsilon,
-        sampler=make_sampler(args.sampler, args.samples),
-        verifier=bench.fresh_verifier(),
+    engine = ReleaseEngine(bench.dataset)
+    engine.adopt_verifier(bench.fresh_verifier())
+    result = engine.submit(
+        ReleaseRequest(
+            record_id=record_id, spec=spec, starting_context=starting, seed=args.seed
+        )
     )
-    result = pcor.release(record_id, starting_context=starting, seed=args.seed)
-    print(result.describe())
+    _emit_result(args, result)
     max_util = bench.reference.max_population_utility(record_id)
-    if args.utility == "population_size" and max_util > 0:
+    if not args.json and spec.utility == "population_size" and max_util > 0:
         print(f"  utility ratio    : {result.utility_value / max_util:.3f} of maximum")
     return 0
 
 
-def _run_release_without_reference(args, dataset, detector_kwargs) -> int:
+def _run_release_without_reference(args, dataset, spec: PipelineSpec) -> int:
     """Release against a context space too large to enumerate (paper scale)."""
     import numpy as np
 
-    detector = make_detector(args.detector, **detector_kwargs)
-    verifier = OutlierVerifier(dataset, detector)
+    engine = ReleaseEngine(dataset)
+    verifier = engine.verifier_for(spec.build_detector())
     rng = np.random.default_rng(args.seed)
     print(
         f"context space has {ContextSpace(dataset.schema).n_structurally_valid:,} "
@@ -239,16 +283,30 @@ def _run_release_without_reference(args, dataset, detector_kwargs) -> int:
             print("error: no contextual outlier found in 500 sampled records", file=sys.stderr)
             return 1
         print(f"auto-picked outlier record {record_id}")
-    pcor = PCOR(
-        dataset,
-        detector,
-        utility=args.utility,
-        epsilon=args.epsilon,
-        sampler=make_sampler(args.sampler, args.samples),
-        verifier=verifier,
+    result = engine.submit(
+        ReleaseRequest(
+            record_id=record_id, spec=spec, starting_context=starting, seed=rng
+        )
     )
-    result = pcor.release(record_id, starting_context=starting, seed=rng)
-    print(result.describe())
+    _emit_result(args, result)
+    return 0
+
+
+def _run_specs() -> int:
+    """List every registered detector, sampler and utility."""
+    print("detectors:")
+    for name in available_detectors():
+        print(f"  {name}")
+    print("samplers:")
+    for name in available_samplers():
+        info = sampler_info(name)
+        needs = "starting context" if info.requires_starting_context else "start-free"
+        print(f"  {name} (accounting={info.accounting_name}, {needs})")
+    print("utilities:")
+    for name in available_utilities():
+        info = utility_info(name)
+        needs = "starting context" if info.needs_starting_context else "start-free"
+        print(f"  {name} ({needs})")
     return 0
 
 

@@ -11,8 +11,13 @@ from repro.core.sampling import (
     DFSSampler,
     RandomWalkSampler,
     Sampler,
+    SamplerInfo,
     SamplingStats,
     UniformSampler,
+    available_samplers,
+    make_sampler,
+    register_sampler,
+    sampler_info,
 )
 from repro.core.starting import find_starting_context, starting_context_from_reference
 from repro.core.utility import (
@@ -21,6 +26,12 @@ from repro.core.utility import (
     SparsityUtility,
     StartingDistanceUtility,
     UtilityFunction,
+    UtilityInfo,
+    available_utilities,
+    make_utility,
+    register_utility,
+    utility_info,
+    utility_needs_starting_context,
 )
 from repro.core.verification import OutlierVerifier
 
@@ -40,11 +51,22 @@ __all__ = [
     "SparsityUtility",
     "StartingDistanceUtility",
     "Sampler",
+    "SamplerInfo",
     "SamplingStats",
     "UniformSampler",
     "RandomWalkSampler",
     "DFSSampler",
     "BFSSampler",
+    "UtilityInfo",
+    "available_samplers",
+    "available_utilities",
+    "make_sampler",
+    "make_utility",
+    "register_sampler",
+    "register_utility",
+    "sampler_info",
+    "utility_info",
+    "utility_needs_starting_context",
     "find_starting_context",
     "starting_context_from_reference",
 ]

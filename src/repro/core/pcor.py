@@ -11,33 +11,32 @@ high-utility context:
 ...             epsilon=0.2, sampler=BFSSampler(n_samples=50))
 >>> result = pcor.release(record_id=17, seed=42)   # doctest: +SKIP
 
-The facade owns the verifier (and thus the context-profile cache) so that
-repeated releases against the same dataset amortise detector runs.
+Since the spec-driven redesign, ``PCOR`` is a thin wrapper over the service
+layer: the constructor freezes its configuration into a
+:class:`~repro.service.spec.PipelineSpec` and every release is a
+:class:`~repro.service.engine.ReleaseRequest` submitted to a private,
+unbudgeted :class:`~repro.service.engine.ReleaseEngine` that carries this
+instance's verifier (and thus its context-profile cache).  Identical seeds
+release identical contexts through either API.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.context.context import Context
-from repro.core.profiles import ProfileStore, shared_profile_store
+from repro.core.profiles import ProfileStore, detector_fingerprint, shared_profile_store
 from repro.core.result import PCORResult
 from repro.core.sampling.base import Sampler
 from repro.core.sampling.bfs import BFSSampler
-from repro.core.starting import find_starting_context
-from repro.core.utility import UtilityFunction, make_utility
+from repro.core.utility import UtilityFunction, UtilitySpec  # noqa: F401 (re-export)
 from repro.core.verification import OutlierVerifier
 from repro.data.table import Dataset
 from repro.exceptions import SamplingError
-from repro.mechanisms.accounting import epsilon_one_for
-from repro.mechanisms.exponential import ExponentialMechanism
 from repro.outliers.base import OutlierDetector
 from repro.rng import RngLike, ensure_rng
-
-#: A utility spec: registry name, or a factory (verifier, record_id,
-#: starting_bits) -> UtilityFunction.
-UtilitySpec = Union[str, Callable[[OutlierVerifier, int, Optional[int]], UtilityFunction]]
+from repro.service.engine import ReleaseEngine, ReleaseRequest
+from repro.service.spec import PipelineSpec
 
 
 class PCOR:
@@ -45,6 +44,12 @@ class PCOR:
 
     Parameters
     ----------
+    utility_needs_starting_context:
+        Explicit needs-a-starting-context flag for *callable* utility specs
+        (named specs answer from registry metadata).  A callable may instead
+        carry a truthy ``needs_starting_context`` attribute.  Without either,
+        callables are assumed start-free — the engine then passes
+        ``starting_bits=None`` unless the sampler searched anyway.
     share_profiles:
         When true (and no explicit ``verifier`` is given), the verifier's
         context-profile memo is the process-wide
@@ -69,6 +74,7 @@ class PCOR:
         verifier: Optional[OutlierVerifier] = None,
         share_profiles: bool = False,
         profile_store: Optional[ProfileStore] = None,
+        utility_needs_starting_context: Optional[bool] = None,
     ):
         self.dataset = dataset
         self.detector = detector
@@ -90,6 +96,26 @@ class PCOR:
         self.verifier = verifier
         if self.verifier.dataset is not dataset:
             raise SamplingError("verifier was built for a different dataset")
+        if detector_fingerprint(self.verifier.detector) != detector_fingerprint(
+            detector
+        ):
+            # Releases run against the verifier the engine resolves for the
+            # *detector* argument; a mismatched explicit verifier would be
+            # silently bypassed (cold cache, different detector) — refuse.
+            raise SamplingError(
+                "verifier was built for a different detector configuration; "
+                "pass the same detector, or omit the explicit verifier"
+            )
+        self.spec = PipelineSpec(
+            detector=detector,
+            sampler=self.sampler,
+            utility=utility,
+            epsilon=self.epsilon,
+            half_sensitivity=self.half_sensitivity,
+            utility_needs_start=utility_needs_starting_context,
+        )
+        self.engine = ReleaseEngine(dataset, mask_index=self.verifier.masks)
+        self.engine.adopt_verifier(self.verifier)
 
     # ------------------------------------------------------------------ main
 
@@ -112,52 +138,13 @@ class PCOR:
         seed:
             RNG seed/generator for this release.
         """
-        gen = ensure_rng(seed)
-        t0 = time.perf_counter()
-        fm_before = self.verifier.fm_evaluations
-
-        starting_bits = self._resolve_starting_bits(record_id, starting_context, gen)
-        utility = self._make_utility(record_id, starting_bits)
-
-        eps1 = epsilon_one_for(
-            self.sampler.accounting_name, self.epsilon, self.sampler.n_samples
-        )
-        mechanism = ExponentialMechanism(
-            eps1,
-            sensitivity=utility.sensitivity or 1.0,
-            half_sensitivity=self.half_sensitivity,
-        )
-
-        run = self.sampler.sample(
-            self.verifier, utility, record_id, starting_bits, mechanism, gen
-        )
-        if not run.candidates:
-            raise SamplingError(
-                f"sampler {self.sampler.name!r} collected no candidates for "
-                f"record {record_id}"
+        return self.engine.submit(
+            ReleaseRequest(
+                record_id=record_id,
+                spec=self.spec,
+                starting_context=starting_context,
+                seed=seed,
             )
-
-        scores = utility.scores(run.candidates)
-        run.stats.mechanism_invocations += 1
-        chosen, _ = mechanism.select(run.candidates, scores, gen)
-
-        return PCORResult(
-            context=Context(self.verifier.schema, chosen),
-            record_id=record_id,
-            utility_value=float(utility.score(chosen)),
-            utility_name=utility.name,
-            epsilon_total=self.epsilon,
-            epsilon_one=eps1,
-            algorithm=self.sampler.name,
-            n_candidates=len(run.candidates),
-            starting_context=(
-                Context(self.verifier.schema, starting_bits)
-                if starting_bits is not None
-                else None
-            ),
-            stats=run.stats,
-            fm_evaluations=self.verifier.fm_evaluations - fm_before,
-            wall_time_s=time.perf_counter() - t0,
         )
 
     def release_many(
@@ -174,7 +161,7 @@ class PCOR:
         is a cache hit when record ``j``'s search revisits it.  The records'
         exact contexts are additionally pre-profiled through one batched
         mask pass, which front-loads the first probe of every
-        starting-context search.
+        starting-context search (see :meth:`ReleaseEngine.submit_many`).
 
         Privacy accounting is unchanged from :meth:`release`: each record's
         release spends its own ``epsilon`` of OCDP budget.  **Caveat**: the
@@ -210,64 +197,13 @@ class PCOR:
                     f"{len(ids)} record ids"
                 )
         gen = ensure_rng(seed)
-        # Warm the store with the exact context of every record whose
-        # starting-context search will run (its first f_M probe), in one
-        # batched pass.  Records with an explicit start — or a configuration
-        # that never searches (e.g. uniform sampling with a start-free
-        # utility) — skip the search, so pre-profiling them could only waste
-        # detector runs.
-        if self.sampler.requires_starting_context or self._utility_needs_start():
-            needs_search = [
-                r
-                for r, start in zip(ids, starts)
-                if start is None and self.dataset.has_record(r)
-            ]
-            if needs_search:
-                self.verifier.profiles(
-                    [self.dataset.record_bits(r) for r in needs_search]
+        return self.engine.submit_many(
+            [
+                ReleaseRequest(
+                    record_id=rid, spec=self.spec, starting_context=start, seed=gen
                 )
-        return [
-            self.release(rid, starting_context=start, seed=gen)
-            for rid, start in zip(ids, starts)
-        ]
-
-    # ------------------------------------------------------------- internals
-
-    def _resolve_starting_bits(
-        self,
-        record_id: int,
-        starting_context: Union[None, int, Context],
-        gen,
-    ) -> Optional[int]:
-        needs_start = self.sampler.requires_starting_context or self._utility_needs_start()
-        if starting_context is None:
-            if not needs_start:
-                return None
-            ctx = find_starting_context(self.verifier, record_id, gen)
-            return ctx.bits
-        bits = (
-            starting_context.bits
-            if isinstance(starting_context, Context)
-            else int(starting_context)
-        )
-        if not self.verifier.is_matching(bits, record_id):
-            raise SamplingError(
-                f"starting context {bits:#x} is not a matching context for "
-                f"record {record_id}; graph samplers must start from a valid "
-                "context (Section 5.2)"
-            )
-        return bits
-
-    def _utility_needs_start(self) -> bool:
-        return self.utility_spec in ("overlap", "starting_distance")
-
-    def _make_utility(
-        self, record_id: int, starting_bits: Optional[int]
-    ) -> UtilityFunction:
-        if callable(self.utility_spec):
-            return self.utility_spec(self.verifier, record_id, starting_bits)
-        return make_utility(
-            self.utility_spec, self.verifier, record_id, starting_bits
+                for rid, start in zip(ids, starts)
+            ]
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -150,12 +150,13 @@ def _value_fingerprint(value: object) -> object:
     return rep
 
 
-def _detector_key(detector: OutlierDetector) -> Tuple:
+def detector_fingerprint(detector: OutlierDetector) -> Tuple:
     """Hashable configuration fingerprint of a detector instance.
 
     Profiles only depend on detector *behaviour*, and detectors are
     deterministic functions of their public configuration, so two instances
-    of the same class with equal parameters may share a store.
+    of the same class with equal parameters may share a store.  The release
+    engine keys its per-detector verifiers by the same fingerprint.
     """
     params = tuple(
         (k, _value_fingerprint(v))
@@ -163,6 +164,9 @@ def _detector_key(detector: OutlierDetector) -> Tuple:
         if not k.startswith("_")
     )
     return (type(detector).__module__, type(detector).__qualname__, params)
+
+
+_detector_key = detector_fingerprint
 
 
 def shared_profile_store(
@@ -181,7 +185,7 @@ def shared_profile_store(
     bound (first caller wins).  Pass an explicit :class:`ProfileStore` to
     consumers that need their own bound.
     """
-    key = (id(dataset), _detector_key(detector))
+    key = (id(dataset), detector_fingerprint(detector))
     store = _SHARED_STORES.get(key)
     if store is None:
         store = ProfileStore(capacity=capacity)

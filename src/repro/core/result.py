@@ -2,11 +2,24 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
 
 from repro.context.context import Context
 from repro.core.sampling.base import SamplingStats
+
+
+def _context_dict(context: Context) -> Dict[str, Any]:
+    """A wire-friendly rendering of one context."""
+    return {
+        "bits": int(context.bits),
+        "bitstring": context.to_bitstring(),
+        "predicates": {
+            attr: list(values) for attr, values in context.selected_values().items()
+        },
+        "description": context.describe(),
+    }
 
 
 @dataclass(frozen=True)
@@ -54,6 +67,36 @@ class PCORResult:
     stats: SamplingStats = field(default_factory=SamplingStats)
     fm_evaluations: int = 0
     wall_time_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able mapping of the whole result (for wires and logs).
+
+        Contexts are rendered as bits + bitstring + selected predicates, so
+        a consumer can rebuild a :class:`Context` against the schema or just
+        read the human-facing description.
+        """
+        return {
+            "record_id": self.record_id,
+            "context": _context_dict(self.context),
+            "utility_value": self.utility_value,
+            "utility_name": self.utility_name,
+            "epsilon_total": self.epsilon_total,
+            "epsilon_one": self.epsilon_one,
+            "algorithm": self.algorithm,
+            "n_candidates": self.n_candidates,
+            "starting_context": (
+                _context_dict(self.starting_context)
+                if self.starting_context is not None
+                else None
+            ),
+            "stats": asdict(self.stats),
+            "fm_evaluations": self.fm_evaluations,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The result as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""

@@ -1,6 +1,20 @@
-"""Sampling layer (Section 5): the polynomial-time route to PCOR."""
+"""Sampling layer (Section 5): the polynomial-time route to PCOR.
 
-from repro.core.sampling.base import Sampler, SamplingStats
+Importing this package registers the four paper samplers in the sampler
+registry (:func:`available_samplers` / :func:`make_sampler` /
+:func:`sampler_info`), mirroring the detector registry in
+:mod:`repro.outliers.base`.
+"""
+
+from repro.core.sampling.base import (
+    Sampler,
+    SamplerInfo,
+    SamplingStats,
+    available_samplers,
+    make_sampler,
+    register_sampler,
+    sampler_info,
+)
 from repro.core.sampling.bfs import BFSSampler
 from repro.core.sampling.dfs import DFSSampler
 from repro.core.sampling.random_walk import RandomWalkSampler
@@ -8,9 +22,14 @@ from repro.core.sampling.uniform import UniformSampler
 
 __all__ = [
     "Sampler",
+    "SamplerInfo",
     "SamplingStats",
     "UniformSampler",
     "RandomWalkSampler",
     "DFSSampler",
     "BFSSampler",
+    "available_samplers",
+    "make_sampler",
+    "register_sampler",
+    "sampler_info",
 ]

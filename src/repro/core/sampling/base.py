@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -88,3 +88,75 @@ class Sampler(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n_samples={self.n_samples})"
+
+
+# -------------------------------------------------------------------- registry
+
+
+@dataclass(frozen=True)
+class SamplerInfo:
+    """Registry entry: factory plus the metadata the service layer needs.
+
+    ``accounting_name`` keys into :mod:`repro.mechanisms.accounting` (the
+    budget split), and ``requires_starting_context`` tells the engine whether
+    a starting-context search must run before sampling — both are read from
+    the registry instead of being hardcoded at call sites.
+    """
+
+    name: str
+    factory: Callable[..., Sampler]
+    accounting_name: str
+    requires_starting_context: bool
+
+
+_SAMPLERS: Dict[str, SamplerInfo] = {}
+
+
+def register_sampler(
+    name: str,
+    factory: Callable[..., Sampler],
+    *,
+    accounting_name: Optional[str] = None,
+    requires_starting_context: Optional[bool] = None,
+) -> None:
+    """Register a sampler factory under ``name`` (case-insensitive).
+
+    Metadata defaults are read off the factory's class attributes, so
+    registering a :class:`Sampler` subclass needs no extra arguments; explicit
+    values let plain functions act as factories.
+    """
+    key = name.lower()
+    if key in _SAMPLERS:
+        raise SamplingError(f"sampler {name!r} already registered")
+    if accounting_name is None:
+        accounting_name = str(getattr(factory, "accounting_name", key))
+    if requires_starting_context is None:
+        requires_starting_context = bool(
+            getattr(factory, "requires_starting_context", True)
+        )
+    _SAMPLERS[key] = SamplerInfo(
+        name=key,
+        factory=factory,
+        accounting_name=accounting_name,
+        requires_starting_context=requires_starting_context,
+    )
+
+
+def sampler_info(name: str) -> SamplerInfo:
+    """The registry entry for ``name``."""
+    key = name.lower()
+    if key not in _SAMPLERS:
+        raise SamplingError(
+            f"unknown sampler {name!r}; available: {sorted(_SAMPLERS)}"
+        )
+    return _SAMPLERS[key]
+
+
+def make_sampler(name: str, n_samples: int = 50, **kwargs) -> Sampler:
+    """Instantiate a registered sampler by name."""
+    return sampler_info(name).factory(n_samples=n_samples, **kwargs)
+
+
+def available_samplers() -> List[str]:
+    """Names of all registered samplers."""
+    return sorted(_SAMPLERS)

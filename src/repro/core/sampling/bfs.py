@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.sampling.base import Sampler, SamplingRun, SamplingStats
+from repro.core.sampling.base import Sampler, SamplingRun, SamplingStats, register_sampler
 from repro.core.utility import UtilityFunction
 from repro.core.verification import OutlierVerifier
 from repro.exceptions import SamplingError
@@ -79,3 +79,6 @@ class BFSSampler(Sampler):
                         frontier_set.add(child)
 
         return SamplingRun(candidates=visited, stats=stats)
+
+
+register_sampler("bfs", BFSSampler)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.sampling.base import Sampler, SamplingRun, SamplingStats
+from repro.core.sampling.base import Sampler, SamplingRun, SamplingStats, register_sampler
 from repro.core.utility import UtilityFunction
 from repro.core.verification import OutlierVerifier
 from repro.exceptions import SamplingError
@@ -99,3 +99,6 @@ class RandomWalkSampler(Sampler):
                 # mechanism still works on whatever was collected).
                 break
         return SamplingRun(candidates=candidates, stats=stats)
+
+
+register_sampler("random_walk", RandomWalkSampler)

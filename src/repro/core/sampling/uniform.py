@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.context.space import ContextSpace
-from repro.core.sampling.base import Sampler, SamplingRun, SamplingStats
+from repro.core.sampling.base import Sampler, SamplingRun, SamplingStats, register_sampler
 from repro.core.utility import UtilityFunction
 from repro.core.verification import OutlierVerifier
 from repro.exceptions import SamplingError
@@ -87,3 +87,6 @@ class UniformSampler(Sampler):
                     if len(candidates) >= self.n_samples:
                         break
         return SamplingRun(candidates=candidates, stats=stats)
+
+
+register_sampler("uniform", UniformSampler)

@@ -30,7 +30,8 @@ f-neighbours share it by definition.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -190,15 +191,77 @@ class SparsityUtility(UtilityFunction):
         return np.array([t - b.bit_count() for b in bits_list], dtype=np.float64)
 
 
-# --------------------------------------------------------------------- specs
+# ------------------------------------------------------------------- registry
 
-#: Names accepted by :class:`repro.core.pcor.PCOR` for its ``utility=`` arg.
-UTILITY_SPECS = {
-    "population_size": PopulationSizeUtility,
-    "overlap": OverlapUtility,
-    "starting_distance": StartingDistanceUtility,
-    "sparsity": SparsityUtility,
-}
+#: A utility spec: registry name, or a factory
+#: ``(verifier, record_id, starting_bits) -> UtilityFunction``.
+UtilitySpec = Union[str, Callable[..., UtilityFunction]]
+
+
+@dataclass(frozen=True)
+class UtilityInfo:
+    """Registry entry: factory plus the metadata the service layer needs.
+
+    ``needs_starting_context`` replaces the old hardcoded
+    ``("overlap", "starting_distance")`` tuple: the engine consults it to
+    decide whether a starting-context search must run before the utility can
+    be built (the factory then receives ``starting_bits`` positionally).
+    """
+
+    name: str
+    factory: Callable[..., UtilityFunction]
+    needs_starting_context: bool
+
+
+_UTILITIES: Dict[str, UtilityInfo] = {}
+
+
+def register_utility(
+    name: str,
+    factory: Callable[..., UtilityFunction],
+    *,
+    needs_starting_context: bool = False,
+) -> None:
+    """Register a utility factory under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _UTILITIES:
+        raise ContextError(f"utility {name!r} already registered")
+    _UTILITIES[key] = UtilityInfo(
+        name=key,
+        factory=factory,
+        needs_starting_context=bool(needs_starting_context),
+    )
+
+
+def utility_info(name: str) -> UtilityInfo:
+    """The registry entry for ``name``."""
+    key = name.lower()
+    if key not in _UTILITIES:
+        raise ContextError(
+            f"unknown utility {name!r}; available: {sorted(_UTILITIES)}"
+        )
+    return _UTILITIES[key]
+
+
+def available_utilities() -> List[str]:
+    """Names of all registered utilities."""
+    return sorted(_UTILITIES)
+
+
+def utility_needs_starting_context(
+    spec: UtilitySpec, explicit: Optional[bool] = None
+) -> bool:
+    """Does ``spec`` need a starting context before it can be built?
+
+    ``explicit`` overrides everything (the escape hatch for callable specs).
+    Named specs answer from registry metadata; callables from their
+    ``needs_starting_context`` attribute, defaulting to ``False``.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    if isinstance(spec, str):
+        return utility_info(spec).needs_starting_context
+    return bool(getattr(spec, "needs_starting_context", False))
 
 
 def make_utility(
@@ -206,15 +269,20 @@ def make_utility(
     verifier: OutlierVerifier,
     record_id: int,
     starting_bits: int | None = None,
+    **kwargs,
 ) -> UtilityFunction:
     """Instantiate a utility function from its registry name."""
-    if spec not in UTILITY_SPECS:
-        raise ContextError(
-            f"unknown utility {spec!r}; available: {sorted(UTILITY_SPECS)}"
-        )
-    cls = UTILITY_SPECS[spec]
-    if cls in (OverlapUtility, StartingDistanceUtility):
+    info = utility_info(spec)
+    if info.needs_starting_context:
         if starting_bits is None:
             raise ContextError(f"utility {spec!r} requires a starting context")
-        return cls(verifier, record_id, starting_bits)
-    return cls(verifier, record_id)
+        return info.factory(verifier, record_id, starting_bits, **kwargs)
+    return info.factory(verifier, record_id, **kwargs)
+
+
+register_utility("population_size", PopulationSizeUtility)
+register_utility("overlap", OverlapUtility, needs_starting_context=True)
+register_utility(
+    "starting_distance", StartingDistanceUtility, needs_starting_context=True
+)
+register_utility("sparsity", SparsityUtility)

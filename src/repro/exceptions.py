@@ -24,6 +24,10 @@ class ContextError(ReproError):
     """A context bitvector is malformed for the given schema."""
 
 
+class SpecError(ReproError):
+    """A declarative pipeline spec is invalid or cannot be (de)serialized."""
+
+
 class PrivacyBudgetError(ReproError):
     """A privacy parameter is invalid (non-positive epsilon, bad split)."""
 

@@ -23,7 +23,8 @@ import numpy as np
 
 from repro.core.pcor import PCOR
 from repro.core.reference import ReferenceFile
-from repro.core.sampling import BFSSampler, DFSSampler, RandomWalkSampler, Sampler, UniformSampler
+from repro.core.sampling import Sampler
+from repro.core.sampling import make_sampler as _registry_make_sampler
 from repro.core.starting import starting_context_from_reference
 from repro.core.utility import OverlapUtility, make_utility
 from repro.core.verification import OutlierVerifier
@@ -49,23 +50,12 @@ DATASET_FACTORIES: Dict[str, Callable[..., Dataset]] = {
     "homicide_full": synthetic_homicide_dataset,
 }
 
-SAMPLER_FACTORIES: Dict[str, Callable[[int], Sampler]] = {
-    "uniform": lambda n: UniformSampler(n_samples=n),
-    "random_walk": lambda n: RandomWalkSampler(n_samples=n),
-    "dfs": lambda n: DFSSampler(n_samples=n),
-    "bfs": lambda n: BFSSampler(n_samples=n),
-}
-
-
 def make_sampler(name: str, n_samples: int) -> Sampler:
-    """Instantiate a sampler by registry name."""
+    """Instantiate a sampler by registry name (experiment-flavoured errors)."""
     try:
-        factory = SAMPLER_FACTORIES[name.lower()]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown sampler {name!r}; available: {sorted(SAMPLER_FACTORIES)}"
-        ) from None
-    return factory(n_samples)
+        return _registry_make_sampler(name, n_samples=n_samples)
+    except SamplingError as exc:
+        raise ExperimentError(str(exc)) from None
 
 
 # ----------------------------------------------------------------- workbench

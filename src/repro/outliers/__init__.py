@@ -10,7 +10,13 @@ plus two simple extras (:class:`ZScoreDetector`, :class:`IQRDetector`) that
 back the paper's claim that PCOR "fits any outlier detection algorithm".
 """
 
-from repro.outliers.base import OutlierDetector, available_detectors, make_detector, register_detector
+from repro.outliers.base import (
+    OutlierDetector,
+    available_detectors,
+    detector_factory,
+    make_detector,
+    register_detector,
+)
 from repro.outliers.grubbs import GrubbsDetector
 from repro.outliers.histogram import HistogramDetector
 from repro.outliers.iqr import IQRDetector
@@ -27,4 +33,5 @@ __all__ = [
     "make_detector",
     "register_detector",
     "available_detectors",
+    "detector_factory",
 ]

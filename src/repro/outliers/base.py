@@ -92,14 +92,19 @@ def register_detector(name: str, factory: Callable[..., OutlierDetector]) -> Non
     _REGISTRY[key] = factory
 
 
-def make_detector(name: str, **kwargs) -> OutlierDetector:
-    """Instantiate a registered detector by name."""
+def detector_factory(name: str) -> Callable[..., OutlierDetector]:
+    """The registered factory for ``name`` (for introspection/validation)."""
     key = name.lower()
     if key not in _REGISTRY:
         raise ReproError(
             f"unknown detector {name!r}; available: {sorted(_REGISTRY)}"
         )
-    return _REGISTRY[key](**kwargs)
+    return _REGISTRY[key]
+
+
+def make_detector(name: str, **kwargs) -> OutlierDetector:
+    """Instantiate a registered detector by name."""
+    return detector_factory(name)(**kwargs)
 
 
 def available_detectors() -> List[str]:

@@ -1,0 +1,61 @@
+"""Service layer: registries + declarative specs + the long-lived engine.
+
+The spec-driven public API (see the README's "Service API" section):
+
+>>> from repro import PipelineSpec, ReleaseEngine, ReleaseRequest, salary_reduced
+>>> engine = ReleaseEngine(salary_reduced(n_records=2000, seed=7), budget=1.0)
+>>> spec = PipelineSpec(detector="lof", detector_kwargs={"k": 10},
+...                     sampler="bfs", n_samples=50, epsilon=0.2)
+>>> result = engine.submit(ReleaseRequest(record_id=17, spec=spec, seed=42))  # doctest: +SKIP
+
+Component registries live next to their base classes
+(:mod:`repro.outliers.base`, :mod:`repro.core.sampling.base`,
+:mod:`repro.core.utility`) and are re-exported here for convenience.
+"""
+
+from repro.core.sampling.base import (
+    SamplerInfo,
+    available_samplers,
+    make_sampler,
+    register_sampler,
+    sampler_info,
+)
+from repro.core.utility import (
+    UtilityInfo,
+    available_utilities,
+    make_utility,
+    register_utility,
+    utility_info,
+    utility_needs_starting_context,
+)
+from repro.outliers.base import (
+    available_detectors,
+    detector_factory,
+    make_detector,
+    register_detector,
+)
+from repro.service.engine import EngineMetrics, ReleaseEngine, ReleaseRequest
+from repro.service.spec import PipelineSpec
+
+__all__ = [
+    "PipelineSpec",
+    "ReleaseEngine",
+    "ReleaseRequest",
+    "EngineMetrics",
+    # registries
+    "SamplerInfo",
+    "UtilityInfo",
+    "available_detectors",
+    "available_samplers",
+    "available_utilities",
+    "detector_factory",
+    "make_detector",
+    "make_sampler",
+    "make_utility",
+    "register_detector",
+    "register_sampler",
+    "register_utility",
+    "sampler_info",
+    "utility_info",
+    "utility_needs_starting_context",
+]

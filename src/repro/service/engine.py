@@ -1,0 +1,420 @@
+"""The long-lived release engine: budgeted, multi-pipeline PCOR service.
+
+The paper frames PCOR as a service a data owner runs for analysts — repeated
+budgeted queries over one dataset (Sections 1 and 6.3).  This module is that
+service layer:
+
+* :class:`ReleaseRequest` — one structured query: record, pipeline spec,
+  optional starting context, seed.
+* :class:`ReleaseEngine` — a long-lived object bound to one dataset.  It
+  owns the shared :class:`~repro.data.masks.PredicateMaskIndex`, one
+  :class:`~repro.core.profiles.ProfileStore`-backed verifier per distinct
+  detector configuration, and (optionally) a
+  :class:`~repro.mechanisms.accounting.PrivacyAccountant` charged *before*
+  any data is touched.  Because the spec travels with the request, one
+  engine serves releases with different detectors, samplers, utilities and
+  epsilons against one dataset without ever rebuilding caches.
+* :class:`EngineMetrics` — aggregated service counters (profile hit/miss,
+  uncached detector runs, wall time) for dashboards and logs.
+
+The legacy entry points are thin wrappers over this engine:
+:class:`repro.core.pcor.PCOR` submits requests carrying its fixed spec, and
+:class:`repro.analysis.session.ReleaseSession` is a budgeted engine plus a
+result log.  Identical seeds release identical contexts through every path.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.context.context import Context
+from repro.core.profiles import DEFAULT_CAPACITY, ProfileStore, detector_fingerprint
+from repro.core.result import PCORResult
+from repro.core.sampling.base import Sampler
+from repro.core.starting import find_starting_context
+from repro.core.verification import OutlierVerifier
+from repro.data.masks import PredicateMaskIndex
+from repro.data.table import Dataset
+from repro.exceptions import PrivacyBudgetError, SamplingError, VerificationError
+from repro.mechanisms.accounting import PrivacyAccountant, epsilon_one_for
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.rng import RngLike, ensure_rng
+from repro.service.spec import PipelineSpec
+
+
+@dataclass(frozen=True)
+class ReleaseRequest:
+    """One structured release query against a :class:`ReleaseEngine`.
+
+    Attributes
+    ----------
+    record_id:
+        The queried outlier ``V``.
+    spec:
+        The pipeline to run — a :class:`PipelineSpec` (a plain mapping is
+        coerced through :meth:`PipelineSpec.from_dict`).
+    starting_context:
+        Optional valid context to start graph samplers from; ``None`` lets
+        the engine search for one.
+    seed:
+        RNG seed/generator for this release.  Passing one shared generator
+        across several requests draws them from a single stream, so one seed
+        reproduces a whole batch.
+    """
+
+    record_id: int
+    spec: Union[PipelineSpec, Mapping]
+    starting_context: Union[None, int, Context] = None
+    seed: RngLike = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "record_id", int(self.record_id))
+        if not isinstance(self.spec, PipelineSpec):
+            object.__setattr__(self, "spec", PipelineSpec.from_dict(self.spec))
+
+
+@dataclass
+class EngineMetrics:
+    """Service-level counters aggregated across an engine's verifiers."""
+
+    requests_submitted: int = 0
+    releases_completed: int = 0
+    requests_rejected: int = 0
+    epsilon_spent: float = 0.0
+    profile_hits: int = 0
+    profile_misses: int = 0
+    profile_evictions: int = 0
+    profiles_cached: int = 0
+    fm_evaluations: int = 0
+    fm_queries: int = 0
+    n_verifiers: int = 0
+    wall_time_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (JSON-able)."""
+        return asdict(self)
+
+
+class ReleaseEngine:
+    """A long-lived PCOR service bound to one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The protected dataset all requests run against.
+    budget:
+        Optional total OCDP budget.  When set, every ``submit`` charges the
+        engine's :class:`PrivacyAccountant` *before* resolving components or
+        touching data, so an over-budget request fails without a single
+        ``f_M`` evaluation.  ``None`` runs unbudgeted (the caller accounts).
+    profile_capacity:
+        LRU bound of each per-detector profile store.
+    mask_index:
+        Optional pre-built predicate bitmap index (must belong to
+        ``dataset``); shared by every verifier the engine creates.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        budget: Optional[float] = None,
+        profile_capacity: int = DEFAULT_CAPACITY,
+        mask_index: Optional[PredicateMaskIndex] = None,
+    ):
+        self.dataset = dataset
+        self.accountant = PrivacyAccountant(budget) if budget is not None else None
+        if mask_index is not None and mask_index.dataset is not dataset:
+            raise VerificationError("mask index was built for a different dataset")
+        self._masks = mask_index
+        self.profile_capacity = int(profile_capacity)
+        self._verifiers: Dict[Tuple, OutlierVerifier] = {}
+        self.requests_submitted = 0
+        self.releases_completed = 0
+        self.requests_rejected = 0
+        self.wall_time_s = 0.0
+
+    # -------------------------------------------------------------- plumbing
+
+    @property
+    def masks(self) -> PredicateMaskIndex:
+        """The dataset's predicate bitmap index, built on first use.
+
+        Lazy so that engines serving only *adopted* verifiers (each carrying
+        its own index) never pay the O(t*n) bit-pack pass twice.
+        """
+        if self._masks is None:
+            self._masks = PredicateMaskIndex(self.dataset)
+        return self._masks
+
+    @property
+    def spent(self) -> float:
+        """Total OCDP budget charged so far (0.0 when unbudgeted)."""
+        return self.accountant.spent if self.accountant is not None else 0.0
+
+    @property
+    def remaining(self) -> Optional[float]:
+        """Remaining budget, or ``None`` when unbudgeted."""
+        return self.accountant.remaining if self.accountant is not None else None
+
+    def can_submit(self, epsilon: float) -> bool:
+        """Would a release costing ``epsilon`` fit the remaining budget?"""
+        if self.accountant is None:
+            return True
+        return float(epsilon) <= self.accountant.remaining * (1.0 + 1e-9)
+
+    def verifier_for(self, detector) -> OutlierVerifier:
+        """The engine's shared verifier for this detector configuration.
+
+        Verifiers (and hence profile stores) are keyed by detector
+        *fingerprint*, so two requests naming the same detector with equal
+        kwargs share one cache even across different sampler/utility/epsilon
+        choices.  Profiles depend on the detector, so distinct detector
+        configurations get distinct stores.
+        """
+        key = detector_fingerprint(detector)
+        verifier = self._verifiers.get(key)
+        if verifier is None:
+            verifier = OutlierVerifier(
+                self.dataset,
+                detector,
+                self.masks,
+                profile_store=ProfileStore(capacity=self.profile_capacity),
+            )
+            self._verifiers[key] = verifier
+        return verifier
+
+    def adopt_verifier(self, verifier: OutlierVerifier) -> OutlierVerifier:
+        """Register a pre-built verifier (keeps its mask index and store).
+
+        Requests whose detector fingerprint matches ``verifier.detector``
+        will run against it — how the :class:`~repro.core.pcor.PCOR` facade
+        keeps its explicit-verifier and ``share_profiles`` semantics while
+        delegating execution here.
+        """
+        if verifier.dataset is not self.dataset:
+            raise VerificationError("verifier was built for a different dataset")
+        self._verifiers[detector_fingerprint(verifier.detector)] = verifier
+        return verifier
+
+    def metrics(self) -> EngineMetrics:
+        """Aggregated counters across the engine and all its verifiers."""
+        m = EngineMetrics(
+            requests_submitted=self.requests_submitted,
+            releases_completed=self.releases_completed,
+            requests_rejected=self.requests_rejected,
+            epsilon_spent=self.spent,
+            n_verifiers=len(self._verifiers),
+            wall_time_s=self.wall_time_s,
+        )
+        for verifier in self._verifiers.values():
+            store = verifier.profile_store
+            m.profile_hits += store.hits
+            m.profile_misses += store.misses
+            m.profile_evictions += store.evictions
+            m.profiles_cached += len(store)
+            m.fm_evaluations += verifier.fm_evaluations
+            m.fm_queries += verifier.fm_queries
+        return m
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, request: Union[ReleaseRequest, Mapping]) -> PCORResult:
+        """Run one budgeted release.
+
+        The ledger is charged *first* (even an aborted mechanism run may
+        leak); over-budget requests raise :class:`PrivacyBudgetError` before
+        any component is built or any ``f_M`` evaluation runs.
+        """
+        request = self._coerce(request)
+        self.requests_submitted += 1
+        self._charge(request)
+        return self._execute(request)
+
+    def submit_many(
+        self, requests: Sequence[Union[ReleaseRequest, Mapping]]
+    ) -> List[PCORResult]:
+        """Run a batch of releases, amortising shared work across them.
+
+        All requests are charged up front — if any would overdraw the
+        budget, the whole batch is rejected before a single ``f_M``
+        evaluation.  Records whose starting-context search will run are then
+        pre-profiled through one batched mask pass per verifier (the first
+        probe of every search), after which the requests execute in order.
+
+        Privacy accounting is per-request, identical to :meth:`submit`; see
+        :meth:`repro.core.pcor.PCOR.release_many` for the worst-case
+        sequential-composition caveat across records.
+        """
+        reqs = [self._coerce(r) for r in requests]
+        self.requests_submitted += len(reqs)
+        if self.accountant is not None:
+            # All-or-nothing admission: check the batch total against the
+            # remaining budget *before* charging anything, so a rejected
+            # batch leaves the ledger untouched instead of spending budget
+            # on its earlier requests.
+            total = math.fsum(r.spec.epsilon for r in reqs)
+            if total > self.accountant.remaining * (1.0 + 1e-9):
+                self.requests_rejected += len(reqs)
+                raise PrivacyBudgetError(
+                    f"batch of {len(reqs)} requests needs epsilon={total:.6g} "
+                    f"but only {self.accountant.remaining:.6g} of "
+                    f"{self.accountant.budget:g} remains"
+                )
+            for request in reqs:
+                self._charge(request)
+        # Warm the stores with the exact context of every record whose
+        # starting-context search will run, grouped per verifier.  Requests
+        # with an explicit start — or a spec that never searches — skip the
+        # search, so pre-profiling them could only waste detector runs.
+        warm: Dict[int, Tuple[OutlierVerifier, List[int]]] = {}
+        for request in reqs:
+            if request.starting_context is not None:
+                continue
+            if not request.spec.needs_starting_context():
+                continue
+            if not self.dataset.has_record(request.record_id):
+                continue
+            verifier = self.verifier_for(request.spec.build_detector())
+            entry = warm.setdefault(id(verifier), (verifier, []))
+            entry[1].append(self.dataset.record_bits(request.record_id))
+        for verifier, bits in warm.values():
+            verifier.profiles(bits)
+        return [self._execute(request) for request in reqs]
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _coerce(request: Union[ReleaseRequest, Mapping]) -> ReleaseRequest:
+        if isinstance(request, ReleaseRequest):
+            return request
+        if isinstance(request, Mapping):
+            return ReleaseRequest(**dict(request))
+        raise SamplingError(
+            f"submit expects a ReleaseRequest or a mapping, "
+            f"got {type(request).__name__}"
+        )
+
+    def _charge(self, request: ReleaseRequest) -> None:
+        if self.accountant is None:
+            return
+        spec = request.spec
+        sampler_name = (
+            spec.sampler if isinstance(spec.sampler, str) else spec.sampler.name
+        )
+        try:
+            self.accountant.charge(
+                f"submit(record={request.record_id}, sampler={sampler_name}, "
+                f"epsilon={spec.epsilon:g})",
+                spec.epsilon,
+            )
+        except PrivacyBudgetError:
+            self.requests_rejected += 1
+            raise
+
+    def _execute(self, request: ReleaseRequest) -> PCORResult:
+        """The release core (Definition 3.2 end to end) — shared by every
+        entry point, so identical seeds release identical contexts whether
+        they arrive via ``submit``, ``PCOR.release`` or a ``ReleaseSession``."""
+        spec = request.spec
+        record_id = request.record_id
+        gen = ensure_rng(request.seed)
+        t0 = time.perf_counter()
+
+        verifier = self.verifier_for(spec.build_detector())
+        sampler = spec.build_sampler()
+        fm_before = verifier.fm_evaluations
+
+        starting_bits = self._resolve_starting_bits(
+            verifier, sampler, spec, record_id, request.starting_context, gen
+        )
+        utility = spec.build_utility(verifier, record_id, starting_bits)
+
+        eps1 = epsilon_one_for(
+            sampler.accounting_name, spec.epsilon, sampler.n_samples
+        )
+        mechanism = ExponentialMechanism(
+            eps1,
+            sensitivity=utility.sensitivity or 1.0,
+            half_sensitivity=spec.half_sensitivity,
+        )
+
+        run = sampler.sample(
+            verifier, utility, record_id, starting_bits, mechanism, gen
+        )
+        if not run.candidates:
+            raise SamplingError(
+                f"sampler {sampler.name!r} collected no candidates for "
+                f"record {record_id}"
+            )
+
+        scores = utility.scores(run.candidates)
+        run.stats.mechanism_invocations += 1
+        chosen, _ = mechanism.select(run.candidates, scores, gen)
+
+        result = PCORResult(
+            context=Context(verifier.schema, chosen),
+            record_id=record_id,
+            utility_value=float(utility.score(chosen)),
+            utility_name=utility.name,
+            epsilon_total=spec.epsilon,
+            epsilon_one=eps1,
+            algorithm=sampler.name,
+            n_candidates=len(run.candidates),
+            starting_context=(
+                Context(verifier.schema, starting_bits)
+                if starting_bits is not None
+                else None
+            ),
+            stats=run.stats,
+            fm_evaluations=verifier.fm_evaluations - fm_before,
+            wall_time_s=time.perf_counter() - t0,
+        )
+        self.releases_completed += 1
+        self.wall_time_s += result.wall_time_s
+        return result
+
+    def _resolve_starting_bits(
+        self,
+        verifier: OutlierVerifier,
+        sampler: Sampler,
+        spec: PipelineSpec,
+        record_id: int,
+        starting_context: Union[None, int, Context],
+        gen,
+    ) -> Optional[int]:
+        needs_start = (
+            sampler.requires_starting_context
+            or spec.utility_requires_starting_context()
+        )
+        if starting_context is None:
+            if not needs_start:
+                return None
+            ctx = find_starting_context(verifier, record_id, gen)
+            return ctx.bits
+        bits = (
+            starting_context.bits
+            if isinstance(starting_context, Context)
+            else int(starting_context)
+        )
+        if not verifier.is_matching(bits, record_id):
+            raise SamplingError(
+                f"starting context {bits:#x} is not a matching context for "
+                f"record {record_id}; graph samplers must start from a valid "
+                "context (Section 5.2)"
+            )
+        return bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        budget = (
+            f"budget={self.accountant.budget:g}, spent={self.spent:g}"
+            if self.accountant is not None
+            else "unbudgeted"
+        )
+        return (
+            f"ReleaseEngine(n={len(self.dataset)}, {budget}, "
+            f"verifiers={len(self._verifiers)}, "
+            f"releases={self.releases_completed})"
+        )

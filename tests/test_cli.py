@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -94,6 +96,78 @@ class TestRelease:
         assert "released context" in out
         assert "epsilon" in out
         assert "utility ratio" in out
+
+
+class TestSpecsCommand:
+    def test_lists_all_registries(self, capsys):
+        rc = main(["specs"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for section in ("detectors:", "samplers:", "utilities:"):
+            assert section in out
+        for name in ("lof", "zscore", "bfs", "uniform", "population_size", "overlap"):
+            assert name in out
+        assert "starting context" in out  # registry metadata is surfaced
+
+
+class TestReleaseJson:
+    def test_json_output_parses(self, capsys):
+        rc = main(
+            [
+                "release",
+                "--dataset", "salary_reduced",
+                "--records", "400",
+                "--detector", "lof",
+                "--samples", "8",
+                "--seed", "3",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["algorithm"] == "bfs"
+        assert payload["context"]["bitstring"]
+        assert payload["epsilon_total"] == pytest.approx(0.2)
+
+
+class TestReleaseSpecFile:
+    def test_spec_file_drives_pipeline(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "detector": "zscore",
+                    "detector_kwargs": {"z_threshold": 2.5, "min_population": 8},
+                    "sampler": "uniform",
+                    "utility": "population_size",
+                    "epsilon": 0.3,
+                    "n_samples": 8,
+                }
+            )
+        )
+        rc = main(
+            [
+                "release",
+                "--dataset", "salary_reduced",
+                "--records", "400",
+                "--seed", "3",
+                "--spec", str(spec_path),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["algorithm"] == "uniform"
+        assert payload["epsilon_total"] == pytest.approx(0.3)
+
+    def test_bad_spec_file_fails_cleanly(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"detector": "quantum"}))
+        rc = main(["release", "--spec", str(spec_path)])
+        assert rc == 1
+        assert "unknown detector" in capsys.readouterr().err
 
 
 class TestLocalityCommand:

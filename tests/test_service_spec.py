@@ -1,0 +1,217 @@
+"""Tests for the declarative PipelineSpec (validation + serialization)."""
+
+import json
+
+import pytest
+
+from repro.core.sampling import BFSSampler, UniformSampler
+from repro.core.utility import OverlapUtility
+from repro.exceptions import SpecError
+from repro.outliers.zscore import ZScoreDetector
+from repro.service import PipelineSpec
+
+ZSCORE_KWARGS = {"z_threshold": 2.5, "min_population": 8}
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = PipelineSpec(detector="zscore")
+        assert spec.sampler == "bfs"
+        assert spec.utility == "population_size"
+        assert spec.epsilon == 0.2
+        assert spec.n_samples == 50
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(SpecError, match="unknown detector"):
+            PipelineSpec(detector="quantum")
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(SpecError, match="unknown sampler"):
+            PipelineSpec(detector="zscore", sampler="teleport")
+
+    def test_unknown_utility_rejected(self):
+        with pytest.raises(SpecError, match="unknown utility"):
+            PipelineSpec(detector="zscore", utility="magic")
+
+    def test_bad_detector_kwargs_rejected(self):
+        with pytest.raises(SpecError, match="detector_kwargs"):
+            PipelineSpec(detector="zscore", detector_kwargs={"warp_factor": 9})
+
+    def test_bad_sampler_kwargs_rejected(self):
+        with pytest.raises(SpecError, match="sampler_kwargs"):
+            PipelineSpec(detector="zscore", sampler_kwargs={"warp_factor": 9})
+
+    def test_good_sampler_kwargs_accepted(self):
+        spec = PipelineSpec(
+            detector="zscore", sampler="uniform", sampler_kwargs={"p": 0.25}
+        )
+        assert spec.build_sampler().p == 0.25
+
+    def test_bad_epsilon_rejected(self):
+        for eps in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(SpecError, match="epsilon"):
+                PipelineSpec(detector="zscore", epsilon=eps)
+
+    def test_bad_n_samples_rejected(self):
+        with pytest.raises(SpecError, match="n_samples"):
+            PipelineSpec(detector="zscore", n_samples=0)
+
+    def test_wrong_component_types_rejected(self):
+        with pytest.raises(SpecError, match="detector"):
+            PipelineSpec(detector=42)
+        with pytest.raises(SpecError, match="sampler"):
+            PipelineSpec(detector="zscore", sampler=42)
+        with pytest.raises(SpecError, match="utility"):
+            PipelineSpec(detector="zscore", utility=42)
+
+
+class TestInstanceSpecs:
+    def test_sampler_instance_syncs_n_samples(self):
+        spec = PipelineSpec(detector="zscore", sampler=BFSSampler(n_samples=7))
+        assert spec.n_samples == 7
+
+    def test_instance_kwargs_rejected(self):
+        with pytest.raises(SpecError, match="detector_kwargs"):
+            PipelineSpec(
+                detector=ZScoreDetector(**ZSCORE_KWARGS),
+                detector_kwargs={"z_threshold": 3.0},
+            )
+        with pytest.raises(SpecError, match="sampler_kwargs"):
+            PipelineSpec(
+                detector="zscore",
+                sampler=UniformSampler(n_samples=5),
+                sampler_kwargs={"p": 0.5},
+            )
+
+    def test_instance_spec_not_serializable(self):
+        spec = PipelineSpec(detector=ZScoreDetector(**ZSCORE_KWARGS))
+        assert not spec.is_serializable
+        with pytest.raises(SpecError, match="cannot be serialized"):
+            spec.to_dict()
+
+    def test_callable_utility_allowed(self):
+        def factory(verifier, record_id, starting_bits):
+            return OverlapUtility(verifier, record_id, starting_bits)
+
+        spec = PipelineSpec(detector="zscore", utility=factory)
+        assert not spec.is_serializable
+
+
+class TestStartingContextMetadata:
+    def test_graph_samplers_require_start(self):
+        assert PipelineSpec(detector="zscore", sampler="bfs").needs_starting_context()
+        assert PipelineSpec(detector="zscore", sampler="dfs").needs_starting_context()
+
+    def test_uniform_population_size_is_start_free(self):
+        spec = PipelineSpec(detector="zscore", sampler="uniform")
+        assert not spec.needs_starting_context()
+
+    def test_start_needing_utility_triggers_search(self):
+        spec = PipelineSpec(detector="zscore", sampler="uniform", utility="overlap")
+        assert spec.utility_requires_starting_context()
+        assert spec.needs_starting_context()
+
+    def test_callable_with_attribute(self):
+        def factory(verifier, record_id, starting_bits):
+            return OverlapUtility(verifier, record_id, starting_bits)
+
+        factory.needs_starting_context = True
+        spec = PipelineSpec(detector="zscore", sampler="uniform", utility=factory)
+        assert spec.utility_requires_starting_context()
+
+    def test_explicit_flag_overrides(self):
+        def factory(verifier, record_id, starting_bits):
+            return OverlapUtility(verifier, record_id, starting_bits)
+
+        spec = PipelineSpec(
+            detector="zscore",
+            sampler="uniform",
+            utility=factory,
+            utility_needs_start=True,
+        )
+        assert spec.utility_requires_starting_context()
+
+
+class TestRoundTrip:
+    def spec(self):
+        return PipelineSpec(
+            detector="zscore",
+            detector_kwargs=ZSCORE_KWARGS,
+            sampler="uniform",
+            sampler_kwargs={"p": 0.4},
+            utility="sparsity",
+            epsilon=0.35,
+            n_samples=9,
+            half_sensitivity=True,
+        )
+
+    def test_dict_round_trip(self):
+        spec = self.spec()
+        assert PipelineSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = self.spec()
+        assert PipelineSpec.from_dict(json.loads(spec.to_json())) == spec
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = self.spec()
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(indent=2))
+        assert PipelineSpec.from_file(path) == spec
+
+    def test_toml_file_round_trip(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'detector = "zscore"',
+                    'sampler = "uniform"',
+                    'utility = "sparsity"',
+                    "epsilon = 0.35",
+                    "n_samples = 9",
+                    "half_sensitivity = true",
+                    "",
+                    "[detector_kwargs]",
+                    "z_threshold = 2.5",
+                    "min_population = 8",
+                    "",
+                    "[sampler_kwargs]",
+                    "p = 0.4",
+                ]
+            )
+        )
+        assert PipelineSpec.from_file(path) == self.spec()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown spec field"):
+            PipelineSpec.from_dict({"detector": "zscore", "warp_factor": 9})
+
+    def test_missing_detector_rejected(self):
+        with pytest.raises(SpecError, match="detector"):
+            PipelineSpec.from_dict({"sampler": "bfs"})
+
+    def test_bad_names_rejected_on_load(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"detector": "quantum"}))
+        with pytest.raises(SpecError, match="unknown detector"):
+            PipelineSpec.from_file(path)
+
+    def test_bad_kwargs_rejected_on_load(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps({"detector": "zscore", "detector_kwargs": {"warp": 9}})
+        )
+        with pytest.raises(SpecError, match="detector_kwargs"):
+            PipelineSpec.from_file(path)
+
+    def test_unsupported_suffix_rejected(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("detector: zscore")
+        with pytest.raises(SpecError, match="unsupported spec format"):
+            PipelineSpec.from_file(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope")
+        with pytest.raises(SpecError, match="invalid JSON"):
+            PipelineSpec.from_file(path)
