@@ -49,6 +49,15 @@ from repro.core import (
     utility_info,
     utility_needs_starting_context,
 )
+from repro.runtime import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from repro.service import EngineMetrics, PipelineSpec, ReleaseEngine, ReleaseRequest
 from repro.data import (
     BinSpec,
@@ -65,6 +74,7 @@ from repro.exceptions import (
     ContextError,
     DatasetError,
     EnumerationError,
+    ExecutionError,
     ExperimentError,
     MechanismError,
     PrivacyBudgetError,
@@ -141,6 +151,14 @@ __all__ = [
     "sampler_info",
     "utility_info",
     "utility_needs_starting_context",
+    # execution runtime
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
     # mechanisms
     "ExponentialMechanism",
     "LaplaceMechanism",
@@ -179,6 +197,7 @@ __all__ = [
     "DatasetError",
     "ContextError",
     "SpecError",
+    "ExecutionError",
     "PrivacyBudgetError",
     "MechanismError",
     "SamplingError",

@@ -40,6 +40,7 @@ from repro.experiments.locality import locality_experiment, locality_table
 from repro.experiments.privacy_ratio import privacy_ratio_experiment
 from repro.experiments.tables import DETECTOR_KWARGS, TABLE_RUNNERS
 from repro.outliers.base import available_detectors, make_detector
+from repro.runtime import available_backends
 from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
 
 
@@ -97,6 +98,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rel.add_argument(
         "--json", action="store_true", help="emit the release result as JSON"
+    )
+    p_rel.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="execution backend (default: PCOR_BACKEND env or serial; "
+        "releases are bit-identical across backends for a given seed)",
+    )
+    p_rel.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the execution backend; N>1 without "
+        "--backend implies --backend process",
     )
 
     sub.add_parser(
@@ -222,6 +238,15 @@ def _emit_result(args: argparse.Namespace, result) -> None:
         print(result.describe())
 
 
+def _release_backend(args: argparse.Namespace):
+    """(backend, workers) for the release engine; ``--workers N`` with N>1
+    and no ``--backend`` implies the process backend."""
+    backend = args.backend
+    if backend is None and args.workers is not None and args.workers > 1:
+        backend = "process"
+    return backend, args.workers
+
+
 def _run_release(args: argparse.Namespace) -> int:
     spec = _release_spec(args)
     dataset = DATASET_FACTORIES[args.dataset](n_records=args.records, seed=args.seed)
@@ -241,7 +266,8 @@ def _run_release(args: argparse.Namespace) -> int:
         record_id = bench.pick_outliers(1, args.seed)[0]
         print(f"auto-picked outlier record {record_id}")
     starting = starting_context_from_reference(bench.reference, record_id, args.seed)
-    engine = ReleaseEngine(bench.dataset)
+    backend, workers = _release_backend(args)
+    engine = ReleaseEngine(bench.dataset, backend=backend, workers=workers)
     engine.adopt_verifier(bench.fresh_verifier())
     result = engine.submit(
         ReleaseRequest(
@@ -259,7 +285,8 @@ def _run_release_without_reference(args, dataset, spec: PipelineSpec) -> int:
     """Release against a context space too large to enumerate (paper scale)."""
     import numpy as np
 
-    engine = ReleaseEngine(dataset)
+    backend, workers = _release_backend(args)
+    engine = ReleaseEngine(dataset, backend=backend, workers=workers)
     verifier = engine.verifier_for(spec.build_detector())
     rng = np.random.default_rng(args.seed)
     print(

@@ -61,6 +61,14 @@ class PCOR:
     profile_store:
         Explicit :class:`~repro.core.profiles.ProfileStore` for the
         verifier's memo (overrides ``share_profiles``).
+    backend / workers:
+        Execution backend for :meth:`release_many` fan-out and large
+        profile batches (``"serial"``, ``"thread"``, ``"process"``, or an
+        :class:`~repro.runtime.base.ExecutionBackend` instance), passed to
+        this instance's private engine.  ``None`` honours the
+        ``PCOR_BACKEND``/``PCOR_WORKERS`` environment and defaults to
+        serial.  Execution never changes a released context: any backend at
+        any worker count is bit-identical to serial for the same seed.
     """
 
     def __init__(
@@ -75,6 +83,8 @@ class PCOR:
         share_profiles: bool = False,
         profile_store: Optional[ProfileStore] = None,
         utility_needs_starting_context: Optional[bool] = None,
+        backend=None,
+        workers: Optional[int] = None,
     ):
         self.dataset = dataset
         self.detector = detector
@@ -114,8 +124,17 @@ class PCOR:
             half_sensitivity=self.half_sensitivity,
             utility_needs_start=utility_needs_starting_context,
         )
-        self.engine = ReleaseEngine(dataset, mask_index=self.verifier.masks)
+        self.engine = ReleaseEngine(
+            dataset,
+            mask_index=self.verifier.masks,
+            backend=backend,
+            workers=workers,
+        )
         self.engine.adopt_verifier(self.verifier)
+
+    def close(self) -> None:
+        """Release the engine's execution resources (pools, shared memory)."""
+        self.engine.close()
 
     # ------------------------------------------------------------------ main
 
@@ -172,7 +191,12 @@ class PCOR:
         disjoint does parallel composition tighten the total back to
         ``epsilon``.  Budgeting across a multi-record release is the data
         owner's call, exactly as it is across repeated :meth:`release`
-        calls.
+        calls.  *Parallel execution changes none of this*: a thread or
+        process backend reorders only the wall-clock schedule — the set of
+        releases, their per-record charges, and the worst-case sequential
+        composition across them are identical to a serial run, and the
+        whole batch is admitted against the budget before any backend task
+        starts.
 
         Parameters
         ----------
@@ -183,8 +207,10 @@ class PCOR:
             ``record_ids``; ``None`` entries fall back to the automatic
             starting-context search.
         seed:
-            RNG seed/generator; all releases draw from the one stream, so a
-            single seed reproduces the whole batch.
+            RNG seed/generator; the engine spawns one independent substream
+            per record from it (in record order), so a single seed
+            reproduces the whole batch — bit-identically on every execution
+            backend at any worker count.
         """
         ids = [int(r) for r in record_ids]
         if starting_contexts is None:

@@ -20,6 +20,7 @@ when their dataset is garbage-collected.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Optional, Tuple
@@ -40,13 +41,22 @@ DEFAULT_CAPACITY = 1_000_000
 
 
 class ProfileStore:
-    """Bounded LRU map from context bitmask to :data:`ContextProfile`."""
+    """Bounded LRU map from context bitmask to :data:`ContextProfile`.
+
+    Thread-safe: every operation holds the store's lock, so concurrent
+    engine callers (the thread execution backend in particular) can never
+    corrupt the LRU order, overshoot the capacity bound, or lose counter
+    updates.  Profiles are immutable values keyed by context bitmask, so
+    the worst a get/put race can do is recompute a profile both threads
+    then agree on.
+    """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self._profiles: "OrderedDict[int, ContextProfile]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -55,51 +65,59 @@ class ProfileStore:
 
     def get(self, bits: int) -> Optional[ContextProfile]:
         """Cached profile of ``bits`` or ``None``; counts the hit/miss."""
-        profile = self._profiles.get(bits)
-        if profile is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._profiles.move_to_end(bits)
-        return profile
+        with self._lock:
+            profile = self._profiles.get(bits)
+            if profile is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._profiles.move_to_end(bits)
+            return profile
 
     def peek(self, bits: int) -> Optional[ContextProfile]:
         """Like :meth:`get` but without touching counters or LRU order."""
-        return self._profiles.get(bits)
+        with self._lock:
+            return self._profiles.get(bits)
 
     def put(self, bits: int, profile: ContextProfile) -> None:
         """Insert (or refresh) a profile, evicting the LRU entry if full."""
-        self._profiles[bits] = profile
-        self._profiles.move_to_end(bits)
-        while len(self._profiles) > self.capacity:
-            self._profiles.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._profiles[bits] = profile
+            self._profiles.move_to_end(bits)
+            while len(self._profiles) > self.capacity:
+                self._profiles.popitem(last=False)
+                self.evictions += 1
 
     # --------------------------------------------------------------- plumbing
 
     def __len__(self) -> int:
-        return len(self._profiles)
+        with self._lock:
+            return len(self._profiles)
 
     def __contains__(self, bits: int) -> bool:
-        return bits in self._profiles
+        with self._lock:
+            return bits in self._profiles
 
     def clear(self) -> None:
-        self._profiles.clear()
+        with self._lock:
+            self._profiles.clear()
 
     def reset_counters(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> Dict[str, int]:
         """Counter snapshot for the harness / reporting."""
-        return {
-            "size": len(self._profiles),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._profiles),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -25,6 +25,7 @@ the first profile component, and outlier-membership is a set lookup.
 
 from __future__ import annotations
 
+import threading
 from typing import FrozenSet, List, Optional, Sequence
 
 import numpy as np
@@ -49,6 +50,7 @@ class OutlierVerifier:
         detector: OutlierDetector,
         mask_index: Optional[PredicateMaskIndex] = None,
         profile_store: Optional[ProfileStore] = None,
+        backend=None,
     ):
         self.dataset = dataset
         self.detector = detector
@@ -56,8 +58,29 @@ class OutlierVerifier:
         if self.masks.dataset is not dataset:
             raise VerificationError("mask index was built for a different dataset")
         self.profile_store = profile_store if profile_store is not None else ProfileStore()
+        #: Optional :class:`~repro.runtime.base.ExecutionBackend`.  When set
+        #: (and parallel), large uncached-profile batches fan out across its
+        #: workers — this is the single hook that parallelises
+        #: ``is_matching_many``, ``UtilityFunction.scores`` and every
+        #: sampler's child expansion, since they all funnel through
+        #: :meth:`profiles`.  Profiles are deterministic, so the backend can
+        #: never change an answer, only the wall time.
+        self.backend = backend
+        self._counter_lock = threading.Lock()
+        self._local = threading.local()
         self.fm_evaluations = 0  # number of *uncached* detector runs
         self.fm_queries = 0  # number of f_M questions asked (cached or not)
+
+    @property
+    def local_fm_evaluations(self) -> int:
+        """Uncached detector runs charged by *this thread*.
+
+        A release executes entirely on one thread (backends never split one
+        request), so per-release cost deltas diff this counter instead of
+        the shared :attr:`fm_evaluations` — which, under the thread backend,
+        would attribute concurrent releases' runs to each other.
+        """
+        return getattr(self._local, "fm_evaluations", 0)
 
     @property
     def schema(self):
@@ -80,14 +103,38 @@ class OutlierVerifier:
         )
 
     def _compute_profiles(self, misses: List[int]) -> List[ContextProfile]:
-        """Profile the distinct uncached contexts of one batch."""
+        """Profile the distinct uncached contexts of one batch.
+
+        Large batches fan out across the attached execution backend's
+        workers (chunked contiguously, reduced in input order); everything
+        else — and any batch arriving from inside a backend worker task —
+        computes inline via :meth:`_profile_chunk`.
+        """
+        with self._counter_lock:
+            self.fm_evaluations += len(misses)
+        self._local.fm_evaluations = self.local_fm_evaluations + len(misses)
+        backend = self.backend
+        if (
+            backend is not None
+            and backend.parallel
+            and len(misses) >= backend.min_profile_fanout
+            and backend.inner_fanout_allowed()
+        ):
+            return backend.run_profiles(self, misses)
+        return self._profile_chunk(misses)
+
+    def _profile_chunk(self, misses: List[int]) -> List[ContextProfile]:
+        """Profile one chunk of uncached contexts.
+
+        No verifier counters and no cache writes happen here (the mask
+        index's own evaluation counter is lock-protected), so chunks are
+        safe to run concurrently from backend workers."""
         packed = self.masks.population_masks(misses)  # one batched pass
         pops = popcount_rows(packed)
         ids = self.dataset.ids
         metric = self.dataset.metric
         computed: List[ContextProfile] = []
         for k in range(len(misses)):
-            self.fm_evaluations += 1
             pop = int(pops[k])
             if pop == 0:
                 computed.append((0, frozenset()))
@@ -129,7 +176,8 @@ class OutlierVerifier:
         one batched :meth:`profiles` call.
         """
         bits_list = [int(b) for b in bits_seq]
-        self.fm_queries += len(bits_list)
+        with self._counter_lock:
+            self.fm_queries += len(bits_list)
         if not self.dataset.has_record(record_id):
             raise VerificationError(f"record {record_id} not in dataset")
         record_bits = self.dataset.record_bits(record_id)
@@ -153,7 +201,8 @@ class OutlierVerifier:
         the enumerator and the starting-context search call this once per
         context, so cache hits must stay a couple of dict lookups.
         """
-        self.fm_queries += 1
+        with self._counter_lock:
+            self.fm_queries += 1
         if not self.dataset.has_record(record_id):
             raise VerificationError(f"record {record_id} not in dataset")
         record_bits = self.dataset.record_bits(record_id)
@@ -175,6 +224,7 @@ class OutlierVerifier:
         """
         self.fm_evaluations = 0
         self.fm_queries = 0
+        self._local.fm_evaluations = 0  # calling thread's slice only
         self.masks.reset_counters()
         self.profile_store.reset_counters()
 

@@ -21,6 +21,7 @@ through, so it also keeps simple counters for the experiment harness.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -58,7 +59,36 @@ class PredicateMaskIndex:
                 np.equal(codes, j, out=bool_rows[row])
                 row += 1
         self._packed = pack_bool_matrix(bool_rows)
+        self._counter_lock = threading.Lock()
         self.population_evaluations = 0  # harness-visible cost counter
+
+    @classmethod
+    def from_packed(cls, dataset: Dataset, packed: np.ndarray) -> "PredicateMaskIndex":
+        """Rebuild an index around an existing packed matrix, without
+        re-running the O(t*n) bit-pack pass.
+
+        ``packed`` may be a read-only view — in particular a zero-copy view
+        into a :mod:`multiprocessing.shared_memory` segment, which is how
+        process workers get the matrix for free.  The caller keeps the
+        backing buffer alive for the index's lifetime.
+        """
+        obj = cls.__new__(cls)
+        obj.dataset = dataset
+        schema = dataset.schema
+        obj.t = schema.t
+        obj._offsets = schema.offsets
+        obj._block_sizes = tuple(len(a) for a in schema.attributes)
+        obj.n_words = words_for(len(dataset))
+        arr = np.asarray(packed)
+        if arr.dtype != np.uint64 or arr.shape != (obj.t, obj.n_words):
+            raise ContextError(
+                f"packed matrix must be uint64 of shape ({obj.t}, {obj.n_words}), "
+                f"got {arr.dtype} {arr.shape}"
+            )
+        obj._packed = arr
+        obj._counter_lock = threading.Lock()
+        obj.population_evaluations = 0
+        return obj
 
     # ------------------------------------------------------------------ core
 
@@ -98,7 +128,11 @@ class PredicateMaskIndex:
                     f"context bits {b:#x} out of range for t={self.t}"
                 )
         batch = len(bits_list)
-        self.population_evaluations += batch
+        # The index is shared by every verifier (and, under the thread
+        # backend, by concurrent profile chunks): the counter update must
+        # not lose increments.
+        with self._counter_lock:
+            self.population_evaluations += batch
         selection = ints_to_bool_matrix(bits_list, self.t)  # (B, t)
         result: np.ndarray | None = None
         for off, size in zip(self._offsets, self._block_sizes):
@@ -155,4 +189,5 @@ class PredicateMaskIndex:
         return (record_bits & bits) == record_bits
 
     def reset_counters(self) -> None:
-        self.population_evaluations = 0
+        with self._counter_lock:
+            self.population_evaluations = 0

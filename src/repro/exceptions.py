@@ -50,3 +50,7 @@ class EnumerationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is invalid or a run cannot proceed."""
+
+
+class ExecutionError(ReproError):
+    """A parallel execution backend failed (dead worker, unshippable task)."""

@@ -25,8 +25,9 @@ invocations under basic (sequential) composition.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.exceptions import PrivacyBudgetError
 
@@ -93,7 +94,11 @@ class PrivacyAccountant:
     """Sequential-composition ledger.
 
     Every mechanism invocation is charged at its worst-case cost; the
-    accountant refuses charges that would exceed the budget.
+    accountant refuses charges that would exceed the budget.  The
+    check-then-append in :meth:`charge` (and the batch variant
+    :meth:`charge_many`) is atomic under the accountant's lock, so
+    concurrent engine callers can never overdraw — or double-charge — the
+    budget by racing each other.
     """
 
     budget: float
@@ -102,30 +107,55 @@ class PrivacyAccountant:
     def __post_init__(self) -> None:
         if not (self.budget > 0.0 and math.isfinite(self.budget)):
             raise PrivacyBudgetError(f"budget must be positive and finite, got {self.budget}")
+        self._lock = threading.RLock()
 
     @property
     def spent(self) -> float:
-        return math.fsum(cost for _, cost in self._ledger)
+        with self._lock:
+            return math.fsum(cost for _, cost in self._ledger)
 
     @property
     def remaining(self) -> float:
-        return self.budget - self.spent
+        with self._lock:
+            return self.budget - self.spent
+
+    def _check_and_append(self, charges: Sequence[Tuple[str, float]]) -> None:
+        for label, cost in charges:
+            if cost < 0.0 or not math.isfinite(cost):
+                raise PrivacyBudgetError(
+                    f"charge must be finite and >= 0, got {cost}"
+                )
+        total = math.fsum(cost for _, cost in charges)
+        # Tolerate float dust from splitting eps across many invocations.
+        if self.spent + total > self.budget * (1.0 + 1e-9):
+            label = charges[0][0] if len(charges) == 1 else f"batch of {len(charges)}"
+            raise PrivacyBudgetError(
+                f"charge {label!r} of {total:.6g} exceeds remaining budget "
+                f"{self.remaining:.6g} (total {self.budget:.6g})"
+            )
+        self._ledger.extend((label, float(cost)) for label, cost in charges)
 
     def charge(self, label: str, cost: float) -> None:
         """Record a charge; raises if it would overdraw the budget."""
-        if cost < 0.0 or not math.isfinite(cost):
-            raise PrivacyBudgetError(f"charge must be finite and >= 0, got {cost}")
-        # Tolerate float dust from splitting eps across many invocations.
-        if self.spent + cost > self.budget * (1.0 + 1e-9):
-            raise PrivacyBudgetError(
-                f"charge {label!r} of {cost:.6g} exceeds remaining budget "
-                f"{self.remaining:.6g} (total {self.budget:.6g})"
-            )
-        self._ledger.append((label, float(cost)))
+        with self._lock:
+            self._check_and_append([(label, cost)])
+
+    def charge_many(self, charges: Sequence[Tuple[str, float]]) -> None:
+        """Atomically record a batch of charges, all or nothing.
+
+        Either every charge fits the remaining budget and all are appended,
+        or none are — and no other thread can slip a charge in between the
+        check and the append.
+        """
+        if not charges:
+            return
+        with self._lock:
+            self._check_and_append(list(charges))
 
     def ledger(self) -> List[Tuple[str, float]]:
         """A copy of all (label, cost) charges so far."""
-        return list(self._ledger)
+        with self._lock:
+            return list(self._ledger)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

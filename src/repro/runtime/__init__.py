@@ -1,0 +1,66 @@
+"""Parallel execution runtime: pluggable worker backends for PCOR.
+
+Three registered backends execute the engine's fan-out points
+(``submit_many`` request batches and uncached context-profile batches):
+
+* ``serial`` — :class:`SerialBackend`, inline execution (the default and
+  the determinism reference);
+* ``thread`` — :class:`ThreadBackend`, an in-process pool sharing the
+  engine's lock-protected profile stores;
+* ``process`` — :class:`ProcessBackend`, spawned workers over a
+  shared-memory copy of the dataset and its bit-packed mask matrix.
+
+Every backend produces **bit-identical releases** for the same seed at any
+worker count: randomness is planned as per-task substreams
+(:func:`plan_task_rngs`) keyed by request order, and results are always
+reduced in that canonical order.
+
+Select a backend with ``ReleaseEngine(backend=...)``/``PCOR(backend=...)``,
+per-spec via ``PipelineSpec.backend``, from the CLI via
+``pcor release --backend process --workers 4``, or globally through the
+``PCOR_BACKEND`` / ``PCOR_WORKERS`` environment variables.
+"""
+
+from repro.runtime.base import (
+    DEFAULT_MAX_WORKERS,
+    ExecutionBackend,
+    available_backends,
+    chunk_evenly,
+    default_workers,
+    make_backend,
+    plan_task_rngs,
+    register_backend,
+    resolve_backend,
+    rng_from_token,
+)
+from repro.runtime.process import ProcessBackend
+from repro.runtime.serial import SerialBackend
+from repro.runtime.sharing import (
+    SharedDatasetExport,
+    SharedDatasetHandle,
+    attach_shared_dataset,
+)
+from repro.runtime.threads import ThreadBackend
+
+register_backend("serial", SerialBackend)
+register_backend("thread", ThreadBackend)
+register_backend("process", ProcessBackend)
+
+__all__ = [
+    "DEFAULT_MAX_WORKERS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SharedDatasetExport",
+    "SharedDatasetHandle",
+    "attach_shared_dataset",
+    "available_backends",
+    "chunk_evenly",
+    "default_workers",
+    "make_backend",
+    "plan_task_rngs",
+    "register_backend",
+    "resolve_backend",
+    "rng_from_token",
+]

@@ -1,0 +1,274 @@
+"""Execution backend protocol, registry and deterministic task seeding.
+
+PCOR's cost is dominated by repeated detector runs over candidate contexts;
+the work is embarrassingly parallel at two granularities — whole releases in
+a ``release_many``/``submit_many`` batch, and batches of uncached context
+profiles inside one release.  An :class:`ExecutionBackend` executes both
+task shapes:
+
+* :meth:`ExecutionBackend.run_releases` — one task per release request,
+  fanned out across workers, reduced in request order.
+* :meth:`ExecutionBackend.run_profiles` — one task per contiguous chunk of
+  uncached context bitmasks, reduced in input order.  Every caller of
+  ``OutlierVerifier.is_matching_many`` / ``UtilityFunction.scores`` — the
+  samplers' child expansion included — funnels through this path.
+
+**Determinism contract.**  Profiles are deterministic functions of the
+context, so their fan-out cannot change any answer.  Releases draw
+randomness, so :func:`plan_task_rngs` derives one *independent substream
+per task* from the release seeds — spawned in request order (the stable
+task key) — and results are always reduced in that canonical order.  Any
+backend at any worker count therefore produces bit-identical releases to
+:class:`~repro.runtime.serial.SerialBackend` for the same seed.
+
+Backends are registered by name (``serial`` / ``thread`` / ``process``);
+:func:`resolve_backend` also honours the ``PCOR_BACKEND`` and
+``PCOR_WORKERS`` environment variables so a whole test suite or deployment
+can be switched without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+from repro.rng import RngLike
+
+#: Default worker-count ceiling when neither the caller nor the
+#: ``PCOR_WORKERS`` environment variable names one.
+DEFAULT_MAX_WORKERS = 4
+
+#: A per-task seed token: either a spawned child generator (shared-generator
+#: seeds) or a :class:`numpy.random.SeedSequence` (int / fresh-entropy
+#: seeds).  Both are picklable, so tokens travel to process workers as-is.
+SeedToken = Union[np.random.Generator, np.random.SeedSequence]
+
+
+def default_workers() -> int:
+    """Worker count from ``PCOR_WORKERS``, else ``min(4, cpu_count)``."""
+    env = os.environ.get("PCOR_WORKERS")
+    if env:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ExecutionError(
+                f"PCOR_WORKERS must be an integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ExecutionError(f"PCOR_WORKERS must be >= 1, got {workers}")
+        return workers
+    return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
+
+
+def chunk_evenly(items: Sequence, n_chunks: int) -> List[list]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, near-equal chunks.
+
+    Contiguity keeps the reduce order canonical: concatenating the chunk
+    results in chunk order reproduces the input order exactly.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    n_chunks = max(1, min(int(n_chunks), n))
+    quotient, remainder = divmod(n, n_chunks)
+    out: List[list] = []
+    start = 0
+    for i in range(n_chunks):
+        size = quotient + (1 if i < remainder else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def plan_task_rngs(seeds: Sequence[RngLike]) -> List[SeedToken]:
+    """One independent RNG substream token per task, by stable task key.
+
+    The task key is the position in ``seeds`` (request order).  Seeds map to
+    tokens as:
+
+    * ``None`` — a fresh-entropy :class:`~numpy.random.SeedSequence` (the
+      caller asked for nondeterminism);
+    * ``int`` — ``SeedSequence(seed)``, which is exactly the stream
+      ``default_rng(seed)`` would produce, so per-request integer seeds
+      behave as they always did;
+    * a shared :class:`~numpy.random.Generator` — one child spawned per
+      occurrence, in order.  Spawning (rather than handing tasks the live
+      object) is what makes the plan independent of execution order and
+      worker count: the parent generator advances identically however the
+      tasks are later scheduled.
+    """
+    tokens: List[SeedToken] = []
+    for seed in seeds:
+        if seed is None:
+            tokens.append(np.random.SeedSequence())
+        elif isinstance(seed, np.random.Generator):
+            tokens.append(seed.spawn(1)[0])
+        elif isinstance(seed, (int, np.integer)):
+            tokens.append(np.random.SeedSequence(int(seed)))
+        else:
+            raise TypeError(
+                f"seed must be None, an int, or a numpy Generator; got {type(seed)!r}"
+            )
+    return tokens
+
+
+def rng_from_token(token: SeedToken) -> np.random.Generator:
+    """Materialise the generator a task should draw from."""
+    if isinstance(token, np.random.Generator):
+        return token
+    return np.random.default_rng(token)
+
+
+class ExecutionBackend(ABC):
+    """Executes PCOR's two task shapes over a pool of workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``None`` reads ``PCOR_WORKERS`` and falls back to
+        ``min(4, cpu_count)``.
+
+    Class attributes
+    ----------------
+    remote:
+        True when tasks execute outside this process (results do not pass
+        through the engine's in-process counters).
+    min_profile_fanout:
+        Smallest uncached-profile batch worth fanning out; below it the
+        verifier computes inline.  Process backends set this higher because
+        every chunk pays an IPC round trip.
+    """
+
+    name: str = "abstract"
+    remote: bool = False
+    min_profile_fanout: int = 64
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {self.workers}")
+        self._stats_lock = threading.Lock()
+        self.release_tasks = 0
+        self.profile_tasks = 0
+        self.task_wall_s = 0.0
+
+    # ------------------------------------------------------------- protocol
+
+    @abstractmethod
+    def run_releases(self, engine, requests: Sequence, tokens: Sequence[SeedToken]) -> List:
+        """Execute one release per request, reduced in request order.
+
+        ``engine`` is the :class:`~repro.service.engine.ReleaseEngine` the
+        batch was submitted to; in-process backends call its release core
+        directly, the process backend ships self-contained task payloads to
+        its worker pool instead.
+        """
+
+    @abstractmethod
+    def run_profiles(self, verifier, misses: List[int]) -> List:
+        """Profile a batch of uncached contexts, reduced in input order."""
+
+    def close(self) -> None:
+        """Release pools and shared-memory resources (idempotent)."""
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def parallel(self) -> bool:
+        """Can this backend actually fan work out?"""
+        return self.workers > 1
+
+    def inner_fanout_allowed(self) -> bool:
+        """May a *nested* profile fan-out run right now?
+
+        Pool-sharing backends return False from inside their own worker
+        tasks so a release executing on the pool never re-enters it (which
+        could deadlock a bounded pool).
+        """
+        return True
+
+    def _count(self, *, releases: int = 0, profiles: int = 0, wall: float = 0.0) -> None:
+        with self._stats_lock:
+            self.release_tasks += releases
+            self.profile_tasks += profiles
+            self.task_wall_s += wall
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot for :class:`~repro.service.engine.EngineMetrics`."""
+        with self._stats_lock:
+            return {
+                "backend": self.name,
+                "workers": self.workers,
+                "release_tasks": self.release_tasks,
+                "profile_tasks": self.profile_tasks,
+                "task_wall_s": self.task_wall_s,
+            }
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+# -------------------------------------------------------------------- registry
+
+_BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _BACKENDS:
+        raise ExecutionError(f"backend {name!r} already registered")
+    _BACKENDS[key] = factory
+
+
+def make_backend(name: str, workers: Optional[int] = None) -> ExecutionBackend:
+    """Instantiate a registered backend by name."""
+    key = str(name).lower()
+    if key not in _BACKENDS:
+        raise ExecutionError(
+            f"unknown backend {name!r}; available: {sorted(_BACKENDS)}"
+        )
+    return _BACKENDS[key](workers=workers)
+
+
+def available_backends() -> List[str]:
+    """Names of all registered execution backends."""
+    return sorted(_BACKENDS)
+
+
+def resolve_backend(
+    backend: Union[None, str, ExecutionBackend] = None,
+    workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Normalise a backend argument into an :class:`ExecutionBackend`.
+
+    ``None`` consults the ``PCOR_BACKEND`` environment variable; absent
+    that, ``workers > 1`` implies the process backend (asking for workers
+    must never silently run serial — the CLI's ``--workers N`` promotes the
+    same way) and otherwise serial is used.  A string goes through the
+    registry; an instance is returned unchanged (``workers`` must then be
+    omitted or match).
+    """
+    if isinstance(backend, ExecutionBackend):
+        if workers is not None and int(workers) != backend.workers:
+            raise ExecutionError(
+                f"workers={workers} conflicts with the supplied "
+                f"{backend.name} backend's workers={backend.workers}"
+            )
+        return backend
+    if backend is None:
+        backend = os.environ.get("PCOR_BACKEND")
+    if backend is None:
+        backend = "process" if workers is not None and int(workers) > 1 else "serial"
+    return make_backend(backend, workers=workers)

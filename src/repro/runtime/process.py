@@ -1,0 +1,313 @@
+"""The process backend: spawned worker pool over shared-memory datasets.
+
+On first use with a dataset, the backend writes the record codes, ids,
+metric column and the bit-packed mask matrix into one shared-memory segment
+(:class:`~repro.runtime.sharing.SharedDatasetExport`) and spawns a
+``spawn``-context :class:`~concurrent.futures.ProcessPoolExecutor` whose
+initializer attaches the segment and builds a per-worker serial engine.
+Tasks then carry only their own payload — a request spec rendered as data
+plus a picklable RNG substream token — so per-task IPC stays tiny however
+large the dataset is.
+
+Failure semantics: a worker dying mid-task surfaces as a clear
+:class:`~repro.exceptions.ExecutionError` naming this backend (never a raw
+``BrokenProcessPool``), and the pool plus shared memory are torn down
+immediately so nothing leaks even on a crash.  Ordinary task exceptions
+(``SamplingError`` etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import threading
+import time
+import weakref
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExecutionError
+from repro.runtime.base import ExecutionBackend, SeedToken, chunk_evenly
+from repro.runtime.sharing import SharedDatasetExport
+from repro.runtime import worker as worker_mod
+
+
+def _release_resources(export: Optional[SharedDatasetExport], pool) -> None:
+    """GC/close-time cleanup; must never reference the backend itself.
+
+    The pool is joined *before* the segment is unlinked, so a worker still
+    running its initializer can finish attaching; crashed workers are
+    already gone and join immediately.
+    """
+    if pool is not None:
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+    if export is not None:
+        export.close()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fan tasks out across spawned worker processes."""
+
+    name = "process"
+    remote = True
+    # Every chunk pays a pickle round trip, so small miss batches stay local.
+    min_profile_fanout = 256
+
+    @property
+    def parallel(self) -> bool:
+        """Always true: even one process worker executes out-of-process, so
+        tasks ship (unlike serial/thread, where one worker means inline)."""
+        return True
+
+    #: Bound on the validated-payload memo dicts (FIFO eviction): a
+    #: long-lived service submitting many ad-hoc specs must not accumulate
+    #: entries (and pinned specs/verifiers) without limit.
+    payload_cache_size = 64
+
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__(workers)
+        # Guards the pool/export lifecycle and the payload memos so
+        # concurrent submitters cannot double-spawn (leaking a pool + shm
+        # segment) or unbind a pool out from under an in-flight map.
+        self._lifecycle_lock = threading.RLock()
+        self._export: Optional[SharedDatasetExport] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # Strong reference to the bound dataset: identity is the bind key,
+        # and holding the object keeps a recycled id from silently aliasing
+        # a *different* dataset onto a stale shared-memory export.
+        self._dataset: Optional[Any] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        # spec -> validated payload; keyed by id with a strong reference to
+        # the spec so a recycled id can never alias a different spec.
+        self._spec_payloads: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+        self._detector_payloads: Dict[int, Tuple[Any, Tuple]] = {}
+
+    # -------------------------------------------------------------- binding
+
+    def bind(self, dataset, mask_index=None, profile_capacity: Optional[int] = None) -> None:
+        """Export ``dataset`` and spawn the worker pool now (idempotent).
+
+        Binding otherwise happens lazily on the first fan-out; call this to
+        pay the spawn + shared-memory export cost up front (e.g. at service
+        start) so the first batch runs at steady-state speed.
+        """
+        if mask_index is None:
+            from repro.data.masks import PredicateMaskIndex
+
+            mask_index = PredicateMaskIndex(dataset)
+        pool = self._ensure_bound(dataset, mask_index, profile_capacity)
+        # The executor spawns workers lazily on submission; pinging with one
+        # short sleep per worker forces the whole pool (and every worker's
+        # initializer) up now.
+        self._map(pool, worker_mod.ping_task, [0.05] * self.workers)
+
+    def _ensure_bound(
+        self, dataset, mask_index, profile_capacity: Optional[int] = None
+    ) -> ProcessPoolExecutor:
+        """Export ``dataset``, spawn the pool (once per dataset), and return
+        the pool *handle* the caller must ship its tasks through — holding
+        the handle (rather than re-reading ``self._pool`` later) keeps a
+        concurrent rebind to a different dataset from silently swapping the
+        pool under an in-flight batch."""
+        with self._lifecycle_lock:
+            if self._pool is not None and self._dataset is dataset:
+                return self._pool
+            self._unbind()
+            export = SharedDatasetExport(dataset, mask_index)
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=mp.get_context("spawn"),
+                    initializer=worker_mod.initialize_worker,
+                    initargs=(
+                        export.handle,
+                        profile_capacity,
+                    ),
+                )
+            except Exception:
+                export.close()
+                raise
+            self._export = export
+            self._pool = pool
+            self._dataset = dataset
+            self._finalizer = weakref.finalize(self, _release_resources, export, pool)
+            return pool
+
+    def _unbind(self, expected_pool: Optional[ProcessPoolExecutor] = None) -> None:
+        """Tear down the current binding.
+
+        With ``expected_pool`` given, only tears down if that pool is still
+        the bound one — a failing batch must not destroy a healthy pool the
+        backend has since been rebound to.
+        """
+        with self._lifecycle_lock:
+            if expected_pool is not None and self._pool is not expected_pool:
+                return
+            finalizer, self._finalizer = self._finalizer, None
+            self._export = None
+            self._pool = None
+            self._dataset = None
+        if finalizer is not None:
+            finalizer()  # runs _release_resources exactly once
+
+    def close(self) -> None:
+        self._unbind()
+        with self._lifecycle_lock:
+            self._spec_payloads.clear()
+            self._detector_payloads.clear()
+
+    # ------------------------------------------------------------ shipping
+
+    def _map(self, pool: Optional[ProcessPoolExecutor], fn, payloads: Sequence) -> List:
+        """Ordered map over ``pool`` with crash translation and teardown."""
+        if pool is None:
+            with self._lifecycle_lock:
+                pool = self._pool
+        if pool is None:
+            raise ExecutionError(f"{self.name} backend is not bound to a dataset")
+        try:
+            return list(pool.map(fn, payloads))
+        except BrokenExecutor as exc:
+            # The pool is unusable and its workers are gone; tear everything
+            # down now (unless a rebind already replaced it) so the shared
+            # segment cannot leak, then re-raise as a library error naming
+            # the backend.
+            self._unbind(expected_pool=pool)
+            raise ExecutionError(
+                f"{self.name} backend ({self.workers} workers) lost a worker "
+                f"process mid-task ({type(exc).__name__}); the pool and its "
+                "shared-memory segment were torn down — resubmit to respawn"
+            ) from exc
+        except RuntimeError as exc:
+            # Only translate the executor's own shutdown complaint (a
+            # concurrent close()/rebind mid-flight); any other RuntimeError
+            # is an ordinary task exception and must propagate unchanged.
+            if "after shutdown" not in str(exc):
+                raise
+            raise ExecutionError(
+                f"{self.name} backend ({self.workers} workers) was shut down "
+                f"while a batch was in flight: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _memoize(cache: Dict[int, Tuple[Any, Any]], key_obj: Any, value: Any, bound: int) -> None:
+        """FIFO-bounded insert so long-lived services cannot accumulate
+        entries (and the specs/verifiers they pin) without limit."""
+        while len(cache) >= bound:
+            cache.pop(next(iter(cache)))
+        cache[id(key_obj)] = (key_obj, value)
+
+    def _shippable_spec(self, spec) -> Dict[str, Any]:
+        with self._lifecycle_lock:
+            cached = self._spec_payloads.get(id(spec))
+            if cached is not None and cached[0] is spec:
+                return cached[1]
+        payload = worker_mod.spec_payload(spec)
+        self._validate_payload(payload, spec)
+        with self._lifecycle_lock:
+            self._memoize(self._spec_payloads, spec, payload, self.payload_cache_size)
+        return payload
+
+    def _validate_payload(self, payload: Dict[str, Any], spec) -> None:
+        """Fail in the parent, with a clear error, before any task ships."""
+        try:
+            pickle.dumps(payload)
+        except Exception as exc:
+            raise ExecutionError(
+                f"spec {spec!r} cannot be shipped to {self.name} workers: "
+                f"{exc}; use registry-named components for process execution"
+            ) from None
+        rebuilt = worker_mod.rebuild_spec(payload)
+        from repro.core.profiles import detector_fingerprint
+
+        if detector_fingerprint(rebuilt.build_detector()) != detector_fingerprint(
+            spec.build_detector()
+        ):
+            raise ExecutionError(
+                f"detector {type(spec.build_detector()).__qualname__} does not "
+                "round-trip through its public configuration; register it "
+                f"(register_detector) to release via the {self.name} backend"
+            )
+        original_sampler = spec.build_sampler()
+        rebuilt_sampler = rebuilt.build_sampler()
+        if type(rebuilt_sampler) is not type(original_sampler) or vars(
+            rebuilt_sampler
+        ) != vars(original_sampler):
+            raise ExecutionError(
+                f"sampler {type(original_sampler).__qualname__} does not "
+                "round-trip through its public configuration; register it "
+                f"(register_sampler) to release via the {self.name} backend"
+            )
+
+    def _detector_payload_for(self, verifier) -> Tuple:
+        with self._lifecycle_lock:
+            cached = self._detector_payloads.get(id(verifier))
+            if cached is not None and cached[0] is verifier:
+                return cached[1]
+        payload = worker_mod.detector_payload(verifier.detector)
+        try:
+            pickle.dumps(payload)
+            rebuilt = worker_mod.rebuild_detector(payload)
+            from repro.core.profiles import detector_fingerprint
+
+            if detector_fingerprint(rebuilt) != detector_fingerprint(
+                verifier.detector
+            ):
+                raise ExecutionError(
+                    f"detector {type(verifier.detector).__qualname__} does not "
+                    "round-trip through its public configuration"
+                )
+        except ExecutionError:
+            raise
+        except Exception as exc:
+            raise ExecutionError(
+                f"detector {type(verifier.detector).__qualname__} cannot be "
+                f"shipped to {self.name} workers: {exc}"
+            ) from None
+        with self._lifecycle_lock:
+            self._memoize(
+                self._detector_payloads, verifier, payload, self.payload_cache_size
+            )
+        return payload
+
+    # ------------------------------------------------------------- protocol
+
+    def run_releases(self, engine, requests: Sequence, tokens: Sequence[SeedToken]) -> List:
+        t0 = time.perf_counter()
+        pool = self._ensure_bound(engine.dataset, engine.masks, engine.profile_capacity)
+        payloads = []
+        for request, token in zip(requests, tokens):
+            start = request.starting_context
+            starting_bits = (
+                None if start is None else int(getattr(start, "bits", start))
+            )
+            payloads.append(
+                {
+                    "record_id": request.record_id,
+                    "spec": self._shippable_spec(request.spec),
+                    "starting_bits": starting_bits,
+                    "seed": token,
+                }
+            )
+        results = self._map(pool, worker_mod.run_release_task, payloads)
+        self._count(releases=len(results), wall=time.perf_counter() - t0)
+        return results
+
+    def run_profiles(self, verifier, misses: List[int]) -> List:
+        t0 = time.perf_counter()
+        pool = self._ensure_bound(
+            verifier.dataset, verifier.masks, verifier.profile_store.capacity
+        )
+        detector = self._detector_payload_for(verifier)
+        payloads = [
+            {"detector": detector, "bits": chunk}
+            for chunk in chunk_evenly(misses, self.workers)
+        ]
+        profiles: List = []
+        for part in self._map(pool, worker_mod.run_profile_task, payloads):
+            profiles.extend(part)
+        self._count(profiles=len(misses), wall=time.perf_counter() - t0)
+        return profiles

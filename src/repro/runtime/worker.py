@@ -1,0 +1,240 @@
+"""Worker-process runtime and task payloads for the process backend.
+
+A worker is initialised once per process: it attaches the shared-memory
+dataset segment, rebuilds the dataset and the zero-copy mask index, and
+keeps a private, unbudgeted, strictly-serial
+:class:`~repro.service.engine.ReleaseEngine` for the pool's lifetime.
+Verifiers (and hence profile stores) persist across tasks, so a worker
+amortises detector runs over every task it is handed.
+
+Components cross the process boundary as *specs*, never as pickled
+instances:
+
+* named registry components travel as ``(name, kwargs)`` and rebuild
+  through the registries;
+* detector / sampler **instances** travel as their configuration
+  fingerprint — class path plus public constructor parameters — and are
+  re-validated against the original's
+  :func:`~repro.core.profiles.detector_fingerprint` *before* shipping, so a
+  class whose constructor cannot round-trip its configuration fails in the
+  parent with a clear :class:`~repro.exceptions.ExecutionError` instead of
+  crashing a worker.
+
+Heavyweight imports (the service engine) happen lazily inside functions:
+this module is imported by the backend in the parent process too, and must
+not create an import cycle with :mod:`repro.service.engine`.
+"""
+
+from __future__ import annotations
+
+import os
+from importlib import import_module
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ExecutionError
+from repro.runtime.base import rng_from_token
+from repro.runtime.sharing import SharedDatasetHandle, attach_shared_dataset
+
+_RUNTIME: Optional[Dict[str, Any]] = None
+
+
+# ------------------------------------------------------------- initialisation
+
+
+def initialize_worker(
+    handle: SharedDatasetHandle, profile_capacity: Optional[int] = None
+) -> None:
+    """Process-pool initializer: attach shared memory, build the engine.
+
+    ``profile_capacity`` carries the parent engine's profile-store bound so
+    worker caches (which persist across tasks by design) respect the same
+    memory ceiling the caller configured.
+    """
+    global _RUNTIME
+    from repro.core.profiles import DEFAULT_CAPACITY
+    from repro.runtime.serial import SerialBackend
+    from repro.service.engine import ReleaseEngine
+
+    dataset, masks, shm = attach_shared_dataset(handle)
+    # Workers are leaves: an explicit serial backend ignores any inherited
+    # PCOR_BACKEND/PCOR_WORKERS environment, so a worker can never spawn
+    # its own pool.
+    engine = ReleaseEngine(
+        dataset,
+        mask_index=masks,
+        backend=SerialBackend(),
+        profile_capacity=(
+            DEFAULT_CAPACITY if profile_capacity is None else int(profile_capacity)
+        ),
+    )
+    _RUNTIME = {"engine": engine, "shm": shm}
+
+
+def _engine():
+    if _RUNTIME is None:
+        raise ExecutionError(
+            "worker runtime not initialised; tasks may only run on a pool "
+            "started by ProcessBackend"
+        )
+    return _RUNTIME["engine"]
+
+
+# ----------------------------------------------------------- component specs
+
+
+def _resolve_class(module: str, qualname: str):
+    obj: Any = import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _instance_payload(obj: object) -> Tuple:
+    """Class path + public configuration of a detector/sampler instance."""
+    params = {k: v for k, v in vars(obj).items() if not k.startswith("_")}
+    return ("class", type(obj).__module__, type(obj).__qualname__, params)
+
+
+def _rebuild_instance(payload: Tuple, what: str):
+    _, module, qualname, params = payload
+    try:
+        cls = _resolve_class(module, qualname)
+    except (ImportError, AttributeError) as exc:
+        raise ExecutionError(
+            f"cannot import {what} class {module}.{qualname}: {exc}"
+        ) from None
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ExecutionError(
+            f"cannot rebuild {what} {qualname} from its public configuration "
+            f"{sorted(params)}: {exc}; use a registry-named {what} (its spec "
+            "ships as data) or give the class a constructor that accepts its "
+            "public attributes"
+        ) from None
+
+
+def detector_payload(detector) -> Tuple:
+    """Shippable spec of a detector: registry name or class fingerprint."""
+    if isinstance(detector, str):
+        return ("named", detector, {})
+    return _instance_payload(detector)
+
+
+def rebuild_detector(payload: Tuple):
+    if payload[0] == "named":
+        from repro.outliers.base import make_detector
+
+        return make_detector(payload[1], **payload[2])
+    return _rebuild_instance(payload, "detector")
+
+
+def rebuild_sampler(payload: Tuple):
+    if payload[0] == "named":
+        from repro.core.sampling.base import make_sampler
+
+        name, kwargs, n_samples = payload[1], payload[2], payload[3]
+        return make_sampler(name, n_samples=n_samples, **kwargs)
+    return _rebuild_instance(payload, "sampler")
+
+
+def spec_payload(spec) -> Dict[str, Any]:
+    """Shippable rendering of a :class:`~repro.service.spec.PipelineSpec`.
+
+    Fully registry-named specs ship as their ``to_dict()`` form.  Specs
+    carrying live components decompose into per-component payloads; callable
+    utilities ship by pickle reference (the backend pre-validates
+    picklability before any task is submitted).
+    """
+    if spec.is_serializable:
+        return {"kind": "dict", "data": spec.to_dict()}
+    if isinstance(spec.detector, str):
+        det = ("named", spec.detector, dict(spec.detector_kwargs))
+    else:
+        det = _instance_payload(spec.detector)
+    if isinstance(spec.sampler, str):
+        smp: Tuple = ("named", spec.sampler, dict(spec.sampler_kwargs), spec.n_samples)
+    else:
+        smp = _instance_payload(spec.sampler)
+    if isinstance(spec.utility, str):
+        util: Tuple = ("named", spec.utility, dict(spec.utility_kwargs))
+    else:
+        util = ("callable", spec.utility, dict(spec.utility_kwargs))
+    return {
+        "kind": "parts",
+        "detector": det,
+        "sampler": smp,
+        "utility": util,
+        "epsilon": spec.epsilon,
+        "n_samples": spec.n_samples,
+        "half_sensitivity": spec.half_sensitivity,
+        "utility_needs_start": spec.utility_needs_start,
+    }
+
+
+def rebuild_spec(payload: Dict[str, Any]):
+    from repro.service.spec import PipelineSpec
+
+    if payload["kind"] == "dict":
+        return PipelineSpec.from_dict(payload["data"])
+    det_p, smp_p, util_p = payload["detector"], payload["sampler"], payload["utility"]
+    detector = det_p[1] if det_p[0] == "named" else rebuild_detector(det_p)
+    detector_kwargs = det_p[2] if det_p[0] == "named" else {}
+    sampler = smp_p[1] if smp_p[0] == "named" else rebuild_sampler(smp_p)
+    sampler_kwargs = smp_p[2] if smp_p[0] == "named" else {}
+    utility = util_p[1]
+    utility_kwargs = util_p[2]
+    return PipelineSpec(
+        detector=detector,
+        sampler=sampler,
+        utility=utility,
+        epsilon=payload["epsilon"],
+        n_samples=payload["n_samples"],
+        half_sensitivity=payload["half_sensitivity"],
+        detector_kwargs=detector_kwargs,
+        sampler_kwargs=sampler_kwargs,
+        utility_kwargs=utility_kwargs,
+        utility_needs_start=payload["utility_needs_start"],
+    )
+
+
+# -------------------------------------------------------------------- tasks
+
+
+def run_release_task(payload: Dict[str, Any]):
+    """One whole release, end to end, against the worker's engine."""
+    from repro.service.engine import ReleaseRequest
+
+    engine = _engine()
+    spec = rebuild_spec(payload["spec"])
+    request = ReleaseRequest(
+        record_id=payload["record_id"],
+        spec=spec,
+        starting_context=payload["starting_bits"],
+    )
+    return engine._execute(request, rng_from_token(payload["seed"]))
+
+
+def run_profile_task(payload: Dict[str, Any]):
+    """Profile one chunk of contexts against the worker's shared verifier."""
+    engine = _engine()
+    detector = rebuild_detector(payload["detector"])
+    verifier = engine.verifier_for(detector)
+    return verifier.profiles(payload["bits"])
+
+
+def ping_task(delay: float) -> int:
+    """Warm-up no-op used by ``ProcessBackend.bind`` to force worker spawn.
+
+    The short sleep keeps each already-spawned worker busy so the pool's
+    lazy spawner brings up a fresh process for every queued ping.
+    """
+    import time
+
+    time.sleep(float(delay))
+    return os.getpid()
+
+
+def crash_task(_payload) -> None:  # pragma: no cover - kills the process
+    """Test hook: die abruptly, simulating a worker crash."""
+    os._exit(13)

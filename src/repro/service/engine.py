@@ -15,7 +15,14 @@ service layer:
   engine serves releases with different detectors, samplers, utilities and
   epsilons against one dataset without ever rebuilding caches.
 * :class:`EngineMetrics` — aggregated service counters (profile hit/miss,
-  uncached detector runs, wall time) for dashboards and logs.
+  uncached detector runs, per-phase wall time and backend task counts) for
+  dashboards and logs.
+
+Batch execution runs on a pluggable :mod:`repro.runtime` backend
+(``serial`` / ``thread`` / ``process``).  Randomness is planned as one
+substream per request (spawned from the request seeds in request order), so
+every backend at any worker count releases bit-identical contexts to the
+serial path for the same seeds.
 
 The legacy entry points are thin wrappers over this engine:
 :class:`repro.core.pcor.PCOR` submits requests carrying its fixed spec, and
@@ -26,9 +33,12 @@ result log.  Identical seeds release identical contexts through every path.
 from __future__ import annotations
 
 import math
+import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.context.context import Context
 from repro.core.profiles import DEFAULT_CAPACITY, ProfileStore, detector_fingerprint
@@ -38,10 +48,17 @@ from repro.core.starting import find_starting_context
 from repro.core.verification import OutlierVerifier
 from repro.data.masks import PredicateMaskIndex
 from repro.data.table import Dataset
-from repro.exceptions import PrivacyBudgetError, SamplingError, VerificationError
+from repro.exceptions import ExecutionError, PrivacyBudgetError, SamplingError, VerificationError
 from repro.mechanisms.accounting import PrivacyAccountant, epsilon_one_for
 from repro.mechanisms.exponential import ExponentialMechanism
 from repro.rng import RngLike, ensure_rng
+from repro.runtime import (
+    ExecutionBackend,
+    make_backend,
+    plan_task_rngs,
+    resolve_backend,
+    rng_from_token,
+)
 from repro.service.spec import PipelineSpec
 
 
@@ -60,9 +77,12 @@ class ReleaseRequest:
         Optional valid context to start graph samplers from; ``None`` lets
         the engine search for one.
     seed:
-        RNG seed/generator for this release.  Passing one shared generator
-        across several requests draws them from a single stream, so one seed
-        reproduces a whole batch.
+        RNG seed/generator for this release.  A single :meth:`submit` draws
+        from it directly; :meth:`ReleaseEngine.submit_many` instead spawns
+        one independent child substream per request carrying the same
+        generator (in request order), so one seed still reproduces a whole
+        batch — bit-identically on every execution backend at any worker
+        count.
     """
 
     record_id: int
@@ -78,7 +98,13 @@ class ReleaseRequest:
 
 @dataclass
 class EngineMetrics:
-    """Service-level counters aggregated across an engine's verifiers."""
+    """Service-level counters aggregated across an engine's verifiers.
+
+    ``phase_wall_s`` / ``phase_tasks`` break the engine's time down by
+    execution phase (``admission``, ``warm_profiles``, ``release``), and
+    ``release_tasks`` / ``profile_tasks`` count what the execution backend
+    actually fanned out.
+    """
 
     requests_submitted: int = 0
     releases_completed: int = 0
@@ -92,6 +118,12 @@ class EngineMetrics:
     fm_queries: int = 0
     n_verifiers: int = 0
     wall_time_s: float = 0.0
+    backend: str = "serial"
+    backend_workers: int = 1
+    release_tasks: int = 0
+    profile_tasks: int = 0
+    phase_wall_s: Dict[str, float] = field(default_factory=dict)
+    phase_tasks: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, float]:
         """Plain-dict snapshot (JSON-able)."""
@@ -115,6 +147,17 @@ class ReleaseEngine:
     mask_index:
         Optional pre-built predicate bitmap index (must belong to
         ``dataset``); shared by every verifier the engine creates.
+    backend:
+        Execution backend for batch fan-out and large profile batches: an
+        :class:`~repro.runtime.base.ExecutionBackend` instance, a registry
+        name (``serial`` / ``thread`` / ``process``), or ``None`` — which
+        honours a request spec's ``backend`` field, then the
+        ``PCOR_BACKEND`` environment variable, then falls back to serial.
+        Any backend at any worker count releases bit-identical contexts to
+        serial for the same seed.
+    workers:
+        Worker count for a backend named here (``None`` reads
+        ``PCOR_WORKERS``, then ``min(4, cpu_count)``).
     """
 
     def __init__(
@@ -123,6 +166,8 @@ class ReleaseEngine:
         budget: Optional[float] = None,
         profile_capacity: int = DEFAULT_CAPACITY,
         mask_index: Optional[PredicateMaskIndex] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
+        workers: Optional[int] = None,
     ):
         self.dataset = dataset
         self.accountant = PrivacyAccountant(budget) if budget is not None else None
@@ -131,6 +176,15 @@ class ReleaseEngine:
         self._masks = mask_index
         self.profile_capacity = int(profile_capacity)
         self._verifiers: Dict[Tuple, OutlierVerifier] = {}
+        # An explicitly named backend wins over request specs; a spec-named
+        # backend wins over the PCOR_BACKEND environment default.
+        self._explicit_backend = backend is not None
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = resolve_backend(backend, workers)
+        self._spec_backends: Dict[Tuple[str, Optional[int]], ExecutionBackend] = {}
+        self._lock = threading.RLock()
+        self._phase_wall: Dict[str, float] = {}
+        self._phase_tasks: Dict[str, int] = {}
         self.requests_submitted = 0
         self.releases_completed = 0
         self.requests_rejected = 0
@@ -175,16 +229,18 @@ class ReleaseEngine:
         configurations get distinct stores.
         """
         key = detector_fingerprint(detector)
-        verifier = self._verifiers.get(key)
-        if verifier is None:
-            verifier = OutlierVerifier(
-                self.dataset,
-                detector,
-                self.masks,
-                profile_store=ProfileStore(capacity=self.profile_capacity),
-            )
-            self._verifiers[key] = verifier
-        return verifier
+        with self._lock:
+            verifier = self._verifiers.get(key)
+            if verifier is None:
+                verifier = OutlierVerifier(
+                    self.dataset,
+                    detector,
+                    self.masks,
+                    profile_store=ProfileStore(capacity=self.profile_capacity),
+                    backend=self.backend if self.backend.parallel else None,
+                )
+                self._verifiers[key] = verifier
+            return verifier
 
     def adopt_verifier(self, verifier: OutlierVerifier) -> OutlierVerifier:
         """Register a pre-built verifier (keeps its mask index and store).
@@ -196,28 +252,72 @@ class ReleaseEngine:
         """
         if verifier.dataset is not self.dataset:
             raise VerificationError("verifier was built for a different dataset")
-        self._verifiers[detector_fingerprint(verifier.detector)] = verifier
+        with self._lock:
+            if verifier.backend is None and self.backend.parallel:
+                verifier.backend = self.backend
+            self._verifiers[detector_fingerprint(verifier.detector)] = verifier
         return verifier
 
     def metrics(self) -> EngineMetrics:
         """Aggregated counters across the engine and all its verifiers."""
-        m = EngineMetrics(
-            requests_submitted=self.requests_submitted,
-            releases_completed=self.releases_completed,
-            requests_rejected=self.requests_rejected,
-            epsilon_spent=self.spent,
-            n_verifiers=len(self._verifiers),
-            wall_time_s=self.wall_time_s,
-        )
-        for verifier in self._verifiers.values():
+        with self._lock:
+            m = EngineMetrics(
+                requests_submitted=self.requests_submitted,
+                releases_completed=self.releases_completed,
+                requests_rejected=self.requests_rejected,
+                epsilon_spent=self.spent,
+                n_verifiers=len(self._verifiers),
+                wall_time_s=self.wall_time_s,
+                backend=self.backend.name,
+                backend_workers=self.backend.workers,
+                phase_wall_s=dict(self._phase_wall),
+                phase_tasks=dict(self._phase_tasks),
+            )
+            verifiers = list(self._verifiers.values())
+            backends = [self.backend, *self._spec_backends.values()]
+        for verifier in verifiers:
             store = verifier.profile_store
-            m.profile_hits += store.hits
-            m.profile_misses += store.misses
-            m.profile_evictions += store.evictions
-            m.profiles_cached += len(store)
+            stats = store.stats()
+            m.profile_hits += stats["hits"]
+            m.profile_misses += stats["misses"]
+            m.profile_evictions += stats["evictions"]
+            m.profiles_cached += stats["size"]
             m.fm_evaluations += verifier.fm_evaluations
             m.fm_queries += verifier.fm_queries
+        for backend in backends:
+            stats = backend.stats()
+            m.release_tasks += stats["release_tasks"]
+            m.profile_tasks += stats["profile_tasks"]
         return m
+
+    def _phase(self, name: str, wall: float, tasks: int = 0) -> None:
+        with self._lock:
+            self._phase_wall[name] = self._phase_wall.get(name, 0.0) + wall
+            if tasks:
+                self._phase_tasks[name] = self._phase_tasks.get(name, 0) + tasks
+
+    def close(self) -> None:
+        """Release execution resources (worker pools, shared memory).
+
+        Closes every backend the engine created itself — including
+        spec-resolved ones — but not a backend *instance* the caller passed
+        in (the caller owns its lifecycle).  Safe to call more than once;
+        the engine remains usable afterwards (backends respawn pools
+        lazily).
+        """
+        if self._owns_backend:
+            self.backend.close()
+        with self._lock:
+            spec_backends = list(self._spec_backends.values())
+            self._spec_backends.clear()
+        for backend in spec_backends:
+            backend.close()
+
+    def __enter__(self) -> "ReleaseEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------ submission
 
@@ -229,46 +329,84 @@ class ReleaseEngine:
         any component is built or any ``f_M`` evaluation runs.
         """
         request = self._coerce(request)
-        self.requests_submitted += 1
+        with self._lock:
+            self.requests_submitted += 1
         self._charge(request)
-        return self._execute(request)
+        t0 = time.perf_counter()
+        result = self._execute(request)
+        self._phase("release", time.perf_counter() - t0, tasks=1)
+        return result
 
     def submit_many(
         self, requests: Sequence[Union[ReleaseRequest, Mapping]]
     ) -> List[PCORResult]:
         """Run a batch of releases, amortising shared work across them.
 
-        All requests are charged up front — if any would overdraw the
-        budget, the whole batch is rejected before a single ``f_M``
-        evaluation.  Records whose starting-context search will run are then
-        pre-profiled through one batched mask pass per verifier (the first
-        probe of every search), after which the requests execute in order.
+        All requests are charged up front in one atomic ledger transaction —
+        if any would overdraw the budget, the whole batch is rejected before
+        a single ``f_M`` evaluation and nothing is charged.  The batch then
+        executes on the engine's execution backend: one task per request,
+        each drawing from its own RNG substream spawned from the request
+        seeds in request order, with results reduced in that same order —
+        so serial, thread and process backends release bit-identical
+        contexts for the same seeds at any worker count.
+
+        On the serial path, records whose starting-context search will run
+        are first pre-profiled through one batched mask pass per verifier
+        (the first probe of every search); parallel backends skip the warm
+        pass — thread workers share the store anyway and process workers
+        warm their own caches as they go.
 
         Privacy accounting is per-request, identical to :meth:`submit`; see
         :meth:`repro.core.pcor.PCOR.release_many` for the worst-case
         sequential-composition caveat across records.
         """
         reqs = [self._coerce(r) for r in requests]
-        self.requests_submitted += len(reqs)
+        with self._lock:
+            self.requests_submitted += len(reqs)
+        if not reqs:
+            return []
+        t0 = time.perf_counter()
         if self.accountant is not None:
-            # All-or-nothing admission: check the batch total against the
-            # remaining budget *before* charging anything, so a rejected
-            # batch leaves the ledger untouched instead of spending budget
-            # on its earlier requests.
-            total = math.fsum(r.spec.epsilon for r in reqs)
-            if total > self.accountant.remaining * (1.0 + 1e-9):
-                self.requests_rejected += len(reqs)
+            # All-or-nothing admission, atomic on the accountant's lock: a
+            # rejected batch leaves the ledger untouched, and no concurrent
+            # submitter can slip a charge between the check and the append.
+            try:
+                self.accountant.charge_many(
+                    [(self._charge_label(r), r.spec.epsilon) for r in reqs]
+                )
+            except PrivacyBudgetError:
+                with self._lock:
+                    self.requests_rejected += len(reqs)
+                total = math.fsum(r.spec.epsilon for r in reqs)
                 raise PrivacyBudgetError(
                     f"batch of {len(reqs)} requests needs epsilon={total:.6g} "
                     f"but only {self.accountant.remaining:.6g} of "
                     f"{self.accountant.budget:g} remains"
-                )
-            for request in reqs:
-                self._charge(request)
-        # Warm the stores with the exact context of every record whose
-        # starting-context search will run, grouped per verifier.  Requests
-        # with an explicit start — or a spec that never searches — skip the
-        # search, so pre-profiling them could only waste detector runs.
+                ) from None
+        self._phase("admission", time.perf_counter() - t0)
+
+        backend = self._backend_for(reqs)
+        tokens = plan_task_rngs([r.seed for r in reqs])
+
+        if backend.parallel and len(reqs) > 1:
+            t0 = time.perf_counter()
+            results = backend.run_releases(self, reqs, tokens)
+            self._phase("release", time.perf_counter() - t0, tasks=len(reqs))
+            if backend.remote:
+                # Remote tasks never pass through this process's _execute;
+                # fold their outcomes into the engine's counters here.
+                with self._lock:
+                    self.releases_completed += len(results)
+                    self.wall_time_s += sum(r.wall_time_s for r in results)
+            return results
+
+        # Serial path: warm the stores with the exact context of every
+        # record whose starting-context search will run, grouped per
+        # verifier.  Requests with an explicit start — or a spec that never
+        # searches — skip the search, so pre-profiling them could only
+        # waste detector runs.
+        t0 = time.perf_counter()
         warm: Dict[int, Tuple[OutlierVerifier, List[int]]] = {}
         for request in reqs:
             if request.starting_context is not None:
@@ -280,9 +418,56 @@ class ReleaseEngine:
             verifier = self.verifier_for(request.spec.build_detector())
             entry = warm.setdefault(id(verifier), (verifier, []))
             entry[1].append(self.dataset.record_bits(request.record_id))
+        warmed = 0
         for verifier, bits in warm.values():
             verifier.profiles(bits)
-        return [self._execute(request) for request in reqs]
+            warmed += len(bits)
+        if warm:
+            self._phase("warm_profiles", time.perf_counter() - t0, tasks=warmed)
+
+        t0 = time.perf_counter()
+        results = [
+            self._execute(request, rng_from_token(token))
+            for request, token in zip(reqs, tokens)
+        ]
+        self._phase("release", time.perf_counter() - t0, tasks=len(reqs))
+        return results
+
+    def _backend_for(self, requests: Sequence[ReleaseRequest]) -> ExecutionBackend:
+        """The backend a batch runs on.
+
+        An engine constructed with an explicit backend always uses it.
+        Otherwise a backend named by the request specs wins (all specs in
+        the batch must agree), falling back to the engine's environment
+        default.  Spec-resolved backends are cached per (name, workers) so
+        repeated batches reuse one pool.
+        """
+        if self._explicit_backend:
+            return self.backend
+        named = set()
+        for r in requests:
+            name = r.spec.backend
+            if name is None and (r.spec.workers or 0) > 1:
+                # Same promotion as resolve_backend/the CLI: asking for
+                # workers must never silently run serial.
+                name = "process"
+            if name is not None:
+                named.add((name, r.spec.workers))
+        if not named:
+            return self.backend
+        if len(named) > 1:
+            raise ExecutionError(
+                f"batch mixes execution backends {sorted(named)}; submit "
+                "uniform batches or construct the engine with an explicit "
+                "backend"
+            )
+        key = named.pop()
+        with self._lock:
+            backend = self._spec_backends.get(key)
+            if backend is None:
+                backend = make_backend(key[0], workers=key[1])
+                self._spec_backends[key] = backend
+            return backend
 
     # ------------------------------------------------------------- internals
 
@@ -297,35 +482,46 @@ class ReleaseEngine:
             f"got {type(request).__name__}"
         )
 
-    def _charge(self, request: ReleaseRequest) -> None:
-        if self.accountant is None:
-            return
+    @staticmethod
+    def _charge_label(request: ReleaseRequest) -> str:
         spec = request.spec
         sampler_name = (
             spec.sampler if isinstance(spec.sampler, str) else spec.sampler.name
         )
+        return (
+            f"submit(record={request.record_id}, sampler={sampler_name}, "
+            f"epsilon={spec.epsilon:g})"
+        )
+
+    def _charge(self, request: ReleaseRequest) -> None:
+        if self.accountant is None:
+            return
         try:
-            self.accountant.charge(
-                f"submit(record={request.record_id}, sampler={sampler_name}, "
-                f"epsilon={spec.epsilon:g})",
-                spec.epsilon,
-            )
+            self.accountant.charge(self._charge_label(request), request.spec.epsilon)
         except PrivacyBudgetError:
-            self.requests_rejected += 1
+            with self._lock:
+                self.requests_rejected += 1
             raise
 
-    def _execute(self, request: ReleaseRequest) -> PCORResult:
+    def _execute(
+        self, request: ReleaseRequest, gen: Optional[np.random.Generator] = None
+    ) -> PCORResult:
         """The release core (Definition 3.2 end to end) — shared by every
         entry point, so identical seeds release identical contexts whether
-        they arrive via ``submit``, ``PCOR.release`` or a ``ReleaseSession``."""
+        they arrive via ``submit``, ``PCOR.release``, a ``ReleaseSession``
+        or an execution-backend task.  ``gen`` overrides the request seed
+        with a pre-planned per-task substream (the batch fan-out path)."""
         spec = request.spec
         record_id = request.record_id
-        gen = ensure_rng(request.seed)
+        if gen is None:
+            gen = ensure_rng(request.seed)
         t0 = time.perf_counter()
 
         verifier = self.verifier_for(spec.build_detector())
         sampler = spec.build_sampler()
-        fm_before = verifier.fm_evaluations
+        # Thread-local so concurrent releases on one verifier (thread
+        # backend) don't attribute each other's detector runs.
+        fm_before = verifier.local_fm_evaluations
 
         starting_bits = self._resolve_starting_bits(
             verifier, sampler, spec, record_id, request.starting_context, gen
@@ -369,11 +565,12 @@ class ReleaseEngine:
                 else None
             ),
             stats=run.stats,
-            fm_evaluations=verifier.fm_evaluations - fm_before,
+            fm_evaluations=verifier.local_fm_evaluations - fm_before,
             wall_time_s=time.perf_counter() - t0,
         )
-        self.releases_completed += 1
-        self.wall_time_s += result.wall_time_s
+        with self._lock:
+            self.releases_completed += 1
+            self.wall_time_s += result.wall_time_s
         return result
 
     def _resolve_starting_bits(
@@ -415,6 +612,7 @@ class ReleaseEngine:
         )
         return (
             f"ReleaseEngine(n={len(self.dataset)}, {budget}, "
+            f"backend={self.backend.name}:{self.backend.workers}, "
             f"verifiers={len(self._verifiers)}, "
             f"releases={self.releases_completed})"
         )

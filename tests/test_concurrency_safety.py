@@ -1,0 +1,169 @@
+"""Concurrency stress tests for the lock-protected shared state.
+
+The thread execution backend (and any concurrent engine caller) hammers two
+shared structures: the bounded-LRU :class:`ProfileStore` and the
+:class:`PrivacyAccountant` ledger.  These tests drive both from many
+threads and assert the invariants that unsynchronised code breaks: the
+store never exceeds its capacity and never loses counter updates; the
+accountant never overdraws and never double-charges.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import ProfileStore
+from repro.exceptions import PrivacyBudgetError
+from repro.mechanisms.accounting import PrivacyAccountant
+
+N_THREADS = 8
+OPS_PER_THREAD = 400
+
+
+class TestProfileStoreUnderContention:
+    def test_capacity_and_counters_hold(self):
+        store = ProfileStore(capacity=64)
+        barrier = threading.Barrier(N_THREADS)
+
+        def hammer(worker: int) -> None:
+            rng = np.random.default_rng(worker)
+            barrier.wait()
+            for _ in range(OPS_PER_THREAD):
+                bits = int(rng.integers(0, 512))
+                if store.get(bits) is None:
+                    store.put(bits, (bits % 7, frozenset({bits})))
+                assert len(store) <= 64
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(hammer, range(N_THREADS)))
+
+        stats = store.stats()
+        assert stats["size"] <= 64
+        # Every operation was either a hit or a miss — none lost to races.
+        assert stats["hits"] + stats["misses"] == N_THREADS * OPS_PER_THREAD
+
+    def test_values_never_torn(self):
+        """Concurrent put/get of immutable profiles returns whole values."""
+        store = ProfileStore(capacity=16)
+        stop = threading.Event()
+        errors = []
+
+        def writer() -> None:
+            i = 0
+            while not stop.is_set():
+                store.put(i % 32, (i, frozenset({i})))
+                i += 1
+
+        def reader() -> None:
+            while not stop.is_set():
+                for bits in range(32):
+                    profile = store.peek(bits)
+                    if profile is not None and profile[0] not in profile[1]:
+                        errors.append(profile)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        stop_timer = threading.Timer(0.3, stop.set)
+        stop_timer.start()
+        for t in threads:
+            t.join()
+        stop_timer.cancel()
+        assert not errors
+
+
+class TestAccountantUnderContention:
+    def test_never_overdraws(self):
+        accountant = PrivacyAccountant(budget=1.0)
+        cost = 0.03
+        successes = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def spender(worker: int) -> None:
+            barrier.wait()
+            for i in range(20):
+                try:
+                    accountant.charge(f"w{worker}.{i}", cost)
+                    successes.append(cost)
+                except PrivacyBudgetError:
+                    pass
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(spender, range(N_THREADS)))
+
+        # Attempted total (8 * 20 * 0.03 = 4.8) far exceeds the budget; the
+        # ledger must hold exactly the successful charges and stay <= budget.
+        assert accountant.spent <= 1.0 * (1.0 + 1e-9)
+        assert accountant.spent == pytest.approx(len(successes) * cost)
+        assert len(accountant.ledger()) == len(successes)
+
+    def test_charge_many_is_atomic_against_racers(self):
+        accountant = PrivacyAccountant(budget=1.0)
+        barrier = threading.Barrier(4)
+        outcomes = []
+
+        def batch(worker: int) -> None:
+            barrier.wait()
+            try:
+                accountant.charge_many([(f"w{worker}.{i}", 0.1) for i in range(4)])
+                outcomes.append("ok")
+            except PrivacyBudgetError:
+                outcomes.append("rejected")
+
+        threads = [threading.Thread(target=batch, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # 4 batches of 0.4 against a budget of 1.0: exactly two can fit, and
+        # a rejected batch must leave no partial charges behind.
+        assert outcomes.count("ok") == 2
+        assert accountant.spent == pytest.approx(0.8)
+        assert len(accountant.ledger()) == 8
+
+    def test_charge_many_empty_is_noop(self):
+        accountant = PrivacyAccountant(budget=0.5)
+        accountant.charge_many([])
+        assert accountant.spent == 0.0
+
+
+class TestEngineUnderConcurrentSubmitters:
+    def test_concurrent_batches_share_one_ledger(self, mini_dataset, mini_outlier):
+        """Many threads submitting budgeted batches can never overspend."""
+        from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
+
+        spec = PipelineSpec(
+            detector="zscore",
+            detector_kwargs={"z_threshold": 2.5, "min_population": 8},
+            sampler="uniform",
+            epsilon=0.1,
+            n_samples=3,
+        )
+        engine = ReleaseEngine(mini_dataset, budget=0.6)
+        completed, rejected = [], []
+
+        def submit_batch(worker: int) -> None:
+            try:
+                results = engine.submit_many(
+                    [
+                        ReleaseRequest(mini_outlier, spec, seed=100 * worker + i)
+                        for i in range(2)
+                    ]
+                )
+                completed.extend(results)
+            except PrivacyBudgetError:
+                rejected.append(worker)
+
+        with ThreadPoolExecutor(6) as pool:
+            list(pool.map(submit_batch, range(6)))
+
+        # 6 batches of 0.2 against 0.6: exactly three admitted atomically.
+        assert len(completed) == 6 and len(rejected) == 3
+        assert engine.spent == pytest.approx(0.6)
+        assert engine.metrics().releases_completed == 6
+        assert engine.metrics().requests_rejected == 6

@@ -1,0 +1,409 @@
+"""Execution-backend tests: the determinism contract and the registry.
+
+The acceptance property of the parallel runtime: for a fixed seed, every
+backend (serial / thread / process) at every worker count (1 / 2 / 4)
+releases **bit-identical** results across all four samplers.  Process pools
+are module-scoped so the spawn cost is paid once per worker count.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExecutionError, SpecError
+from repro.runtime import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    chunk_evenly,
+    make_backend,
+    plan_task_rngs,
+    resolve_backend,
+    rng_from_token,
+)
+from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
+
+ZSCORE_KWARGS = {"z_threshold": 2.5, "min_population": 8}
+SAMPLERS = ["uniform", "random_walk", "dfs", "bfs"]
+
+
+def spec_for(sampler: str, **overrides) -> PipelineSpec:
+    base = dict(
+        detector="zscore",
+        detector_kwargs=ZSCORE_KWARGS,
+        sampler=sampler,
+        epsilon=0.5,
+        n_samples=5,
+    )
+    base.update(overrides)
+    return PipelineSpec(**base)
+
+
+def release_batch(dataset, backend, record_id, sampler, seed):
+    """One 3-request batch on a fresh engine over ``backend``."""
+    engine = ReleaseEngine(dataset, backend=backend)
+    gen = np.random.default_rng(seed)
+    results = engine.submit_many(
+        [
+            ReleaseRequest(record_id, spec_for(sampler), seed=gen)
+            for _ in range(3)
+        ]
+    )
+    return [
+        (
+            r.context.bits,
+            r.utility_value,
+            r.n_candidates,
+            r.algorithm,
+            None if r.starting_context is None else r.starting_context.bits,
+            r.stats.candidates_collected,
+            r.stats.contexts_examined,
+            r.stats.mechanism_invocations,
+            r.stats.steps,
+        )
+        for r in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def process_pools():
+    """One ProcessBackend per tested worker count, spawned once."""
+    pools = {w: ProcessBackend(workers=w) for w in (1, 2, 4)}
+    yield pools
+    for pool in pools.values():
+        pool.close()
+
+
+@pytest.fixture(scope="module")
+def serial_releases(mini_dataset, mini_outlier):
+    """Reference results: serial backend, one entry per sampler."""
+    return {
+        sampler: release_batch(mini_dataset, SerialBackend(), mini_outlier, sampler, 77)
+        for sampler in SAMPLERS
+    }
+
+
+class TestBitIdenticalReleases:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_thread_matches_serial(
+        self, mini_dataset, mini_outlier, serial_releases, sampler, workers
+    ):
+        backend = ThreadBackend(workers=workers)
+        try:
+            got = release_batch(mini_dataset, backend, mini_outlier, sampler, 77)
+        finally:
+            backend.close()
+        assert got == serial_releases[sampler]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_process_matches_serial(
+        self, mini_dataset, mini_outlier, serial_releases, process_pools, sampler, workers
+    ):
+        got = release_batch(
+            mini_dataset, process_pools[workers], mini_outlier, sampler, 77
+        )
+        assert got == serial_releases[sampler]
+
+    def test_profile_fanout_does_not_change_matching(
+        self, mini_dataset, mini_detector, mini_outlier
+    ):
+        """Forcing the inner profile fan-out through a thread pool yields the
+        same profiles/matching answers as inline computation."""
+        from repro.core.verification import OutlierVerifier
+
+        plain = OutlierVerifier(mini_dataset, mini_detector)
+        backend = ThreadBackend(workers=4)
+        backend.min_profile_fanout = 1  # fan out even tiny batches
+        fanned = OutlierVerifier(mini_dataset, mini_detector, backend=backend)
+        try:
+            batch = list(range(0, 512, 3))
+            assert (
+                fanned.is_matching_many(batch, mini_outlier).tolist()
+                == plain.is_matching_many(batch, mini_outlier).tolist()
+            )
+            assert fanned.profiles(batch) == plain.profiles(batch)
+        finally:
+            backend.close()
+
+
+class TestHypothesisBackendIdentity:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        sampler=st.sampled_from(SAMPLERS),
+    )
+    def test_all_backends_identical(
+        self, mini_dataset, mini_outlier, process_pools, seed, sampler
+    ):
+        serial = release_batch(mini_dataset, SerialBackend(), mini_outlier, sampler, seed)
+        thread = ThreadBackend(workers=2)
+        try:
+            assert (
+                release_batch(mini_dataset, thread, mini_outlier, sampler, seed)
+                == serial
+            )
+        finally:
+            thread.close()
+        assert (
+            release_batch(mini_dataset, process_pools[2], mini_outlier, sampler, seed)
+            == serial
+        )
+
+
+class TestSeedPlanning:
+    def test_int_seed_matches_default_rng(self):
+        (token,) = plan_task_rngs([123])
+        assert (
+            rng_from_token(token).integers(0, 1 << 30, 8).tolist()
+            == np.random.default_rng(123).integers(0, 1 << 30, 8).tolist()
+        )
+
+    def test_shared_generator_spawns_per_occurrence(self):
+        gen_a, gen_b = np.random.default_rng(5), np.random.default_rng(5)
+        tokens = plan_task_rngs([gen_a, gen_a, gen_a])
+        children = gen_b.spawn(3)
+        for token, child in zip(tokens, children):
+            assert (
+                rng_from_token(token).integers(0, 1 << 30, 4).tolist()
+                == child.integers(0, 1 << 30, 4).tolist()
+            )
+        # The parent advanced identically through either path.
+        assert gen_a.bit_generator.seed_seq.n_children_spawned == 3
+
+    def test_substreams_are_pairwise_distinct(self):
+        gen = np.random.default_rng(0)
+        draws = {
+            tuple(rng_from_token(t).integers(0, 1 << 30, 4).tolist())
+            for t in plan_task_rngs([gen] * 8 + list(range(8)))
+        }
+        assert len(draws) == 16
+
+    def test_none_seed_is_fresh_entropy(self):
+        a, b = plan_task_rngs([None, None])
+        assert a.entropy != b.entropy
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            plan_task_rngs(["nope"])
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "thread", "process"} <= set(available_backends())
+
+    def test_make_backend_workers(self):
+        backend = make_backend("thread", workers=3)
+        try:
+            assert backend.name == "thread" and backend.workers == 3
+        finally:
+            backend.close()
+
+    def test_unknown_backend(self):
+        with pytest.raises(ExecutionError, match="unknown backend"):
+            make_backend("gpu")
+
+    def test_resolve_instance_conflicting_workers(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+        thread = ThreadBackend(workers=2)
+        try:
+            with pytest.raises(ExecutionError, match="conflicts"):
+                resolve_backend(thread, workers=3)
+        finally:
+            thread.close()
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("PCOR_BACKEND", "thread")
+        monkeypatch.setenv("PCOR_WORKERS", "2")
+        backend = resolve_backend()
+        try:
+            assert backend.name == "thread" and backend.workers == 2
+        finally:
+            backend.close()
+
+    def test_serial_is_never_parallel(self):
+        assert SerialBackend(workers=8).workers == 1
+
+    def test_workers_alone_implies_process(self, monkeypatch):
+        """Asking for workers must never silently run serial."""
+        monkeypatch.delenv("PCOR_BACKEND", raising=False)
+        monkeypatch.delenv("PCOR_WORKERS", raising=False)
+        backend = resolve_backend(None, workers=2)
+        try:
+            assert backend.name == "process" and backend.workers == 2
+        finally:
+            backend.close()
+        assert resolve_backend(None, workers=1).name == "serial"
+        assert resolve_backend(None).name == "serial"
+
+    def test_chunk_evenly_preserves_order(self):
+        items = list(range(11))
+        chunks = chunk_evenly(items, 4)
+        assert len(chunks) == 4
+        assert [x for chunk in chunks for x in chunk] == items
+        assert max(map(len, chunks)) - min(map(len, chunks)) <= 1
+        assert chunk_evenly([], 4) == []
+        assert chunk_evenly([1, 2], 8) == [[1], [2]]
+
+
+class TestSpecBackendSelection:
+    def test_spec_backend_field_validated(self):
+        with pytest.raises(SpecError, match="unknown backend"):
+            spec_for("bfs", backend="gpu")
+        with pytest.raises(SpecError, match="workers must be"):
+            spec_for("bfs", backend="thread", workers=0)
+
+    def test_spec_backend_round_trips(self):
+        spec = spec_for("bfs", backend="thread", workers=2)
+        rehydrated = PipelineSpec.from_dict(spec.to_dict())
+        assert rehydrated.backend == "thread" and rehydrated.workers == 2
+
+    def test_spec_backend_drives_batch(self, mini_dataset, mini_outlier):
+        spec = spec_for("bfs", backend="thread", workers=2)
+        engine = ReleaseEngine(mini_dataset)
+        try:
+            gen = np.random.default_rng(4)
+            results = engine.submit_many(
+                [ReleaseRequest(mini_outlier, spec, seed=gen) for _ in range(3)]
+            )
+            assert len(results) == 3
+            metrics = engine.metrics()
+            assert metrics.release_tasks == 3  # ran on the spec's backend
+        finally:
+            engine.close()
+
+    def test_spec_backend_identical_to_serial(self, mini_dataset, mini_outlier):
+        def run(**spec_overrides):
+            engine = ReleaseEngine(mini_dataset)
+            try:
+                gen = np.random.default_rng(21)
+                return [
+                    r.context.bits
+                    for r in engine.submit_many(
+                        [
+                            ReleaseRequest(
+                                mini_outlier,
+                                spec_for("dfs", **spec_overrides),
+                                seed=gen,
+                            )
+                            for _ in range(3)
+                        ]
+                    )
+                ]
+            finally:
+                engine.close()
+
+        assert run(backend="thread", workers=4) == run()
+
+    def test_spec_workers_alone_implies_process(self, mini_dataset, mini_outlier):
+        """A spec asking for workers must never silently run serial."""
+        engine = ReleaseEngine(mini_dataset)
+        try:
+            backend = engine._backend_for(
+                [ReleaseRequest(mini_outlier, spec_for("bfs", workers=2), seed=1)]
+            )
+            assert backend.name == "process" and backend.workers == 2
+        finally:
+            engine.close()
+
+    def test_mixed_spec_backends_rejected(self, mini_dataset, mini_outlier):
+        engine = ReleaseEngine(mini_dataset)
+        requests = [
+            ReleaseRequest(mini_outlier, spec_for("bfs", backend="thread"), seed=1),
+            ReleaseRequest(mini_outlier, spec_for("bfs", backend="serial"), seed=2),
+        ]
+        with pytest.raises(ExecutionError, match="mixes execution backends"):
+            engine.submit_many(requests)
+
+    def test_explicit_engine_backend_wins(self, mini_dataset, mini_outlier):
+        engine = ReleaseEngine(mini_dataset, backend="serial")
+        gen = np.random.default_rng(4)
+        results = engine.submit_many(
+            [
+                ReleaseRequest(
+                    mini_outlier, spec_for("bfs", backend="thread"), seed=gen
+                )
+                for _ in range(2)
+            ]
+        )
+        assert len(results) == 2
+        assert engine.metrics().backend == "serial"
+
+
+class TestEngineMetricsPhases:
+    def test_phases_recorded(self, mini_dataset, mini_outlier):
+        engine = ReleaseEngine(mini_dataset, backend="thread", workers=2)
+        try:
+            gen = np.random.default_rng(9)
+            engine.submit_many(
+                [
+                    ReleaseRequest(mini_outlier, spec_for("bfs"), seed=gen)
+                    for _ in range(3)
+                ]
+            )
+            metrics = engine.metrics()
+            assert metrics.backend == "thread"
+            assert metrics.backend_workers == 2
+            assert metrics.phase_tasks.get("release") == 3
+            assert metrics.phase_wall_s.get("release", 0.0) > 0.0
+            assert metrics.phase_wall_s.get("admission", -1.0) >= 0.0
+            assert metrics.release_tasks == 3
+            snapshot = metrics.to_dict()
+            import json
+
+            assert json.dumps(snapshot)
+        finally:
+            engine.close()
+
+    def test_serial_batch_records_warm_phase(self, mini_dataset, mini_outlier):
+        engine = ReleaseEngine(mini_dataset, backend="serial")
+        gen = np.random.default_rng(9)
+        engine.submit_many(
+            [ReleaseRequest(mini_outlier, spec_for("bfs"), seed=gen) for _ in range(2)]
+        )
+        metrics = engine.metrics()
+        assert metrics.phase_tasks.get("warm_profiles") == 2
+        assert metrics.phase_tasks.get("release") == 2
+
+
+class TestPCORFacadeBackends:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_release_many_matches_serial(
+        self, mini_dataset, mini_detector, outlier_pair, backend, process_pools
+    ):
+        from repro.core.pcor import PCOR
+        from repro.core.sampling import BFSSampler
+
+        def run(chosen_backend):
+            pcor = PCOR(
+                mini_dataset,
+                mini_detector,
+                epsilon=0.2,
+                sampler=BFSSampler(n_samples=5),
+                backend=chosen_backend,
+            )
+            try:
+                return [
+                    r.context.bits
+                    for r in pcor.release_many(outlier_pair, seed=13)
+                ]
+            finally:
+                pcor.close()
+
+        chosen = process_pools[2] if backend == "process" else "thread"
+        assert run(chosen) == run(None)
+
+
+@pytest.fixture(scope="module")
+def outlier_pair(mini_reference):
+    ids = mini_reference.outlier_records()
+    assert len(ids) >= 2
+    return ids[:2]

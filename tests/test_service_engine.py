@@ -275,6 +275,9 @@ class TestBudget:
     def test_submit_many_matches_sequential_submits(
         self, mini_dataset, mini_outlier, start
     ):
+        """Batch == sequence of singles under the substream contract: a
+        shared generator yields one spawned child per request, in request
+        order, on every execution backend."""
         import numpy as np
 
         spec = named_spec()
@@ -285,12 +288,12 @@ class TestBudget:
             ]
         )
         engine = ReleaseEngine(mini_dataset)
-        gen = np.random.default_rng(9)
+        children = np.random.default_rng(9).spawn(2)
         sequential = [
             engine.submit(
-                ReleaseRequest(mini_outlier, spec, starting_context=start, seed=gen)
+                ReleaseRequest(mini_outlier, spec, starting_context=start, seed=child)
             )
-            for _ in range(2)
+            for child in children
         ]
         assert [r.context.bits for r in batch] == [
             r.context.bits for r in sequential
