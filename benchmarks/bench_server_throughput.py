@@ -1,0 +1,147 @@
+"""Serving overhead and throughput of the PCOR HTTP service.
+
+Workload: the 20-record ``salary_reduced`` release set (LOF k=10, BFS at
+the paper-default ``n_samples=50``), identical seeds everywhere.
+
+Two measurements on an in-process :class:`PCORServer`:
+
+1. **Overhead gate** — one client issuing the workload sequentially over
+   HTTP vs the same workload via direct ``engine.submit`` on a warmed
+   engine.  Gate: the served path stays within 15% of direct submission
+   (HTTP framing + JSON + tenant-ledger admission is all it may add; the
+   in-memory ledger store keeps fsync out of this number).
+2. **Concurrency report** — N concurrent clients hammering the server;
+   reports p50/p95 latency and requests/s (informational, no gate: this
+   container may have a single core).
+
+Served releases are asserted bit-identical to direct submission before any
+timing is trusted.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from statistics import quantiles
+
+from repro.data.generators import salary_reduced
+from repro.experiments.tables import DETECTOR_KWARGS
+from repro.server import PCORClient, PCORServer, ServerConfig
+from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
+
+ROUNDS = 5
+N_CLIENTS = 4
+N_RECORDS = 2_000
+
+SPEC_BODY = dict(
+    detector="lof",
+    detector_kwargs=DETECTOR_KWARGS["lof"],
+    sampler="bfs",
+    n_samples=50,
+    epsilon=0.2,
+)
+
+
+def _workload(scale):
+    """(dataset, spec, record_ids) — smoke scale trims the record count."""
+    n_releases = 6 if scale.name == "smoke" else 20
+    dataset = salary_reduced(n_records=N_RECORDS, seed=7)
+    spec = PipelineSpec(**SPEC_BODY)
+    engine = ReleaseEngine(dataset)
+    verifier = engine.verifier_for(spec.build_detector())
+    record_ids = []
+    for rid in map(int, dataset.ids):
+        if verifier.is_matching(dataset.record_bits(rid), rid):
+            record_ids.append(rid)
+        if len(record_ids) == n_releases:
+            break
+    assert len(record_ids) == n_releases, "too few exact-context outliers"
+    return dataset, engine, spec, record_ids
+
+
+def test_server_throughput(emit, scale):
+    dataset, engine, spec, record_ids = _workload(scale)
+
+    config = ServerConfig.from_dict(
+        {
+            "server": {"port": 0},  # in-memory ledger: measure serving, not fsync
+            "datasets": {
+                "salary": {"source": "salary_reduced", "records": N_RECORDS, "seed": 7}
+            },
+        }
+    )
+
+    def run_direct() -> float:
+        t0 = time.perf_counter()
+        for i, rid in enumerate(record_ids):
+            engine.submit(ReleaseRequest(record_id=rid, spec=spec, seed=100 + i))
+        return time.perf_counter() - t0
+
+    with PCORServer(config) as server:
+        client = PCORClient(server.url, tenant="bench")
+
+        def run_served() -> list:
+            latencies = []
+            for i, rid in enumerate(record_ids):
+                t0 = time.perf_counter()
+                client.release("salary", record_id=rid, spec=SPEC_BODY, seed=100 + i)
+                latencies.append(time.perf_counter() - t0)
+            return latencies
+
+        # Correctness before speed: the served releases must be
+        # bit-identical to direct submission for the same seeds.
+        direct_bits = [
+            engine.submit(
+                ReleaseRequest(record_id=rid, spec=spec, seed=100 + i)
+            ).context.bits
+            for i, rid in enumerate(record_ids)
+        ]
+        served_bits = [
+            client.release("salary", record_id=rid, spec=SPEC_BODY, seed=100 + i)[
+                "result"
+            ]["context"]["bits"]
+            for i, rid in enumerate(record_ids)
+        ]
+        assert served_bits == direct_bits, "served releases are not bit-identical"
+
+        # Both stores are now warm; timed rounds measure dispatch.
+        t_direct = min(run_direct() for _ in range(ROUNDS))
+        served_rounds = [run_served() for _ in range(ROUNDS)]
+        t_served = min(sum(r) for r in served_rounds)
+        overhead = t_served / t_direct - 1.0
+
+        # Concurrent clients (informational): each worker runs the whole
+        # workload under its own tenant.
+        def client_run(worker: int) -> list:
+            tenant = PCORClient(server.url, tenant=f"bench-{worker}")
+            latencies = []
+            for i, rid in enumerate(record_ids):
+                t0 = time.perf_counter()
+                tenant.release("salary", record_id=rid, spec=SPEC_BODY, seed=100 + i)
+                latencies.append(time.perf_counter() - t0)
+            return latencies
+
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(N_CLIENTS) as pool:
+            all_latencies = [
+                lat for run in pool.map(client_run, range(N_CLIENTS)) for lat in run
+            ]
+        wall = time.perf_counter() - t0
+
+    n_total = len(all_latencies)
+    p50, p95 = quantiles(all_latencies, n=100)[49], quantiles(all_latencies, n=100)[94]
+    emit(
+        "bench_server_throughput",
+        "PCOR HTTP service vs direct engine.submit "
+        f"(salary_reduced n={N_RECORDS}, {len(record_ids)} records, LOF k=10, "
+        "BFS n_samples=50, warmed)\n"
+        f"  direct submit loop  : {t_direct * 1000:8.1f} ms (best of {ROUNDS})\n"
+        f"  served loop (1 cli) : {t_served * 1000:8.1f} ms (best of {ROUNDS})\n"
+        f"  serving overhead    : {overhead * 100:+8.2f}%  (gate: < 15%)\n"
+        f"  {N_CLIENTS} concurrent clients: {n_total} releases in {wall:.2f} s "
+        f"= {n_total / wall:6.1f} req/s\n"
+        f"  latency p50 / p95   : {p50 * 1000:7.1f} / {p95 * 1000:7.1f} ms",
+    )
+    assert overhead < 0.15, (
+        f"HTTP serving adds {overhead * 100:.2f}% over direct engine.submit "
+        "(gate: < 15%)"
+    )
+    engine.close()

@@ -1,0 +1,117 @@
+"""Serve PCOR over HTTP and query it as an analyst.
+
+The deployment the paper describes (Sections 1, 6.3): a data owner hosts a
+protected dataset behind the multi-tenant release service; analysts issue
+budgeted queries over the wire and are cut off — with a 402 — the moment
+their per-analyst quota (or the dataset's global budget) runs out.
+
+1. configure one dataset with a global budget, per-tenant quotas, and a
+   durable JSONL write-ahead ledger,
+2. start :class:`repro.server.PCORServer` in-process,
+3. query it with :class:`repro.server.PCORClient` as two different analysts,
+4. watch alice exhaust her quota while bob keeps his,
+5. restart the server on the same ledger — alice stays exhausted.
+
+Run:  python examples/serve_and_query.py
+(For a standalone process use: pcor serve --config server.toml)
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    LOFDetector,
+    OutlierVerifier,
+    PCORClient,
+    PCORServer,
+    PrivacyBudgetError,
+    ServerConfig,
+    salary_reduced,
+)
+
+SPEC = {
+    "detector": "lof",
+    "detector_kwargs": {"k": 10},
+    "sampler": "bfs",
+    "n_samples": 25,
+    "epsilon": 0.2,
+}
+
+
+def make_config(ledger_dir: Path) -> ServerConfig:
+    return ServerConfig.from_dict(
+        {
+            "server": {
+                "port": 0,  # ephemeral port; read it off server.url
+                "ledger": "jsonl",
+                "ledger_dir": str(ledger_dir),
+            },
+            "datasets": {
+                "salary": {
+                    "source": "salary_reduced",
+                    "records": 2000,
+                    "seed": 7,
+                    "budget": 5.0,        # dataset-global OCDP budget
+                    "tenant_budget": 0.4,  # default per-analyst quota
+                    "tenant_budgets": {"bob": 1.0},  # bob negotiated more
+                }
+            },
+        }
+    )
+
+
+def pick_outlier() -> int:
+    """A record of the served dataset that has a matching context."""
+    dataset = salary_reduced(n_records=2000, seed=7)
+    verifier = OutlierVerifier(dataset, LOFDetector(k=10))
+    return next(
+        rid
+        for rid in map(int, dataset.ids)
+        if verifier.is_matching(dataset.record_bits(rid), rid)
+    )
+
+
+def main() -> None:
+    record_id = pick_outlier()
+    ledger_dir = Path(tempfile.mkdtemp(prefix="pcor-ledgers-"))
+
+    with PCORServer(make_config(ledger_dir)) as server:
+        print(f"server up at {server.url}, ledgers in {ledger_dir}\n")
+        alice = PCORClient(server.url, tenant="alice")
+        bob = PCORClient(server.url, tenant="bob")
+
+        # Alice releases twice — that's her whole 0.4 quota at eps=0.2.
+        for seed in (1, 2):
+            response = alice.release("salary", record_id, SPEC, seed=seed)
+            context = response["result"]["context"]["description"]
+            print(f"alice (seed={seed}): {context}")
+            print(f"  quota: {response['budget']['remaining']:.2f} left\n")
+
+        # Her third request is refused at admission — before any detector
+        # run — while bob's bigger quota still has room.
+        try:
+            alice.release("salary", record_id, SPEC, seed=3)
+        except PrivacyBudgetError as exc:
+            print(f"alice cut off: {exc}\n")
+        response = bob.release("salary", record_id, SPEC, seed=3)
+        print(f"bob still fine: {response['budget']['remaining']:.2f} left\n")
+
+        print("metrics snapshot:")
+        metrics = bob.metrics()["datasets"]["salary"]
+        print(f"  releases completed : {metrics['releases_completed']}")
+        print(f"  epsilon spent      : {metrics['epsilon_spent']:.2f} of "
+              f"{metrics['epsilon_budget']:.2f}")
+        print(f"  spend by tenant    : {metrics['spend_by_tenant']}")
+
+    # The ledgers survive the server: a restart replays them, so alice is
+    # *still* exhausted — privacy accounting has no reset button.
+    with PCORServer(make_config(ledger_dir)) as server:
+        alice = PCORClient(server.url, tenant="alice")
+        try:
+            alice.release("salary", record_id, SPEC, seed=4)
+        except PrivacyBudgetError as exc:
+            print(f"\nafter restart, alice is still cut off: {exc}")
+
+
+if __name__ == "__main__":
+    main()

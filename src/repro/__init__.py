@@ -76,11 +76,13 @@ from repro.exceptions import (
     EnumerationError,
     ExecutionError,
     ExperimentError,
+    LedgerError,
     MechanismError,
     PrivacyBudgetError,
     ReproError,
     SamplingError,
     SchemaError,
+    ServerError,
     SpecError,
     VerificationError,
 )
@@ -105,6 +107,20 @@ from repro.outliers import (
 from repro.schema import CategoricalAttribute, MetricAttribute, Predicate, Schema
 
 __version__ = "1.0.0"
+
+# Imported after __version__: the server's HTTP handler advertises it, so
+# this import must come last to stay cycle-free.
+from repro.server import (  # noqa: E402
+    DatasetConfig,
+    DatasetRegistry,
+    InMemoryLedgerStore,
+    JsonlLedgerStore,
+    LedgerStore,
+    PCORClient,
+    PCORServer,
+    ServerConfig,
+    TenantBudgets,
+)
 
 __all__ = [
     # schema
@@ -151,6 +167,16 @@ __all__ = [
     "sampler_info",
     "utility_info",
     "utility_needs_starting_context",
+    # server (multi-tenant HTTP release service)
+    "PCORServer",
+    "PCORClient",
+    "ServerConfig",
+    "DatasetConfig",
+    "DatasetRegistry",
+    "TenantBudgets",
+    "LedgerStore",
+    "InMemoryLedgerStore",
+    "JsonlLedgerStore",
     # execution runtime
     "ExecutionBackend",
     "SerialBackend",
@@ -198,6 +224,8 @@ __all__ = [
     "ContextError",
     "SpecError",
     "ExecutionError",
+    "LedgerError",
+    "ServerError",
     "PrivacyBudgetError",
     "MechanismError",
     "SamplingError",

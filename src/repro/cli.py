@@ -5,6 +5,9 @@ Subcommands
 * ``release``       — run one private context release end to end
   (``--spec file.json|file.toml`` runs a declarative pipeline spec;
   ``--json`` emits the result as JSON).
+* ``serve``         — host datasets over HTTP (the multi-tenant release
+  service: per-analyst budgets, durable ledgers; see
+  ``src/repro/server/``).
 * ``specs``         — list the registered detectors, samplers and utilities.
 * ``table N``       — regenerate paper Table N (2-13).
 * ``figure N``      — regenerate paper Figure N (1-5) as ASCII histograms.
@@ -41,6 +44,7 @@ from repro.experiments.privacy_ratio import privacy_ratio_experiment
 from repro.experiments.tables import DETECTOR_KWARGS, TABLE_RUNNERS
 from repro.outliers.base import available_detectors, make_detector
 from repro.runtime import available_backends
+from repro.server import PCORServer, ServerConfig
 from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
 
 
@@ -113,6 +117,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker count for the execution backend; N>1 without "
         "--backend implies --backend process",
+    )
+
+    p_srv = sub.add_parser(
+        "serve", help="host datasets over HTTP (multi-tenant release service)"
+    )
+    p_srv.add_argument(
+        "--config",
+        required=True,
+        metavar="FILE",
+        help="server config (.json/.toml): datasets, budgets, ledger policy",
+    )
+    p_srv.add_argument(
+        "--host", default=None, help="bind address override (default: config)"
+    )
+    p_srv.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port override (0 picks an ephemeral port, printed on start)",
     )
 
     sub.add_parser(
@@ -193,6 +216,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "release":
         return _run_release(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "specs":
         return _run_specs()
@@ -316,6 +342,33 @@ def _run_release_without_reference(args, dataset, spec: PipelineSpec) -> int:
         )
     )
     _emit_result(args, result)
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Host the multi-tenant HTTP release service until SIGINT/SIGTERM."""
+    import signal
+
+    config = ServerConfig.from_file(args.config)
+    server = PCORServer(config, host=args.host, port=args.port)
+
+    def _stop(signum, frame):  # pragma: no cover - signal plumbing
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _stop)
+    print(
+        f"pcor server listening on {server.url} "
+        f"(datasets: {', '.join(server.registry.names())}; "
+        f"ledger: {config.ledger})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        print("pcor server stopped; ledgers closed", flush=True)
     return 0
 
 

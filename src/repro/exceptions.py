@@ -54,3 +54,11 @@ class ExperimentError(ReproError):
 
 class ExecutionError(ReproError):
     """A parallel execution backend failed (dead worker, unshippable task)."""
+
+
+class LedgerError(ReproError):
+    """A durable privacy ledger is unusable (unwritable path, corrupt body)."""
+
+
+class ServerError(ReproError):
+    """The PCOR HTTP service failed (bad config, transport or protocol error)."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import PrivacyBudgetError
 
@@ -99,20 +99,46 @@ class PrivacyAccountant:
     :meth:`charge_many`) is atomic under the accountant's lock, so
     concurrent engine callers can never overdraw — or double-charge — the
     budget by racing each other.
+
+    Persistence hooks:
+
+    * ``sink`` — a callable ``(label, cost)`` invoked under the lock after
+      every *admitted* charge, so an observer (e.g. a write-ahead ledger)
+      sees charges in ledger order with no gaps or reorderings.  This is
+      the hook for embedders who charge an accountant directly (say, a
+      budgeted :class:`~repro.service.engine.ReleaseEngine` outside the
+      HTTP server) and still want durable spend; the server's tenant
+      layer instead writes richer tenant-stamped records itself, in
+      :meth:`repro.server.tenants.TenantBudgets.admit`.  A sink that
+      raises aborts the caller *after* the in-memory append — the
+      conservative direction: budget counts as spent even if the durable
+      record failed.
+    * :meth:`restore` — re-append charges replayed from an authoritative
+      ledger *without* the budget check (and without notifying the sink),
+      so a restarted service faithfully reconstructs its spend even when
+      the replayed total exceeds a since-lowered budget; subsequent
+      charges are then rejected as over-budget.  This is what the
+      server's :class:`~repro.server.tenants.TenantBudgets` replay calls.
     """
 
     budget: float
+    sink: Optional[Callable[[str, float], None]] = None
     _ledger: List[Tuple[str, float]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not (self.budget > 0.0 and math.isfinite(self.budget)):
             raise PrivacyBudgetError(f"budget must be positive and finite, got {self.budget}")
         self._lock = threading.RLock()
+        # Running total, maintained on every append: admission and budget
+        # snapshots run per request under the lock, and recomputing an
+        # fsum over the whole ledger there would make a long-lived server
+        # O(charges^2) cumulative.
+        self._spent_total = math.fsum(cost for _, cost in self._ledger)
 
     @property
     def spent(self) -> float:
         with self._lock:
-            return math.fsum(cost for _, cost in self._ledger)
+            return self._spent_total
 
     @property
     def remaining(self) -> float:
@@ -134,6 +160,23 @@ class PrivacyAccountant:
                 f"{self.remaining:.6g} (total {self.budget:.6g})"
             )
         self._ledger.extend((label, float(cost)) for label, cost in charges)
+        self._spent_total = math.fsum((self._spent_total, total))
+        if self.sink is not None:
+            for label, cost in charges:
+                self.sink(label, float(cost))
+
+    def can_charge(self, cost: float) -> bool:
+        """Would :meth:`charge` admit ``cost`` right now?
+
+        Uses the exact admission arithmetic of :meth:`charge` (including
+        the float-dust tolerance), so a caller holding an outer lock that
+        serialises every mutation of this accountant may rely on
+        ``can_charge`` → ``charge`` never failing.
+        """
+        if cost < 0.0 or not math.isfinite(cost):
+            return False
+        with self._lock:
+            return self.spent + cost <= self.budget * (1.0 + 1e-9)
 
     def charge(self, label: str, cost: float) -> None:
         """Record a charge; raises if it would overdraw the budget."""
@@ -151,6 +194,28 @@ class PrivacyAccountant:
             return
         with self._lock:
             self._check_and_append(list(charges))
+
+    def restore(self, charges: Sequence[Tuple[str, float]]) -> None:
+        """Replay charges from an authoritative external ledger.
+
+        Appends without the budget check and without notifying the sink
+        (the charges already live in the durable ledger being replayed).
+        Costs must still be finite and non-negative — a corrupt replay
+        record is an error, not a spend.
+        """
+        cleaned = []
+        for label, cost in charges:
+            cost = float(cost)
+            if cost < 0.0 or not math.isfinite(cost):
+                raise PrivacyBudgetError(
+                    f"replayed charge {label!r} must be finite and >= 0, got {cost}"
+                )
+            cleaned.append((str(label), cost))
+        with self._lock:
+            self._ledger.extend(cleaned)
+            self._spent_total = math.fsum(
+                [self._spent_total, *(cost for _, cost in cleaned)]
+            )
 
     def ledger(self) -> List[Tuple[str, float]]:
         """A copy of all (label, cost) charges so far."""

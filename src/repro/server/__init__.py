@@ -1,0 +1,56 @@
+"""The PCOR server: a multi-tenant HTTP release service.
+
+The deployment story the paper tells (Sections 1, 6.3) — a data owner
+operating PCOR as a service for analysts issuing repeated budgeted
+queries — made concrete, stdlib-only:
+
+* :mod:`repro.server.ledger` — durable, crash-replayable privacy ledgers
+  (:class:`LedgerStore`, :class:`InMemoryLedgerStore`,
+  :class:`JsonlLedgerStore`).
+* :mod:`repro.server.tenants` — :class:`TenantBudgets`, per-analyst quotas
+  admitted atomically against the dataset-global accountant.
+* :mod:`repro.server.registry` — :class:`DatasetRegistry`, names to
+  lazily-built :class:`~repro.service.engine.ReleaseEngine`\\ s.
+* :mod:`repro.server.config` — :class:`ServerConfig` /
+  :class:`DatasetConfig`, the ``pcor serve --config`` schema.
+* :mod:`repro.server.app` — :class:`PCORServer`, the
+  ``ThreadingHTTPServer`` JSON API.
+* :mod:`repro.server.client` — :class:`PCORClient`, the urllib analyst
+  handle.
+
+>>> from repro.server import PCORClient, PCORServer, ServerConfig
+>>> config = ServerConfig.from_dict({
+...     "server": {"port": 0},
+...     "datasets": {"salary": {"source": "salary_reduced", "records": 500,
+...                             "budget": 2.0, "tenant_budget": 0.5}},
+... })
+>>> with PCORServer(config) as server:  # doctest: +SKIP
+...     client = PCORClient(server.url, tenant="alice")
+...     client.release("salary", record_id=17,
+...                    spec={"detector": "lof", "epsilon": 0.2}, seed=42)
+"""
+
+from repro.server.app import PCORServer, TENANT_HEADER
+from repro.server.client import PCORClient
+from repro.server.config import DatasetConfig, ServerConfig
+from repro.server.ledger import (
+    InMemoryLedgerStore,
+    JsonlLedgerStore,
+    LedgerStore,
+)
+from repro.server.registry import DatasetEntry, DatasetRegistry
+from repro.server.tenants import TenantBudgets
+
+__all__ = [
+    "PCORServer",
+    "PCORClient",
+    "ServerConfig",
+    "DatasetConfig",
+    "DatasetRegistry",
+    "DatasetEntry",
+    "TenantBudgets",
+    "LedgerStore",
+    "InMemoryLedgerStore",
+    "JsonlLedgerStore",
+    "TENANT_HEADER",
+]

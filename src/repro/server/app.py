@@ -1,0 +1,465 @@
+"""The PCOR HTTP service: a stdlib-only multi-tenant release API.
+
+:class:`PCORServer` wraps a :class:`~http.server.ThreadingHTTPServer` around
+a :class:`~repro.server.registry.DatasetRegistry`.  Each request thread
+performs tenant-layered admission and then delegates the release to the
+dataset's :class:`~repro.service.engine.ReleaseEngine` (whose execution
+backend — serial / thread / process, from PR 3 — does the heavy fan-out),
+so the handler pool stays thin.
+
+Routes (all JSON):
+
+=======  ===================================  =====================================
+Method   Path                                 Body / semantics
+=======  ===================================  =====================================
+GET      ``/healthz``                         liveness + hosted dataset names
+GET      ``/v1/datasets``                     per-dataset budget/engine summary
+GET      ``/v1/budget``                       caller's budgets (tenant header;
+                                              optional ``?dataset=NAME``)
+GET      ``/v1/metrics``                      monotonic counters per dataset,
+                                              incl. per-tenant spend breakdown
+POST     ``/v1/datasets/{name}/release``      ``{"record_id", "spec", "seed"?,
+                                              "starting_context"?}`` →
+                                              ``PCORResult.to_dict()``
+=======  ===================================  =====================================
+
+Analysts authenticate with the ``X-PCOR-Tenant`` header (required on
+``/v1/budget`` and releases).  Errors come back as typed payloads
+``{"error": {"type", "message", "status"}}``: budget exhaustion maps to
+402, validation to 400, unknown datasets/routes to 404, releases that fail
+mid-run to 422 — and the client resurrects the original exception class
+from ``type``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Mapping, Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro import __version__
+from repro.exceptions import (
+    PrivacyBudgetError,
+    ReproError,
+    ServerError,
+    SpecError,
+)
+from repro.server.config import ServerConfig
+from repro.server.registry import DatasetRegistry
+from repro.service.engine import ReleaseRequest
+from repro.service.spec import PipelineSpec
+
+logger = logging.getLogger("repro.server")
+
+#: Header naming the calling analyst.
+TENANT_HEADER = "X-PCOR-Tenant"
+
+#: Exception class → HTTP status for typed error payloads.
+_STATUS_FOR = {
+    PrivacyBudgetError: 402,
+    SpecError: 400,
+    ServerError: 404,
+}
+
+
+def _status_for(exc: Exception) -> int:
+    for cls, status in _STATUS_FOR.items():
+        if isinstance(exc, cls):
+            return status
+    if isinstance(exc, ReproError):
+        # The request was well-formed and admitted but the release failed
+        # (no matching context, record outside the dataset, ...).
+        return 422
+    return 500
+
+
+class _BadRequest(SpecError):
+    """Malformed request body/headers (maps to 400 like any SpecError)."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request.  All state lives on ``self.server`` (the PCORServer)."""
+
+    server_version = f"pcor/{__version__}"
+    protocol_version = "HTTP/1.1"
+    # Buffered writes + TCP_NODELAY: a response leaves in one segment
+    # instead of one write per header, and keep-alive clients never hit
+    # the Nagle/delayed-ACK 40 ms stall.
+    wbufsize = 64 * 1024
+    disable_nagle_algorithm = True
+
+    # --------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlparse(self.path)
+        try:
+            if url.path == "/healthz":
+                self._respond(200, self._app().health())
+            elif url.path == "/v1/datasets":
+                self._respond(200, self._app().list_datasets())
+            elif url.path == "/v1/budget":
+                query = parse_qs(url.query)
+                dataset = query.get("dataset", [None])[0]
+                self._respond(
+                    200, self._app().budget(self._tenant(), dataset=dataset)
+                )
+            elif url.path == "/v1/metrics":
+                self._respond(200, self._app().metrics())
+            else:
+                raise ServerError(f"no such route: GET {url.path}")
+        except Exception as exc:  # noqa: BLE001 — mapped to typed payloads
+            self._respond_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlparse(self.path)
+        try:
+            # Drain the body before routing, even for requests that will
+            # 404: unread body bytes left in rfile would be parsed as the
+            # next request line, desyncing the keep-alive connection.
+            raw = self._read_body()
+            parts = url.path.strip("/").split("/")
+            if len(parts) == 4 and parts[:2] == ["v1", "datasets"] and parts[3] == "release":
+                body = self._parse_json(raw)
+                payload = self._app().release(parts[2], self._tenant(), body)
+                self._respond(200, payload)
+            else:
+                raise ServerError(f"no such route: POST {url.path}")
+        except Exception as exc:  # noqa: BLE001 — mapped to typed payloads
+            self._respond_error(exc)
+
+    # -------------------------------------------------------------- helpers
+
+    def _app(self) -> "PCORServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def _tenant(self) -> str:
+        tenant = (self.headers.get(TENANT_HEADER) or "").strip()
+        if not tenant:
+            raise _BadRequest(
+                f"missing {TENANT_HEADER} header: every analyst-facing route "
+                "is tenant-scoped"
+            )
+        return tenant
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length > 0 else b""
+
+    @staticmethod
+    def _parse_json(raw: bytes) -> Dict[str, Any]:
+        if not raw:
+            raise _BadRequest("request body is empty; expected a JSON object")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise _BadRequest(
+                f"request body must be a JSON object, got {type(body).__name__}"
+            )
+        return body
+
+    def _respond(self, status: int, payload: Mapping[str, Any]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        self._app()._count(status)
+
+    def _respond_error(self, exc: Exception) -> None:
+        status = _status_for(exc)
+        if status == 500:
+            logger.exception("unhandled error serving %s", self.path)
+        # Publish the nearest *public* class name so the client can
+        # resurrect the exception (internal helpers like _BadRequest
+        # surface as their public base, SpecError).
+        name = next(
+            base.__name__
+            for base in type(exc).__mro__
+            if not base.__name__.startswith("_")
+        )
+        payload = {
+            "error": {
+                "type": name,
+                "message": str(exc),
+                "status": status,
+            }
+        }
+        self._respond(status, payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class PCORServer:
+    """The multi-tenant PCOR release service.
+
+    Parameters
+    ----------
+    config:
+        A :class:`ServerConfig` (or a path-free mapping accepted by
+        :meth:`ServerConfig.from_dict`), *or* a pre-built
+        :class:`DatasetRegistry`.
+    host / port:
+        Bind address overrides (``port=0`` binds an ephemeral port —
+        read the real one off :attr:`port` after construction).
+
+    Use as a context manager, or call :meth:`start` /: :meth:`shutdown`
+    explicitly.  :meth:`serve_forever` blocks (the CLI path).
+    """
+
+    def __init__(
+        self,
+        config: Union[ServerConfig, Mapping, DatasetRegistry],
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> None:
+        if isinstance(config, DatasetRegistry):
+            self.registry = config
+            server_config = config.config
+        else:
+            if not isinstance(config, ServerConfig):
+                config = ServerConfig.from_dict(config)
+            server_config = config
+            self.registry = DatasetRegistry(config)
+        self.config = server_config
+        bind = (
+            host if host is not None else server_config.host,
+            port if port is not None else server_config.port,
+        )
+        try:
+            self._httpd = _HTTPServer(bind, _Handler)
+        except OSError as exc:
+            self.registry.close()
+            raise ServerError(f"cannot bind {bind[0]}:{bind[1]}: {exc}") from None
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._responses_by_status: Dict[str, int] = {}
+        # Validated-spec cache: analysts overwhelmingly resubmit the same
+        # pipeline with new records/seeds, and eager PipelineSpec validation
+        # (registry + signature checks) costs ~0.1 ms — worth skipping.
+        # PipelineSpec is frozen, so cached instances are safe to share.
+        self._spec_cache: Dict[str, PipelineSpec] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "PCORServer":
+        """Serve in a background thread (idempotent); returns ``self``."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="pcor-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (CLI path)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release every engine and ledger (idempotent).
+
+        In-flight requests finish first; ledger stores fsync on every
+        admitted charge, so shutdown never loses recorded spend.
+        """
+        # BaseServer.shutdown() blocks on serve_forever's exit event, which
+        # only a *running* serve loop ever sets — skip it for a server that
+        # was constructed (or already stopped) but never (re)started, e.g.
+        # an app used in-process via PCORServer.release() without start().
+        if self._thread is not None and self._thread.is_alive():
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.registry.close()
+
+    def __enter__(self) -> "PCORServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _count(self, status: int) -> None:
+        key = f"{status // 100}xx"
+        with self._lock:
+            self._responses_by_status[key] = (
+                self._responses_by_status.get(key, 0) + 1
+            )
+
+    # ------------------------------------------------------------ endpoints
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "datasets": self.registry.names(),
+        }
+
+    def list_datasets(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for name in self.registry.names():
+            entry = self.registry.get(name)
+            accountant = entry.accountant
+            out[name] = {
+                "source": entry.config.source,
+                "built": entry.built,
+                "budget": accountant.budget if accountant is not None else None,
+                "spent": accountant.spent if accountant is not None else None,
+                "remaining": (
+                    accountant.remaining if accountant is not None else None
+                ),
+                "tenant_budget": entry.config.tenant_budget,
+            }
+        return {"datasets": out}
+
+    def budget(self, tenant: str, dataset: Optional[str] = None) -> Dict[str, Any]:
+        names = [dataset] if dataset is not None else self.registry.names()
+        budgets = {}
+        for name in names:
+            entry = self.registry.get(name)  # unknown name -> 404
+            budgets[name] = entry.tenants.describe(tenant)
+        return {"tenant": tenant, "datasets": budgets}
+
+    def metrics(self) -> Dict[str, Any]:
+        """Monotonic service counters (safe to difference between scrapes)."""
+        datasets: Dict[str, Any] = {}
+        for name in self.registry.names():
+            entry = self.registry.get(name)
+            if entry.built:
+                m = entry.engine.metrics()
+                m.spend_by_tenant = entry.tenants.spend_by_tenant()
+                body = m.to_dict()
+            else:
+                accountant = entry.accountant
+                body = {
+                    "epsilon_spent": (
+                        accountant.spent if accountant is not None else 0.0
+                    ),
+                    "epsilon_budget": (
+                        accountant.budget if accountant is not None else None
+                    ),
+                    "epsilon_remaining": (
+                        accountant.remaining if accountant is not None else None
+                    ),
+                    "ledger_charges": (
+                        len(accountant.ledger()) if accountant is not None else 0
+                    ),
+                    "spend_by_tenant": entry.tenants.spend_by_tenant(),
+                }
+            body["tenant_rejections"] = entry.tenants.rejections()
+            datasets[name] = body
+        with self._lock:
+            responses = dict(self._responses_by_status)
+        return {"server": {"responses_by_status": responses}, "datasets": datasets}
+
+    def release(
+        self, dataset: str, tenant: str, body: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """Admit (both ledgers, atomically) then execute one release."""
+        entry = self.registry.get(dataset)  # unknown name -> 404
+        request = self._parse_release(body)
+        label = (
+            f"release(tenant={tenant}, record={request.record_id}, "
+            f"sampler={request.spec.sampler}, epsilon={request.spec.epsilon:g})"
+        )
+        # Admission happens before the engine (and hence the dataset and
+        # detector) is even built: an over-budget tenant is rejected with
+        # 402 before a single f_M evaluation, restart or not.
+        entry.tenants.admit(tenant, label, request.spec.epsilon)
+        result = entry.engine.execute(request)
+        return {
+            "result": result.to_dict(),
+            "budget": entry.tenants.describe(tenant),
+        }
+
+    # -------------------------------------------------------------- parsing
+
+    _SPEC_CACHE_MAX = 256
+
+    def _parse_spec(self, spec_body: Mapping[str, Any]) -> PipelineSpec:
+        try:
+            key = json.dumps(spec_body, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError):
+            raise _BadRequest("spec must be a JSON-serializable object") from None
+        with self._lock:
+            spec = self._spec_cache.get(key)
+        if spec is None:
+            spec = PipelineSpec.from_dict(spec_body)  # SpecError -> 400
+            with self._lock:
+                if len(self._spec_cache) >= self._SPEC_CACHE_MAX:
+                    self._spec_cache.clear()
+                self._spec_cache[key] = spec
+        return spec
+
+    def _parse_release(self, body: Mapping[str, Any]) -> ReleaseRequest:
+        unknown = sorted(
+            set(body) - {"record_id", "spec", "seed", "starting_context"}
+        )
+        if unknown:
+            raise _BadRequest(
+                f"unknown release field(s) {unknown}; known: "
+                "['record_id', 'seed', 'spec', 'starting_context']"
+            )
+        if "record_id" not in body:
+            raise _BadRequest("release body is missing 'record_id'")
+        record_id = body["record_id"]
+        if isinstance(record_id, bool) or not isinstance(record_id, int):
+            raise _BadRequest(
+                f"record_id must be an integer, got {record_id!r}"
+            )
+        spec_body = body.get("spec")
+        if not isinstance(spec_body, Mapping):
+            raise _BadRequest(
+                "release body needs a 'spec' object (a PipelineSpec mapping)"
+            )
+        spec = self._parse_spec(spec_body)
+        seed = body.get("seed")
+        if seed is not None and (
+            isinstance(seed, bool) or not isinstance(seed, int)
+        ):
+            raise _BadRequest(
+                f"seed must be an integer or null, got {seed!r}"
+            )
+        starting = body.get("starting_context")
+        if starting is not None and (
+            isinstance(starting, bool) or not isinstance(starting, int)
+        ):
+            raise _BadRequest(
+                "starting_context must be an integer context bitmask or null, "
+                f"got {starting!r}"
+            )
+        return ReleaseRequest(
+            record_id=record_id,
+            spec=spec,
+            starting_context=starting,
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PCORServer(url={self.url!r}, datasets={self.registry.names()})"

@@ -1,0 +1,196 @@
+"""A tiny stdlib client for the PCOR HTTP service.
+
+:class:`PCORClient` speaks the ``/v1`` JSON API of
+:class:`~repro.server.app.PCORServer` and resurrects the server's typed
+error payloads as the original :mod:`repro.exceptions` classes — a 402
+raises :class:`~repro.exceptions.PrivacyBudgetError` on the analyst's side
+exactly as an in-process :meth:`ReleaseEngine.submit` would, so code moves
+between the embedded and the served engine without changing its error
+handling.
+
+The client keeps one HTTP/1.1 keep-alive connection (with ``TCP_NODELAY``)
+per instance and transparently reconnects if the server dropped it.  One
+connection means one in-flight request: share a *server* between threads,
+not a client — give each thread its own ``PCORClient``.
+
+>>> client = PCORClient("http://127.0.0.1:8320", tenant="alice")
+>>> client.release("salary", record_id=17,
+...                spec={"detector": "lof", "detector_kwargs": {"k": 10},
+...                      "sampler": "bfs", "epsilon": 0.2}, seed=42)
+... # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, Mapping, Optional, Union
+from urllib.parse import urlparse
+
+import repro.exceptions as _exceptions
+from repro.exceptions import ReproError, ServerError
+from repro.server.app import TENANT_HEADER
+from repro.service.spec import PipelineSpec
+
+
+class PCORClient:
+    """Analyst-side handle on one PCOR server.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8320"`` (trailing slash tolerated).
+    tenant:
+        Value of the ``X-PCOR-Tenant`` header sent with every request.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self, base_url: str, tenant: str = "default", timeout: float = 60.0
+    ) -> None:
+        self.base_url = str(base_url).rstrip("/")
+        self.tenant = str(tenant)
+        self.timeout = float(timeout)
+        parsed = urlparse(self.base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ServerError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------ endpoints
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def datasets(self) -> Dict[str, Any]:
+        """Hosted datasets with their global-budget summaries."""
+        return self._request("GET", "/v1/datasets")["datasets"]
+
+    def budget(self, dataset: Optional[str] = None) -> Dict[str, Any]:
+        """This tenant's budgets (one dataset, or all of them)."""
+        path = "/v1/budget"
+        if dataset is not None:
+            path += f"?dataset={dataset}"
+        return self._request("GET", path)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def release(
+        self,
+        dataset: str,
+        record_id: int,
+        spec: Union[PipelineSpec, Mapping[str, Any]],
+        seed: Optional[int] = None,
+        starting_context: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Run one budgeted release; returns ``{"result": ..., "budget": ...}``.
+
+        ``spec`` may be a :class:`PipelineSpec` (serialized via ``to_dict``)
+        or an equivalent plain mapping.  Raises the same exception classes
+        the embedded engine would — :class:`PrivacyBudgetError` once this
+        tenant (or the dataset) is exhausted, :class:`SpecError` for a bad
+        pipeline, and so on.
+        """
+        if isinstance(spec, PipelineSpec):
+            spec = spec.to_dict()
+        body: Dict[str, Any] = {"record_id": int(record_id), "spec": dict(spec)}
+        if seed is not None:
+            body["seed"] = int(seed)
+        if starting_context is not None:
+            body["starting_context"] = int(starting_context)
+        return self._request("POST", f"/v1/datasets/{dataset}/release", body)
+
+    # ------------------------------------------------------------ transport
+
+    def _connect(self) -> http.client.HTTPConnection:
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+        try:
+            conn.connect()
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise ServerError(
+                f"cannot reach {self.base_url}: {exc}"
+            ) from None
+        self._conn = conn
+        return conn
+
+    def _request(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {TENANT_HEADER: self.tenant, "Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # One retry for *idempotent* requests only: a keep-alive peer may
+        # have dropped an idle connection.  A release POST is never
+        # resent — the server may have admitted (and fsync'd) the charge
+        # before the connection died, and a blind retry would spend the
+        # analyst's epsilon twice.  Check /v1/budget before resubmitting.
+        retries = (0, 1) if method == "GET" else (0,)
+        for attempt in retries:
+            conn = self._conn if self._conn is not None else self._connect()
+            try:
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                status = response.status
+                raw = response.read()
+                break
+            except (http.client.HTTPException, OSError) as exc:
+                self.close()
+                if attempt < retries[-1]:
+                    continue
+                raise ServerError(
+                    f"cannot reach {self.base_url + path}: {exc}"
+                ) from None
+        if status >= 400:
+            raise _error_from(status, raw)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError:
+            raise ServerError(
+                f"{self.base_url + path} returned invalid JSON"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ServerError(
+                f"{self.base_url + path} returned a non-object payload"
+            )
+        return payload
+
+    def close(self) -> None:
+        """Drop the keep-alive connection (reopened on next request)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "PCORClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PCORClient(base_url={self.base_url!r}, tenant={self.tenant!r})"
+
+
+def _error_from(status: int, raw: bytes) -> ReproError:
+    """Rebuild the server's typed error as its original exception class."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+        error = payload["error"]
+        type_name = str(error["type"])
+        message = str(error["message"])
+    except Exception:  # noqa: BLE001 — not our JSON; fall back to HTTP text
+        return ServerError(f"HTTP {status}: {raw[:200]!r}")
+    cls = getattr(_exceptions, type_name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    return ServerError(f"HTTP {status} [{type_name}]: {message}")

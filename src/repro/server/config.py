@@ -1,0 +1,263 @@
+"""Declarative server configuration (``pcor serve --config server.toml``).
+
+A :class:`ServerConfig` names everything one PCOR server hosts: the bind
+address, the ledger policy, and one :class:`DatasetConfig` per dataset —
+its source (a built-in generator or a CSV file), its dataset-global budget,
+and its per-tenant quota policy.  Like :class:`~repro.service.spec.PipelineSpec`
+it validates eagerly, round-trips through ``to_dict``/``from_dict``, and
+loads from JSON or TOML via the shared
+:func:`~repro.service.spec.load_mapping_file` helper:
+
+.. code-block:: toml
+
+    [server]
+    host = "127.0.0.1"
+    port = 8320
+    ledger = "jsonl"          # or "memory"
+    ledger_dir = "ledgers"    # one JSONL WAL per dataset
+
+    [datasets.salary]
+    source = "salary_reduced" # any built-in generator, or "csv"
+    records = 2000
+    seed = 7
+    budget = 5.0              # dataset-global OCDP budget
+    tenant_budget = 1.0       # default per-analyst quota
+    [datasets.salary.tenant_budgets]
+    alice = 2.0               # per-analyst overrides
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.data.csvio import read_csv
+from repro.data.table import Dataset
+from repro.exceptions import SpecError
+from repro.service.spec import load_mapping_file
+
+#: Ledger store kinds a config may name.
+LEDGER_KINDS = ("jsonl", "memory")
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8320
+
+
+def _dataset_factories() -> Dict[str, Any]:
+    # Local import: the experiments package is heavy and the harness module
+    # imports half the library; only pay for it when a generator is named.
+    from repro.experiments.harness import DATASET_FACTORIES
+
+    return DATASET_FACTORIES
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """One hosted dataset: source, size, budgets, execution knobs.
+
+    Parameters
+    ----------
+    name:
+        Registry key — the ``{name}`` in ``/v1/datasets/{name}/release``.
+    source:
+        A built-in generator name (``salary_reduced``, ``homicide_reduced``,
+        ``salary_full``, ``homicide_full``) or ``"csv"`` (then ``path`` and
+        ``metric`` describe the file, loaded via
+        :func:`repro.data.csvio.read_csv`).
+    records / seed:
+        Generator parameters (ignored for CSV sources).
+    path / metric:
+        CSV file location and numeric-metric column (CSV sources only).
+    budget:
+        Dataset-global OCDP budget (``None`` = unbudgeted — tenant quotas,
+        if any, still apply).
+    tenant_budget / tenant_budgets:
+        Default per-analyst quota and per-analyst overrides.
+    profile_capacity / backend / workers:
+        Passed through to the dataset's :class:`ReleaseEngine` (``None``
+        keeps the engine defaults).
+    """
+
+    name: str
+    source: str = "salary_reduced"
+    records: int = 2000
+    seed: int = 0
+    path: Optional[str] = None
+    metric: Optional[str] = None
+    budget: Optional[float] = None
+    tenant_budget: Optional[float] = None
+    tenant_budgets: Mapping[str, float] = field(default_factory=dict)
+    profile_capacity: Optional[int] = None
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", str(self.name))
+        object.__setattr__(self, "source", str(self.source))
+        object.__setattr__(self, "records", int(self.records))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(
+            self,
+            "tenant_budgets",
+            {str(k): float(v) for k, v in dict(self.tenant_budgets).items()},
+        )
+        if not self.name or "/" in self.name:
+            raise SpecError(f"dataset name {self.name!r} must be non-empty and slash-free")
+        if self.source == "csv":
+            if not self.path:
+                raise SpecError(f"dataset {self.name!r}: csv source needs a 'path'")
+            if not self.metric:
+                raise SpecError(
+                    f"dataset {self.name!r}: csv source needs a 'metric' column name"
+                )
+        elif self.source not in _dataset_factories():
+            raise SpecError(
+                f"dataset {self.name!r}: unknown source {self.source!r}; "
+                f"use 'csv' or one of {sorted(_dataset_factories())}"
+            )
+        elif self.records < 1:
+            raise SpecError(f"dataset {self.name!r}: records must be >= 1")
+        for label, value in (
+            ("budget", self.budget),
+            ("tenant_budget", self.tenant_budget),
+        ):
+            if value is not None:
+                value = float(value)
+                object.__setattr__(self, label, value)
+                if not (value > 0.0 and math.isfinite(value)):
+                    raise SpecError(
+                        f"dataset {self.name!r}: {label} must be positive and "
+                        f"finite, got {value}"
+                    )
+        for tenant, quota in self.tenant_budgets.items():
+            if not (quota > 0.0 and math.isfinite(quota)):
+                raise SpecError(
+                    f"dataset {self.name!r}: tenant {tenant!r} budget must be "
+                    f"positive and finite, got {quota}"
+                )
+        if self.backend is not None:
+            from repro.runtime import available_backends
+
+            key = str(self.backend).lower()
+            if key not in available_backends():
+                raise SpecError(
+                    f"dataset {self.name!r}: unknown backend {self.backend!r}; "
+                    f"available: {available_backends()}"
+                )
+            object.__setattr__(self, "backend", key)
+        if self.workers is not None and int(self.workers) < 1:
+            raise SpecError(f"dataset {self.name!r}: workers must be >= 1")
+
+    def build_dataset(self) -> Dataset:
+        """Materialise the dataset this config describes."""
+        if self.source == "csv":
+            return read_csv(self.path, metric=self.metric)
+        factory = _dataset_factories()[self.source]
+        return factory(n_records=self.records, seed=self.seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"source": self.source}
+        if self.source == "csv":
+            out["path"] = self.path
+            out["metric"] = self.metric
+        else:
+            out["records"] = self.records
+            out["seed"] = self.seed
+        for key in ("budget", "tenant_budget", "profile_capacity", "backend", "workers"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.tenant_budgets:
+            out["tenant_budgets"] = dict(self.tenant_budgets)
+        return out
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything one ``pcor serve`` process hosts."""
+
+    datasets: Mapping[str, DatasetConfig] = field(default_factory=dict)
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    ledger: str = "memory"
+    ledger_dir: Optional[str] = None
+    fsync: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "host", str(self.host))
+        object.__setattr__(self, "port", int(self.port))
+        object.__setattr__(self, "ledger", str(self.ledger).lower())
+        object.__setattr__(self, "fsync", bool(self.fsync))
+        coerced: Dict[str, DatasetConfig] = {}
+        for name, cfg in dict(self.datasets).items():
+            if isinstance(cfg, DatasetConfig):
+                coerced[str(name)] = cfg
+            elif isinstance(cfg, Mapping):
+                body = dict(cfg)
+                body.pop("name", None)
+                coerced[str(name)] = DatasetConfig(name=str(name), **body)
+            else:
+                raise SpecError(
+                    f"dataset {name!r} config must be a mapping, "
+                    f"got {type(cfg).__name__}"
+                )
+        object.__setattr__(self, "datasets", coerced)
+        if not coerced:
+            raise SpecError("server config hosts no datasets")
+        if not (0 <= self.port <= 65535):
+            raise SpecError(f"port must be in [0, 65535], got {self.port}")
+        if self.ledger not in LEDGER_KINDS:
+            raise SpecError(
+                f"unknown ledger kind {self.ledger!r}; use one of {LEDGER_KINDS}"
+            )
+        if self.ledger == "jsonl" and not self.ledger_dir:
+            raise SpecError("ledger = 'jsonl' needs a 'ledger_dir'")
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "ledger": self.ledger,
+                "fsync": self.fsync,
+            },
+            "datasets": {
+                name: cfg.to_dict() for name, cfg in self.datasets.items()
+            },
+        }
+        if self.ledger_dir is not None:
+            out["server"]["ledger_dir"] = self.ledger_dir
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServerConfig":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"server config must be a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"server", "datasets"})
+        if unknown:
+            raise SpecError(
+                f"unknown server config section(s) {unknown}; "
+                "known: ['datasets', 'server']"
+            )
+        server = dict(data.get("server", {}))
+        known = {f.name for f in fields(cls)} - {"datasets"}
+        bad = sorted(set(server) - known)
+        if bad:
+            raise SpecError(
+                f"unknown [server] field(s) {bad}; known: {sorted(known)}"
+            )
+        datasets = data.get("datasets", {})
+        if not isinstance(datasets, Mapping):
+            raise SpecError("'datasets' must map names to dataset configs")
+        return cls(datasets=datasets, **server)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ServerConfig":
+        """Load a server config from a ``.json`` or ``.toml`` file."""
+        return cls.from_dict(load_mapping_file(path, what="server config"))

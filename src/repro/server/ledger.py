@@ -1,0 +1,225 @@
+"""Durable privacy ledgers: the write-ahead log behind the budget.
+
+The search-log literature's core lesson (Götz et al., *Privacy in Search
+Logs*) is that a DP release service is only as private as its accounting:
+the guarantee quantifies over every query ever answered, so a ledger that
+evaporates on restart silently resets epsilon to zero.  This module is the
+durability layer the server's :class:`~repro.server.tenants.TenantBudgets`
+writes through:
+
+* :class:`LedgerStore` — the tiny protocol: ``append`` one charge record,
+  ``replay`` them all, ``close``.
+* :class:`InMemoryLedgerStore` — process-lifetime only; for tests, examples
+  and benchmarks where durability is out of scope.
+* :class:`JsonlLedgerStore` — an append-only JSONL write-ahead ledger.
+  Every ``append`` writes one JSON line and (by default) ``fsync``\\ s it
+  before returning, so an admitted charge survives a crash of the process
+  *and* the page cache.  ``open`` replays the file, and a torn final line
+  (the classic partial-write crash signature) is truncated away — a torn
+  record was never acknowledged, so dropping it under-counts nothing.
+
+Records are plain JSON objects.  The store is schema-agnostic except for
+one reserved key, ``"v"`` (record-format version, stamped on write); the
+tenant/dataset/epsilon schema lives with :class:`TenantBudgets`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Protocol, Union, runtime_checkable
+
+from repro.exceptions import LedgerError
+
+#: Record-format version stamped into every persisted charge record.
+LEDGER_FORMAT_VERSION = 1
+
+
+@runtime_checkable
+class LedgerStore(Protocol):
+    """Append-only durable store of privacy-charge records."""
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably persist one charge record (called under the budget lock,
+        after the in-memory ledgers admitted the charge)."""
+        ...
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """Every record persisted so far, in append order."""
+        ...
+
+    def close(self) -> None:
+        """Release file handles; the store must not be appended to after."""
+        ...
+
+
+class InMemoryLedgerStore:
+    """A ledger that lives exactly as long as the process.
+
+    Useful for tests and throughput benchmarks; a real deployment that
+    cares about its privacy guarantee wants :class:`JsonlLedgerStore`.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._records.append(dict(record))
+
+    def replay(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(r) for r in self._records]
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InMemoryLedgerStore(records={len(self)})"
+
+
+class JsonlLedgerStore:
+    """Append-only JSONL write-ahead ledger with crash replay.
+
+    Parameters
+    ----------
+    path:
+        The ledger file.  Created (along with parent directories) if
+        absent; an existing file is replayed on open.
+    fsync:
+        ``True`` (the default) fsyncs after every appended line, so a
+        charge acknowledged to the analyst is on stable storage before the
+        release runs.  ``False`` trades that guarantee for throughput
+        (flush-only) — acceptable for benchmarks, not for production.
+
+    Torn-tail handling: if the final line of an existing file lacks its
+    newline terminator — the only state a crash mid-append can leave,
+    since the newline is the last byte of every write — the file is
+    truncated back to the last complete record and replay proceeds (the
+    torn record was never acknowledged, so dropping it under-counts
+    nothing).  A *complete* line that fails to parse, anywhere in the
+    file, cannot be explained by a crashed append and raises
+    :class:`LedgerError` instead of silently forgetting spend.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._recover()
+        try:
+            self._fh = open(self.path, "ab")
+        except OSError as exc:
+            raise LedgerError(f"cannot open ledger {self.path}: {exc}") from None
+
+    # ----------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        """Replay an existing file, truncating a torn final record."""
+        if not self.path.exists():
+            return
+        try:
+            raw = self.path.read_bytes()
+        except OSError as exc:
+            raise LedgerError(f"cannot read ledger {self.path}: {exc}") from None
+        good_end = 0
+        records: List[Dict[str, Any]] = []
+        torn = False
+        for line_end, line in _iter_lines(raw):
+            if line_end is None:
+                # No trailing newline: the append never completed.  This is
+                # the *only* state a crashed single-write append can leave
+                # behind (the newline is the last byte of every write), so
+                # it is the only state recovery may discard.
+                torn = True
+                break
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("not an object")
+            except ValueError:
+                # A complete, newline-terminated line that is not a valid
+                # record was fully written — and possibly acknowledged, so
+                # its release may have run.  Dropping it would under-count
+                # privacy spend; that is corruption, not a torn append.
+                raise LedgerError(
+                    f"ledger {self.path} record {len(records) + 1} is "
+                    f"corrupt: {line[:80]!r}; refusing to truncate recorded "
+                    "privacy spend"
+                ) from None
+            records.append(record)
+            good_end = line_end
+        if torn:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._records = records
+
+    # ---------------------------------------------------------- interface
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        payload = dict(record)
+        payload.setdefault("v", LEDGER_FORMAT_VERSION)
+        line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        data = line.encode("utf-8") + b"\n"
+        with self._lock:
+            if self._fh.closed:
+                raise LedgerError(f"ledger {self.path} is closed")
+            try:
+                self._fh.write(data)
+                self._fh.flush()
+                if self.fsync:
+                    os.fsync(self._fh.fileno())
+            except OSError as exc:
+                raise LedgerError(
+                    f"failed to persist charge to {self.path}: {exc}"
+                ) from None
+            self._records.append(payload)
+
+    def replay(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(r) for r in self._records]
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __enter__(self) -> "JsonlLedgerStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JsonlLedgerStore(path={str(self.path)!r}, records={len(self)}, "
+            f"fsync={self.fsync})"
+        )
+
+
+def _iter_lines(raw: bytes) -> Iterator[tuple]:
+    """Yield ``(end_offset_or_None, text)`` per line; ``None`` marks a line
+    missing its newline terminator (a torn tail)."""
+    start = 0
+    while start < len(raw):
+        idx = raw.find(b"\n", start)
+        if idx == -1:
+            yield None, raw[start:].decode("utf-8", errors="replace")
+            return
+        yield idx + 1, raw[start:idx].decode("utf-8", errors="replace")
+        start = idx + 1

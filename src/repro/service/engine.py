@@ -104,12 +104,25 @@ class EngineMetrics:
     execution phase (``admission``, ``warm_profiles``, ``release``), and
     ``release_tasks`` / ``profile_tasks`` count what the execution backend
     actually fanned out.
+
+    The ledger breakdown (``epsilon_budget`` / ``epsilon_remaining`` /
+    ``ledger_charges``) mirrors the engine's accountant; ``spend_by_tenant``
+    is filled by a tenant-layered caller (the HTTP server) — the engine
+    itself does not know analysts.  All counters and spends are
+    *monotonic* across requests (an engine never un-spends budget or
+    un-counts a request), so two snapshots can safely be differenced for
+    rates; only gauges (``profiles_cached``, ``epsilon_remaining``) move
+    both ways.
     """
 
     requests_submitted: int = 0
     releases_completed: int = 0
     requests_rejected: int = 0
     epsilon_spent: float = 0.0
+    epsilon_budget: Optional[float] = None
+    epsilon_remaining: Optional[float] = None
+    ledger_charges: int = 0
+    spend_by_tenant: Dict[str, float] = field(default_factory=dict)
     profile_hits: int = 0
     profile_misses: int = 0
     profile_evictions: int = 0
@@ -142,6 +155,13 @@ class ReleaseEngine:
         engine's :class:`PrivacyAccountant` *before* resolving components or
         touching data, so an over-budget request fails without a single
         ``f_M`` evaluation.  ``None`` runs unbudgeted (the caller accounts).
+    accountant:
+        A pre-built :class:`PrivacyAccountant` *instance* to charge instead
+        of constructing one from ``budget`` (mutually exclusive with it).
+        This is how the HTTP server layers durable, replayed, per-tenant
+        ledgers onto an engine: the server and the engine share one
+        accountant object, so ``/v1/budget`` and ``submit`` admission can
+        never disagree.
     profile_capacity:
         LRU bound of each per-detector profile store.
     mask_index:
@@ -168,9 +188,18 @@ class ReleaseEngine:
         mask_index: Optional[PredicateMaskIndex] = None,
         backend: Union[None, str, ExecutionBackend] = None,
         workers: Optional[int] = None,
+        accountant: Optional[PrivacyAccountant] = None,
     ):
         self.dataset = dataset
-        self.accountant = PrivacyAccountant(budget) if budget is not None else None
+        if accountant is not None:
+            if budget is not None:
+                raise PrivacyBudgetError(
+                    "pass either budget= or accountant=, not both; an "
+                    "injected accountant already carries its budget"
+                )
+            self.accountant = accountant
+        else:
+            self.accountant = PrivacyAccountant(budget) if budget is not None else None
         if mask_index is not None and mask_index.dataset is not dataset:
             raise VerificationError("mask index was built for a different dataset")
         self._masks = mask_index
@@ -273,6 +302,10 @@ class ReleaseEngine:
                 phase_wall_s=dict(self._phase_wall),
                 phase_tasks=dict(self._phase_tasks),
             )
+            if self.accountant is not None:
+                m.epsilon_budget = self.accountant.budget
+                m.epsilon_remaining = self.accountant.remaining
+                m.ledger_charges = len(self.accountant.ledger())
             verifiers = list(self._verifiers.values())
             backends = [self.backend, *self._spec_backends.values()]
         for verifier in verifiers:
@@ -332,6 +365,25 @@ class ReleaseEngine:
         with self._lock:
             self.requests_submitted += 1
         self._charge(request)
+        t0 = time.perf_counter()
+        result = self._execute(request)
+        self._phase("release", time.perf_counter() - t0, tasks=1)
+        return result
+
+    def execute(self, request: Union[ReleaseRequest, Mapping]) -> PCORResult:
+        """Run one release whose budget was already admitted externally.
+
+        Identical to :meth:`submit` except that the engine's own accountant
+        is *not* charged — for callers that performed admission against a
+        richer ledger sharing this engine's accountant (the HTTP server's
+        tenant-layered :class:`~repro.server.tenants.TenantBudgets` charges
+        the engine's global accountant and the per-tenant ledger in one
+        atomic step, then executes here).  Calling this without external
+        admission runs the release unaccounted — don't.
+        """
+        request = self._coerce(request)
+        with self._lock:
+            self.requests_submitted += 1
         t0 = time.perf_counter()
         result = self._execute(request)
         self._phase("release", time.perf_counter() - t0, tasks=1)

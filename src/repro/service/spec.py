@@ -43,6 +43,41 @@ from repro.outliers.base import OutlierDetector, detector_factory, make_detector
 import repro.outliers  # noqa: F401  (registration side effect)
 
 
+def load_mapping_file(path: Union[str, Path], what: str = "spec") -> Dict[str, Any]:
+    """Load a ``.json`` or ``.toml`` file that must hold a single mapping.
+
+    Shared by :meth:`PipelineSpec.from_file` and the server's
+    :class:`~repro.server.config.ServerConfig`, so every declarative
+    artefact in the system speaks the same two formats with the same
+    errors.
+    """
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix == ".json":
+        with open(p, "r", encoding="utf-8") as fh:
+            try:
+                data = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise SpecError(f"invalid JSON in {p}: {exc}") from None
+    elif suffix == ".toml":
+        import tomllib
+
+        with open(p, "rb") as fh:
+            try:
+                data = tomllib.load(fh)
+            except tomllib.TOMLDecodeError as exc:
+                raise SpecError(f"invalid TOML in {p}: {exc}") from None
+    else:
+        raise SpecError(
+            f"unsupported {what} format {suffix!r} for {p}; use .json or .toml"
+        )
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"{what} file {p} must hold a mapping, got {type(data).__name__}"
+        )
+    return dict(data)
+
+
 def _check_kwargs(factory: Callable, kwargs: Mapping[str, Any], what: str) -> None:
     """Reject kwargs the factory's signature cannot bind."""
     try:
@@ -317,27 +352,7 @@ class PipelineSpec:
     @classmethod
     def from_file(cls, path: Union[str, Path]) -> "PipelineSpec":
         """Load a spec from a ``.json`` or ``.toml`` file."""
-        p = Path(path)
-        suffix = p.suffix.lower()
-        if suffix == ".json":
-            with open(p, "r", encoding="utf-8") as fh:
-                try:
-                    data = json.load(fh)
-                except json.JSONDecodeError as exc:
-                    raise SpecError(f"invalid JSON in {p}: {exc}") from None
-        elif suffix == ".toml":
-            import tomllib
-
-            with open(p, "rb") as fh:
-                try:
-                    data = tomllib.load(fh)
-                except tomllib.TOMLDecodeError as exc:
-                    raise SpecError(f"invalid TOML in {p}: {exc}") from None
-        else:
-            raise SpecError(
-                f"unsupported spec format {suffix!r} for {p}; use .json or .toml"
-            )
-        return cls.from_dict(data)
+        return cls.from_dict(load_mapping_file(path, what="spec"))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         det = self.detector if isinstance(self.detector, str) else self.detector.name

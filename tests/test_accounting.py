@@ -97,3 +97,50 @@ class TestAccountant:
     def test_bad_budget(self):
         with pytest.raises(PrivacyBudgetError):
             PrivacyAccountant(budget=0.0)
+
+
+class TestPersistenceHooks:
+    """The sink/restore/can_charge trio the durable server ledgers ride."""
+
+    def test_sink_sees_admitted_charges_in_order(self):
+        seen = []
+        acc = PrivacyAccountant(budget=1.0, sink=lambda label, cost: seen.append((label, cost)))
+        acc.charge("a", 0.1)
+        acc.charge_many([("b", 0.2), ("c", 0.3)])
+        assert seen == [("a", 0.1), ("b", 0.2), ("c", 0.3)]
+
+    def test_sink_not_called_for_rejected_charges(self):
+        seen = []
+        acc = PrivacyAccountant(budget=0.1, sink=lambda *c: seen.append(c))
+        with pytest.raises(PrivacyBudgetError):
+            acc.charge("too-big", 0.5)
+        assert seen == []
+
+    def test_restore_bypasses_budget_check_and_sink(self):
+        seen = []
+        acc = PrivacyAccountant(budget=0.5, sink=lambda *c: seen.append(c))
+        acc.restore([("old-1", 0.4), ("old-2", 0.4)])  # replay exceeds budget
+        assert seen == []
+        assert acc.spent == pytest.approx(0.8)
+        assert acc.remaining == pytest.approx(-0.3)
+        # Over-restored ledgers reject everything going forward.
+        with pytest.raises(PrivacyBudgetError):
+            acc.charge("new", 0.01)
+        assert len(acc.ledger()) == 2
+
+    def test_restore_rejects_corrupt_costs(self):
+        acc = PrivacyAccountant(budget=1.0)
+        for bad in (-0.1, float("nan"), float("inf")):
+            with pytest.raises(PrivacyBudgetError, match="replayed"):
+                acc.restore([("x", bad)])
+        assert acc.spent == 0.0
+
+    def test_can_charge_matches_charge_admission(self):
+        acc = PrivacyAccountant(budget=0.5)
+        acc.charge("a", 0.3)
+        assert acc.can_charge(0.2)  # exactly fits (with dust tolerance)
+        assert not acc.can_charge(0.2000001)
+        assert not acc.can_charge(-0.1)
+        assert not acc.can_charge(float("nan"))
+        acc.charge("b", 0.2)
+        assert not acc.can_charge(1e-6)

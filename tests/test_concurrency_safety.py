@@ -17,6 +17,7 @@ import pytest
 from repro.core.profiles import ProfileStore
 from repro.exceptions import PrivacyBudgetError
 from repro.mechanisms.accounting import PrivacyAccountant
+from repro.server.tenants import TenantBudgets
 
 N_THREADS = 8
 OPS_PER_THREAD = 400
@@ -130,6 +131,102 @@ class TestAccountantUnderContention:
         accountant = PrivacyAccountant(budget=0.5)
         accountant.charge_many([])
         assert accountant.spent == 0.0
+
+
+class TestTenantBudgetsUnderContention:
+    """The tenant-layered admission path: two ledgers, one atomic decision."""
+
+    def test_tenant_room_for_exactly_one_admits_exactly_one(self):
+        """N threads race a tenant quota with room for exactly one release."""
+        tenants = TenantBudgets(PrivacyAccountant(10.0), default_budget=0.1)
+        barrier = threading.Barrier(N_THREADS)
+        outcomes = []
+
+        def racer(worker: int) -> None:
+            barrier.wait()
+            try:
+                tenants.admit("alice", f"w{worker}", 0.1)
+                outcomes.append("ok")
+            except PrivacyBudgetError:
+                outcomes.append("rejected")
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(racer, range(N_THREADS)))
+
+        assert outcomes.count("ok") == 1
+        assert tenants.spent("alice") == pytest.approx(0.1)
+        assert tenants.accountant.spent == pytest.approx(0.1)
+        assert len(tenants.store.replay()) == 1
+        assert tenants.rejections()["alice"] == N_THREADS - 1
+
+    def test_global_room_for_exactly_one_across_tenants(self):
+        """Distinct tenants (all with quota to spare) race a global budget
+        with room for one: one admitted, and every rejected tenant's own
+        ledger stays untouched — neither-ledger semantics."""
+        tenants = TenantBudgets(PrivacyAccountant(0.1), default_budget=1.0)
+        barrier = threading.Barrier(N_THREADS)
+        outcomes = {}
+
+        def racer(worker: int) -> None:
+            barrier.wait()
+            try:
+                tenants.admit(f"t{worker}", f"w{worker}", 0.1)
+                outcomes[worker] = "ok"
+            except PrivacyBudgetError:
+                outcomes[worker] = "rejected"
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(racer, range(N_THREADS)))
+
+        winners = [w for w, o in outcomes.items() if o == "ok"]
+        assert len(winners) == 1
+        assert tenants.accountant.spent == pytest.approx(0.1)
+        for worker in range(N_THREADS):
+            expected = 0.1 if worker in winners else 0.0
+            assert tenants.spent(f"t{worker}") == pytest.approx(expected)
+        assert len(tenants.store.replay()) == 1
+
+    def test_tenant_layered_release_admits_exactly_one(
+        self, mini_dataset, mini_outlier
+    ):
+        """The server's full admission+execute path under contention: a
+        tenant with room for exactly one release, hammered by N threads,
+        must complete exactly one release and reject the rest with 402
+        semantics (no detector run, no spend)."""
+        from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
+
+        spec = PipelineSpec(
+            detector="zscore",
+            detector_kwargs={"z_threshold": 2.5, "min_population": 8},
+            sampler="uniform",
+            epsilon=0.1,
+            n_samples=3,
+        )
+        engine = ReleaseEngine(mini_dataset, budget=10.0)
+        tenants = TenantBudgets(engine.accountant, default_budget=0.1)
+        barrier = threading.Barrier(N_THREADS)
+        released, rejected = [], []
+
+        def racer(worker: int) -> None:
+            barrier.wait()
+            try:
+                tenants.admit("alice", f"w{worker}", spec.epsilon)
+            except PrivacyBudgetError:
+                rejected.append(worker)
+                return
+            released.append(
+                engine.execute(
+                    ReleaseRequest(mini_outlier, spec, seed=worker)
+                )
+            )
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(racer, range(N_THREADS)))
+
+        assert len(released) == 1 and len(rejected) == N_THREADS - 1
+        assert engine.spent == pytest.approx(0.1)
+        assert engine.metrics().releases_completed == 1
+        engine.close()
 
 
 class TestEngineUnderConcurrentSubmitters:

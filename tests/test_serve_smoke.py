@@ -1,0 +1,129 @@
+"""End-to-end ``pcor serve`` smoke: spawn, release, budget, clean shutdown.
+
+This is the CI smoke test the ISSUE asks for: a real subprocess running the
+CLI entrypoint, spoken to over real sockets, stopped with a real SIGTERM.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.data.generators import salary_reduced
+from repro.server import PCORClient
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+SPEC = {
+    "detector": "zscore",
+    "detector_kwargs": {"z_threshold": 2.5, "min_population": 8},
+    "sampler": "uniform",
+    "epsilon": 0.1,
+    "n_samples": 3,
+}
+
+
+def write_config(tmp_path: Path) -> Path:
+    config = tmp_path / "server.json"
+    config.write_text(
+        json.dumps(
+            {
+                "server": {
+                    "port": 0,
+                    "ledger": "jsonl",
+                    "ledger_dir": str(tmp_path / "ledgers"),
+                },
+                "datasets": {
+                    "salary": {
+                        "source": "salary_reduced",
+                        "records": 300,
+                        "seed": 3,
+                        "budget": 5.0,
+                        "tenant_budget": 0.3,
+                    }
+                },
+            }
+        )
+    )
+    return config
+
+
+def server_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    return env
+
+
+def spawn_server(config: Path) -> tuple:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--config", str(config)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=server_env(),
+    )
+    # The CLI prints its bound URL (flush=True) as its first line.
+    line = process.stdout.readline()
+    assert "listening on" in line, f"unexpected banner: {line!r}"
+    url = next(tok for tok in line.split() if tok.startswith("http://"))
+    return process, url
+
+
+def find_outlier() -> int:
+    from repro.core.verification import OutlierVerifier
+    from repro.outliers.zscore import ZScoreDetector
+
+    dataset = salary_reduced(n_records=300, seed=3)
+    verifier = OutlierVerifier(
+        dataset, ZScoreDetector(z_threshold=2.5, min_population=8)
+    )
+    return next(
+        rid
+        for rid in map(int, dataset.ids)
+        if verifier.is_matching(dataset.record_bits(rid), rid)
+    )
+
+
+def test_serve_release_budget_shutdown(tmp_path):
+    config = write_config(tmp_path)
+    process, url = spawn_server(config)
+    try:
+        client = PCORClient(url, tenant="smoke")
+        assert client.health()["status"] == "ok"
+
+        record_id = find_outlier()
+        response = client.release("salary", record_id=record_id, spec=SPEC, seed=42)
+        assert response["result"]["record_id"] == record_id
+
+        budget = client.budget(dataset="salary")["datasets"]["salary"]
+        assert budget["spent"] == pytest.approx(0.1)
+        assert budget["remaining"] == pytest.approx(0.2)
+
+        # The WAL exists and holds exactly the admitted charge.
+        ledger = tmp_path / "ledgers" / "salary.ledger.jsonl"
+        [record] = [json.loads(l) for l in ledger.read_text().splitlines()]
+        assert record["tenant"] == "smoke"
+        assert record["epsilon"] == 0.1
+    finally:
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=30)
+    assert process.returncode == 0, out
+    assert "stopped; ledgers closed" in out
+
+
+def test_serve_rejects_bad_config(tmp_path):
+    config = tmp_path / "bad.json"
+    config.write_text(json.dumps({"server": {}, "datasets": {}}))
+    process = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--config", str(config)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+        env=server_env(),
+    )
+    assert process.returncode == 1
+    assert "no datasets" in process.stderr

@@ -300,6 +300,122 @@ class TestBudget:
         ]
 
 
+class TestAccountantInjection:
+    """The server's hooks: a shared accountant and the execute() path."""
+
+    def test_injected_accountant_is_charged_by_submit(
+        self, mini_dataset, mini_outlier
+    ):
+        from repro.mechanisms.accounting import PrivacyAccountant
+
+        shared = PrivacyAccountant(1.0)
+        engine = ReleaseEngine(mini_dataset, accountant=shared)
+        assert engine.accountant is shared
+        engine.submit(ReleaseRequest(mini_outlier, named_spec(epsilon=0.25), seed=1))
+        assert shared.spent == pytest.approx(0.25)
+        # External charges count against the same ledger submit checks.
+        shared.charge("external", 0.7)
+        with pytest.raises(PrivacyBudgetError):
+            engine.submit(
+                ReleaseRequest(mini_outlier, named_spec(epsilon=0.25), seed=2)
+            )
+        engine.close()
+
+    def test_budget_and_accountant_are_mutually_exclusive(self, mini_dataset):
+        from repro.mechanisms.accounting import PrivacyAccountant
+
+        with pytest.raises(PrivacyBudgetError, match="not both"):
+            ReleaseEngine(
+                mini_dataset, budget=1.0, accountant=PrivacyAccountant(1.0)
+            )
+
+    def test_execute_skips_the_ledger_but_counts_the_request(
+        self, mini_dataset, mini_outlier
+    ):
+        engine = ReleaseEngine(mini_dataset, budget=0.1)
+        result = engine.execute(
+            ReleaseRequest(mini_outlier, named_spec(epsilon=0.5), seed=3)
+        )
+        assert result.record_id == mini_outlier
+        assert engine.spent == 0.0  # admission happened elsewhere
+        metrics = engine.metrics()
+        assert metrics.requests_submitted == 1
+        assert metrics.releases_completed == 1
+        engine.close()
+
+    def test_execute_matches_submit_bit_identically(
+        self, mini_dataset, mini_outlier
+    ):
+        spec = named_spec(epsilon=0.5)
+        submitting = ReleaseEngine(mini_dataset)
+        executing = ReleaseEngine(mini_dataset)
+        for seed in (5, 6):
+            via_submit = submitting.submit(
+                ReleaseRequest(mini_outlier, spec, seed=seed)
+            )
+            via_execute = executing.execute(
+                ReleaseRequest(mini_outlier, spec, seed=seed)
+            )
+            assert via_execute.context.bits == via_submit.context.bits
+        submitting.close()
+        executing.close()
+
+    def test_sinked_accountant_gives_durable_engine_accounting(
+        self, mini_dataset, mini_outlier, tmp_path
+    ):
+        """Embedder path: an engine charging a sink-wired accountant gets
+        the same WAL-replay durability the HTTP server has, without the
+        tenant layer."""
+        from repro.mechanisms.accounting import PrivacyAccountant
+        from repro.server.ledger import JsonlLedgerStore
+
+        path = tmp_path / "engine.ledger.jsonl"
+        store = JsonlLedgerStore(path)
+        accountant = PrivacyAccountant(
+            0.5,
+            sink=lambda label, cost: store.append(
+                {"label": label, "epsilon": cost}
+            ),
+        )
+        engine = ReleaseEngine(mini_dataset, accountant=accountant)
+        engine.submit(ReleaseRequest(mini_outlier, named_spec(epsilon=0.3), seed=1))
+        engine.close()
+        store.close()
+
+        # "Restart": replay the WAL into a fresh accountant; the budget
+        # picture survives and over-budget submits stay rejected.
+        replayed_store = JsonlLedgerStore(path)
+        replayed = PrivacyAccountant(0.5)
+        replayed.restore(
+            [(r["label"], r["epsilon"]) for r in replayed_store.replay()]
+        )
+        restarted = ReleaseEngine(mini_dataset, accountant=replayed)
+        assert restarted.spent == pytest.approx(0.3)
+        with pytest.raises(PrivacyBudgetError):
+            restarted.submit(
+                ReleaseRequest(mini_outlier, named_spec(epsilon=0.3), seed=2)
+            )
+        restarted.close()
+        replayed_store.close()
+
+    def test_metrics_expose_ledger_breakdown(self, mini_dataset, mini_outlier):
+        engine = ReleaseEngine(mini_dataset, budget=1.0)
+        engine.submit(ReleaseRequest(mini_outlier, named_spec(epsilon=0.25), seed=1))
+        metrics = engine.metrics()
+        assert metrics.epsilon_budget == 1.0
+        assert metrics.epsilon_remaining == pytest.approx(0.75)
+        assert metrics.ledger_charges == 1
+        body = metrics.to_dict()
+        assert body["epsilon_budget"] == 1.0
+        assert body["spend_by_tenant"] == {}  # filled by the server layer
+        assert json.loads(json.dumps(body)) == body
+        # Unbudgeted engines report the gauges as None, not 0.
+        unbudgeted = ReleaseEngine(mini_dataset)
+        assert unbudgeted.metrics().epsilon_budget is None
+        engine.close()
+        unbudgeted.close()
+
+
 class TestCallableUtilityNeedsStart:
     """Satellite fix: callable specs are no longer silently start-free."""
 
