@@ -3,7 +3,7 @@
 Workload: the 20-record ``salary_reduced`` release set (LOF k=10, BFS at
 the paper-default ``n_samples=50``), identical seeds everywhere.
 
-Two measurements on an in-process :class:`PCORServer`:
+Three measurements on in-process :class:`PCORServer` instances:
 
 1. **Overhead gate** — one client issuing the workload sequentially over
    HTTP vs the same workload via direct ``engine.submit`` on a warmed
@@ -13,14 +13,25 @@ Two measurements on an in-process :class:`PCORServer`:
 2. **Concurrency report** — N concurrent clients hammering the server;
    reports p50/p95 latency and requests/s (informational, no gate: this
    container may have a single core).
+3. **Coalescing gate** — 32 concurrent clients against two identically
+   provisioned servers (thread backend, 4 workers), one direct
+   (``max_batch = 1``) and one coalescing (``max_batch = 16``): the
+   coalescer funnels concurrent HTTP releases through batched admission
+   and one ``execute_many`` fan-out per flush.  Gate: **>= 1.3x req/s**,
+   armed only on machines with >= 4 cores (a single-core box cannot fan
+   anything out; the bench still runs and reports, like
+   ``bench_parallel_scaling``).
 
 Served releases are asserted bit-identical to direct submission before any
 timing is trusted.
 """
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from statistics import quantiles
+
+import pytest
 
 from repro.data.generators import salary_reduced
 from repro.experiments.tables import DETECTOR_KWARGS
@@ -145,3 +156,166 @@ def test_server_throughput(emit, scale):
         "(gate: < 15%)"
     )
     engine.close()
+
+
+# --------------------------------------------------------------------------
+# Coalesced vs unbatched serving
+# --------------------------------------------------------------------------
+
+COALESCE_GATE = 1.3
+COALESCE_WORKERS = 4
+COALESCE_MAX_BATCH = 16
+
+#: (n_clients, releases_per_client) per bench scale.
+COALESCE_LOAD = {
+    "smoke": (8, 2),
+    "small": (32, 4),
+    "medium": (32, 8),
+    "paper": (32, 16),
+}
+
+
+def _dataset_body(max_batch: int) -> dict:
+    body = {
+        "source": "salary_reduced",
+        "records": N_RECORDS,
+        "seed": 7,
+        # The point of coalescing: a flush runs through execute_many on
+        # the engine's parallel backend, so batched HTTP traffic finally
+        # reaches the runtime fan-out that single requests cannot.
+        "backend": "thread",
+        "workers": COALESCE_WORKERS,
+    }
+    if max_batch > 1:
+        body["max_batch"] = max_batch
+        body["max_delay_ms"] = 5.0
+    return body
+
+
+def _hammer(server_url, n_clients, per_client, record_ids):
+    """n_clients concurrent keep-alive clients, per_client releases each;
+    returns (wall_seconds, latencies)."""
+
+    def client_run(worker: int) -> list:
+        client = PCORClient(server_url, tenant=f"bench-{worker}")
+        latencies = []
+        try:
+            for i in range(per_client):
+                rid = record_ids[(worker + i) % len(record_ids)]
+                t0 = time.perf_counter()
+                client.release(
+                    "salary",
+                    record_id=rid,
+                    spec=SPEC_BODY,
+                    seed=worker * 1_000 + i,
+                )
+                latencies.append(time.perf_counter() - t0)
+        finally:
+            client.close()
+        return latencies
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(n_clients) as pool:
+        latencies = [
+            lat for run in pool.map(client_run, range(n_clients)) for lat in run
+        ]
+    return time.perf_counter() - t0, latencies
+
+
+def test_coalesced_vs_unbatched_throughput(emit):
+    scale = os.environ.get("PCOR_BENCH_SCALE", "small")
+    n_clients, per_client = COALESCE_LOAD.get(scale, COALESCE_LOAD["small"])
+    _, engine, _, record_ids = _workload_for_coalescing()
+    engine.close()
+
+    stats = {}
+    for mode, max_batch in (("unbatched", 1), ("coalesced", COALESCE_MAX_BATCH)):
+        config = ServerConfig.from_dict(
+            {
+                "server": {"port": 0},  # in-memory ledger on both sides
+                "datasets": {"salary": _dataset_body(max_batch)},
+            }
+        )
+        with PCORServer(config) as server:
+            # Warm profiles/spec caches outside the timed region; both
+            # servers get the identical warm-up.
+            PCORClient(server.url, tenant="warmup").release_many(
+                "salary",
+                record_ids,
+                SPEC_BODY,
+                seeds=list(range(len(record_ids))),
+                concurrency=4,
+            )
+            wall, latencies = _hammer(
+                server.url, n_clients, per_client, record_ids
+            )
+            metrics = PCORClient(server.url, tenant="warmup").metrics()[
+                "datasets"
+            ]["salary"]
+        pcts = quantiles(latencies, n=100)
+        flushes = metrics.get("batch_flushes") or 0
+        stats[mode] = {
+            "rps": len(latencies) / wall,
+            "wall": wall,
+            "n": len(latencies),
+            "p50": pcts[49],
+            "p95": pcts[94],
+            "p99": pcts[98],
+            "mean_flush": (
+                metrics["batch_requests"] / flushes if flushes else 1.0
+            ),
+        }
+
+    ratio = stats["coalesced"]["rps"] / stats["unbatched"]["rps"]
+    cores = os.cpu_count() or 1
+    gated = cores >= COALESCE_WORKERS
+
+    def line(mode):
+        s = stats[mode]
+        return (
+            f"  {mode:10s}: {s['n']:4d} releases in {s['wall']:6.2f} s "
+            f"= {s['rps']:7.1f} req/s | p50/p95/p99 "
+            f"{s['p50'] * 1000:6.1f}/{s['p95'] * 1000:6.1f}/"
+            f"{s['p99'] * 1000:6.1f} ms | mean flush {s['mean_flush']:5.2f}"
+        )
+
+    emit(
+        "bench_server_coalescing",
+        f"coalesced vs unbatched serving ({n_clients} concurrent clients x "
+        f"{per_client} releases, salary_reduced n={N_RECORDS}, LOF k=10, "
+        f"BFS n_samples=50, thread backend x{COALESCE_WORKERS}, "
+        f"max_batch={COALESCE_MAX_BATCH}, warmed)\n"
+        + line("unbatched")
+        + "\n"
+        + line("coalesced")
+        + "\n"
+        f"  speedup   : {ratio:6.2f}x req/s "
+        f"(gate: >= {COALESCE_GATE:.1f}x on >= {COALESCE_WORKERS} cores; "
+        f"this machine: {cores} core{'s' if cores != 1 else ''}, "
+        f"gate {'ARMED' if gated else 'skipped'})",
+    )
+    assert stats["coalesced"]["mean_flush"] > 1.0, (
+        "coalescing server never batched anything "
+        f"(mean flush {stats['coalesced']['mean_flush']:.2f})"
+    )
+    if gated:
+        assert ratio >= COALESCE_GATE, (
+            f"coalesced serving achieved only {ratio:.2f}x the unbatched "
+            f"req/s at {n_clients} clients (gate: >= {COALESCE_GATE:.1f}x)"
+        )
+    else:
+        pytest.skip(
+            f"req/s gate needs >= {COALESCE_WORKERS} cores, machine has "
+            f"{cores}; measured {ratio:.2f}x with mean flush "
+            f"{stats['coalesced']['mean_flush']:.2f}"
+        )
+
+
+def _workload_for_coalescing():
+    """The standard workload at a fixed record count (gate comparability:
+    both servers release the same records regardless of scale)."""
+
+    class _FixedScale:
+        name = "bench"
+
+    return _workload(_FixedScale())

@@ -15,8 +15,12 @@ queries — made concrete, stdlib-only:
   :class:`DatasetConfig`, the ``pcor serve --config`` schema.
 * :mod:`repro.server.app` — :class:`PCORServer`, the
   ``ThreadingHTTPServer`` JSON API.
+* :mod:`repro.server.batching` — :class:`ReleaseCoalescer`, the
+  coalescing admission front end (``max_batch``/``max_delay_ms`` per
+  dataset) that batches concurrent releases through one group-commit
+  admission and one ``execute_many`` call.
 * :mod:`repro.server.client` — :class:`PCORClient`, the urllib analyst
-  handle.
+  handle (``release_many`` fans out over pooled connections).
 
 >>> from repro.server import PCORClient, PCORServer, ServerConfig
 >>> config = ServerConfig.from_dict({
@@ -31,6 +35,7 @@ queries — made concrete, stdlib-only:
 """
 
 from repro.server.app import PCORServer, TENANT_HEADER
+from repro.server.batching import CoalescerClosed, ReleaseCoalescer
 from repro.server.client import PCORClient
 from repro.server.config import DatasetConfig, ServerConfig
 from repro.server.ledger import (
@@ -49,6 +54,8 @@ __all__ = [
     "DatasetRegistry",
     "DatasetEntry",
     "TenantBudgets",
+    "ReleaseCoalescer",
+    "CoalescerClosed",
     "LedgerStore",
     "InMemoryLedgerStore",
     "JsonlLedgerStore",

@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Union
 from urllib.parse import parse_qs, urlparse
@@ -47,6 +48,7 @@ from repro.exceptions import (
     ServerError,
     SpecError,
 )
+from repro.server.batching import CoalescerClosed, ReleaseCoalescer
 from repro.server.config import ServerConfig
 from repro.server.registry import DatasetRegistry
 from repro.service.engine import ReleaseRequest
@@ -57,8 +59,16 @@ logger = logging.getLogger("repro.server")
 #: Header naming the calling analyst.
 TENANT_HEADER = "X-PCOR-Tenant"
 
-#: Exception class → HTTP status for typed error payloads.
+
+class _Draining(ServerError):
+    """Request arrived after shutdown began (maps to 503; the client
+    resurrects the public base, ServerError)."""
+
+
+#: Exception class → HTTP status for typed error payloads (first match in
+#: iteration order wins, so subclasses precede their bases).
 _STATUS_FOR = {
+    _Draining: 503,
     PrivacyBudgetError: 402,
     SpecError: 400,
     ServerError: 404,
@@ -94,41 +104,64 @@ class _Handler(BaseHTTPRequestHandler):
     # --------------------------------------------------------------- routes
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        url = urlparse(self.path)
-        try:
-            if url.path == "/healthz":
-                self._respond(200, self._app().health())
-            elif url.path == "/v1/datasets":
-                self._respond(200, self._app().list_datasets())
-            elif url.path == "/v1/budget":
-                query = parse_qs(url.query)
-                dataset = query.get("dataset", [None])[0]
-                self._respond(
-                    200, self._app().budget(self._tenant(), dataset=dataset)
-                )
-            elif url.path == "/v1/metrics":
-                self._respond(200, self._app().metrics())
-            else:
-                raise ServerError(f"no such route: GET {url.path}")
-        except Exception as exc:  # noqa: BLE001 — mapped to typed payloads
-            self._respond_error(exc)
+        self._guarded(self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
-        url = urlparse(self.path)
+        self._guarded(self._route_post)
+
+    def _guarded(self, route) -> None:
+        """Run one routed request inside the server's active-request window.
+
+        The begin/end pair is per *request*, not per connection: keep-alive
+        handler threads spend their life blocked in ``readline`` between
+        requests, so counting connections would make shutdown wait on idle
+        sockets.  Requests arriving after shutdown began get 503 — after
+        the body is drained, so even the rejection leaves the keep-alive
+        stream in sync.
+        """
+        app = self._app()
+        # Drain the body before anything else, even for requests that will
+        # 404 or 503: unread body bytes left in rfile would be parsed as
+        # the next request line, desyncing the keep-alive connection.
+        raw = self._read_body()
         try:
-            # Drain the body before routing, even for requests that will
-            # 404: unread body bytes left in rfile would be parsed as the
-            # next request line, desyncing the keep-alive connection.
-            raw = self._read_body()
-            parts = url.path.strip("/").split("/")
-            if len(parts) == 4 and parts[:2] == ["v1", "datasets"] and parts[3] == "release":
-                body = self._parse_json(raw)
-                payload = self._app().release(parts[2], self._tenant(), body)
-                self._respond(200, payload)
-            else:
-                raise ServerError(f"no such route: POST {url.path}")
+            app._begin_request()
+        except Exception as exc:  # noqa: BLE001 — typed 503 payload
+            self._respond_error(exc)
+            return
+        try:
+            route(raw)
         except Exception as exc:  # noqa: BLE001 — mapped to typed payloads
             self._respond_error(exc)
+        finally:
+            app._end_request()
+
+    def _route_get(self, raw: bytes) -> None:
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            self._respond(200, self._app().health())
+        elif url.path == "/v1/datasets":
+            self._respond(200, self._app().list_datasets())
+        elif url.path == "/v1/budget":
+            query = parse_qs(url.query)
+            dataset = query.get("dataset", [None])[0]
+            self._respond(
+                200, self._app().budget(self._tenant(), dataset=dataset)
+            )
+        elif url.path == "/v1/metrics":
+            self._respond(200, self._app().metrics())
+        else:
+            raise ServerError(f"no such route: GET {url.path}")
+
+    def _route_post(self, raw: bytes) -> None:
+        url = urlparse(self.path)
+        parts = url.path.strip("/").split("/")
+        if len(parts) == 4 and parts[:2] == ["v1", "datasets"] and parts[3] == "release":
+            body = self._parse_json(raw)
+            payload = self._app().release(parts[2], self._tenant(), body)
+            self._respond(200, payload)
+        else:
+            raise ServerError(f"no such route: POST {url.path}")
 
     # -------------------------------------------------------------- helpers
 
@@ -246,6 +279,25 @@ class PCORServer:
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         self._responses_by_status: Dict[str, int] = {}
+        # Shutdown drain: handler threads are daemonic and NOT joined by
+        # server_close(), so the ledger must not close until every request
+        # that entered a release path has left it.
+        self._drain_cond = threading.Condition()
+        self._active_requests = 0
+        self._draining = False
+        # One coalescer per dataset that opted in (max_batch > 1); the
+        # engine_for thunk keeps dataset construction lazy.
+        self._coalescers: Dict[str, ReleaseCoalescer] = {}
+        for name in self.registry.names():
+            entry = self.registry.get(name)
+            if entry.config.max_batch > 1:
+                self._coalescers[name] = ReleaseCoalescer(
+                    tenants=entry.tenants,
+                    engine_for=(lambda e=entry: e.engine),
+                    max_batch=entry.config.max_batch,
+                    max_delay_ms=entry.config.max_delay_ms,
+                    name=name,
+                )
         # Validated-spec cache: analysts overwhelmingly resubmit the same
         # pipeline with new records/seeds, and eager PipelineSpec validation
         # (registry + signature checks) costs ~0.1 ms — worth skipping.
@@ -284,7 +336,12 @@ class PCORServer:
     def shutdown(self) -> None:
         """Stop serving and release every engine and ledger (idempotent).
 
-        In-flight requests finish first; ledger stores fsync on every
+        In-flight requests finish first — ``ThreadingHTTPServer`` uses
+        daemonic handler threads that ``server_close()`` does *not* join,
+        so a drain barrier waits for every request already inside a
+        handler (including those parked on coalescer futures), then the
+        coalescers flush whatever is still queued, and only then do the
+        listener and the ledgers close.  Ledger stores fsync on every
         admitted charge, so shutdown never loses recorded spend.
         """
         # BaseServer.shutdown() blocks on serve_forever's exit event, which
@@ -293,11 +350,53 @@ class PCORServer:
         # an app used in-process via PCORServer.release() without start().
         if self._thread is not None and self._thread.is_alive():
             self._httpd.shutdown()
+        self._drain_requests()
+        for coalescer in self._coalescers.values():
+            coalescer.close()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
         self.registry.close()
+
+    # --------------------------------------------------------- request drain
+
+    def _begin_request(self) -> None:
+        """Admit one HTTP request into the drain window (handlers call this
+        once per routed request); 503s requests racing shutdown."""
+        with self._drain_cond:
+            if self._draining:
+                raise _Draining(
+                    "server is shutting down; no new requests are admitted"
+                )
+            self._active_requests += 1
+
+    def _end_request(self) -> None:
+        with self._drain_cond:
+            self._active_requests -= 1
+            if self._active_requests <= 0:
+                self._drain_cond.notify_all()
+
+    def _drain_requests(self, timeout: float = 10.0) -> None:
+        """Stop admitting requests and wait for active handlers to finish.
+
+        Handlers blocked on coalescer futures count as active, and the
+        coalescers are still open while this waits — their flushers
+        complete those futures, the handlers respond and leave the window.
+        """
+        deadline = time.monotonic() + timeout
+        with self._drain_cond:
+            self._draining = True
+            while self._active_requests > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    logger.warning(
+                        "shutdown drain timed out with %d request(s) still "
+                        "active",
+                        self._active_requests,
+                    )
+                    break
+                self._drain_cond.wait(remaining)
 
     def __enter__(self) -> "PCORServer":
         return self.start()
@@ -373,6 +472,12 @@ class PCORServer:
                     "spend_by_tenant": entry.tenants.spend_by_tenant(),
                 }
             body["tenant_rejections"] = entry.tenants.rejections()
+            coalescer = self._coalescers.get(name)
+            if coalescer is not None:
+                # Overwrite the engine's zeroed batch_* placeholders with
+                # the live coalescer counters (same keys, same monotonicity
+                # contract as EngineMetrics documents).
+                body.update(coalescer.snapshot())
             datasets[name] = body
         with self._lock:
             responses = dict(self._responses_by_status)
@@ -381,13 +486,35 @@ class PCORServer:
     def release(
         self, dataset: str, tenant: str, body: Mapping[str, Any]
     ) -> Dict[str, Any]:
-        """Admit (both ledgers, atomically) then execute one release."""
+        """Admit (both ledgers, atomically) then execute one release.
+
+        Datasets configured with ``max_batch > 1`` route through their
+        :class:`~repro.server.batching.ReleaseCoalescer`: the handler
+        thread parks on a future while the flusher admits and executes a
+        whole batch at once.  The response payload is bit-identical either
+        way — coalescing only changes *when* the work runs, never what a
+        given ``(record_id, spec, seed)`` releases.
+        """
         entry = self.registry.get(dataset)  # unknown name -> 404
         request = self._parse_release(body)
         label = (
             f"release(tenant={tenant}, record={request.record_id}, "
             f"sampler={request.spec.sampler}, epsilon={request.spec.epsilon:g})"
         )
+        coalescer = self._coalescers.get(dataset)
+        if coalescer is not None:
+            try:
+                future = coalescer.submit(tenant, label, request)
+            except CoalescerClosed:
+                # Racing shutdown: the direct path below still answers
+                # correctly (admission + execution, no queue involved).
+                pass
+            else:
+                result = future.result()  # raises what the direct path would
+                return {
+                    "result": result.to_dict(),
+                    "budget": entry.tenants.describe(tenant),
+                }
         # Admission happens before the engine (and hence the dataset and
         # detector) is even built: an over-budget tenant is rejected with
         # 402 before a single f_M evaluation, restart or not.

@@ -11,7 +11,10 @@ handling.
 The client keeps one HTTP/1.1 keep-alive connection (with ``TCP_NODELAY``)
 per instance and transparently reconnects if the server dropped it.  One
 connection means one in-flight request: share a *server* between threads,
-not a client — give each thread its own ``PCORClient``.
+not a client — give each thread its own ``PCORClient``, or use
+:meth:`PCORClient.release_many`, which fans a batch of releases out over
+its own pool of keep-alive connections (and is what makes a coalescing
+server see a batch at all).
 
 >>> client = PCORClient("http://127.0.0.1:8320", tenant="alice")
 >>> client.release("salary", record_id=17,
@@ -24,8 +27,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import queue
 import socket
-from typing import Any, Dict, Mapping, Optional, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from urllib.parse import urlparse
 
 import repro.exceptions as _exceptions
@@ -64,22 +69,24 @@ class PCORClient:
 
     # ------------------------------------------------------------ endpoints
 
-    def health(self) -> Dict[str, Any]:
-        return self._request("GET", "/healthz")
+    def health(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._request("GET", "/healthz", timeout=timeout)
 
-    def datasets(self) -> Dict[str, Any]:
+    def datasets(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Hosted datasets with their global-budget summaries."""
-        return self._request("GET", "/v1/datasets")["datasets"]
+        return self._request("GET", "/v1/datasets", timeout=timeout)["datasets"]
 
-    def budget(self, dataset: Optional[str] = None) -> Dict[str, Any]:
+    def budget(
+        self, dataset: Optional[str] = None, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
         """This tenant's budgets (one dataset, or all of them)."""
         path = "/v1/budget"
         if dataset is not None:
             path += f"?dataset={dataset}"
-        return self._request("GET", path)
+        return self._request("GET", path, timeout=timeout)
 
-    def metrics(self) -> Dict[str, Any]:
-        return self._request("GET", "/v1/metrics")
+    def metrics(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics", timeout=timeout)
 
     def release(
         self,
@@ -88,6 +95,7 @@ class PCORClient:
         spec: Union[PipelineSpec, Mapping[str, Any]],
         seed: Optional[int] = None,
         starting_context: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Run one budgeted release; returns ``{"result": ..., "budget": ...}``.
 
@@ -95,8 +103,114 @@ class PCORClient:
         or an equivalent plain mapping.  Raises the same exception classes
         the embedded engine would — :class:`PrivacyBudgetError` once this
         tenant (or the dataset) is exhausted, :class:`SpecError` for a bad
-        pipeline, and so on.
+        pipeline, and so on.  ``timeout`` overrides the client-level socket
+        timeout for this one request — a release against a coalescing
+        server parks in a queue before it executes, so an aggressive
+        client-wide timeout can be relaxed exactly where it matters.
         """
+        body = self._release_body(record_id, spec, seed, starting_context)
+        return self._request(
+            "POST", f"/v1/datasets/{dataset}/release", body, timeout=timeout
+        )
+
+    def release_many(
+        self,
+        dataset: str,
+        records: Sequence[int],
+        spec: Union[PipelineSpec, Mapping[str, Any]],
+        seeds: Optional[Sequence[Optional[int]]] = None,
+        concurrency: int = 8,
+        timeout: Optional[float] = None,
+        return_errors: bool = False,
+    ) -> List[Any]:
+        """Issue one release per record id, concurrently, in record order.
+
+        One :class:`PCORClient` holds one keep-alive connection — one
+        in-flight request.  This helper fans ``len(records)`` releases out
+        over a pool of ``min(concurrency, len(records))`` pooled
+        connections (same server, same tenant), which is what lets a
+        coalescing server (``max_batch > 1``) actually see concurrent
+        requests from a single analyst and batch them.
+
+        Parameters
+        ----------
+        records:
+            Record ids to release, one request each.
+        spec:
+            One pipeline spec shared by every request (serialized once).
+        seeds:
+            Optional per-record seeds (same length as ``records``).
+            ``None`` entries — or omitting the argument — leave seeding to
+            the server (fresh entropy per request).
+        concurrency:
+            Upper bound on pooled connections (and in-flight requests).
+        timeout:
+            Per-request socket timeout override for every request issued.
+        return_errors:
+            ``False`` (default): raise the first failure, in record order,
+            after every request has settled — admitted charges are never
+            silently abandoned mid-flight.  ``True``: failed requests
+            yield their exception object in place of a response dict.
+
+        Each release is still admitted and accounted individually by the
+        server — sequential composition over the batch, exactly as if the
+        requests had arrived one by one.
+        """
+        if isinstance(spec, PipelineSpec):
+            spec = spec.to_dict()
+        spec = dict(spec)
+        if seeds is None:
+            seeds = [None] * len(records)
+        if len(seeds) != len(records):
+            raise ServerError(
+                f"seeds ({len(seeds)}) and records ({len(records)}) must "
+                "have equal lengths"
+            )
+        if int(concurrency) < 1:
+            raise ServerError(f"concurrency must be >= 1, got {concurrency}")
+        if not records:
+            return []
+        n_workers = min(int(concurrency), len(records))
+        pool: "queue.SimpleQueue[PCORClient]" = queue.SimpleQueue()
+        clients = [
+            PCORClient(self.base_url, tenant=self.tenant, timeout=self.timeout)
+            for _ in range(n_workers)
+        ]
+        for client in clients:
+            pool.put(client)
+
+        def one(record_id: int, seed: Optional[int]) -> Any:
+            client = pool.get()
+            try:
+                return client.release(
+                    dataset, record_id, spec, seed=seed, timeout=timeout
+                )
+            except Exception as exc:  # noqa: BLE001 — settled below, in order
+                return exc
+            finally:
+                pool.put(client)
+
+        try:
+            with ThreadPoolExecutor(
+                max_workers=n_workers, thread_name_prefix="pcor-client"
+            ) as executor:
+                outcomes = list(executor.map(one, records, seeds))
+        finally:
+            for client in clients:
+                client.close()
+        if not return_errors:
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+        return outcomes
+
+    @staticmethod
+    def _release_body(
+        record_id: int,
+        spec: Union[PipelineSpec, Mapping[str, Any]],
+        seed: Optional[int],
+        starting_context: Optional[int],
+    ) -> Dict[str, Any]:
         if isinstance(spec, PipelineSpec):
             spec = spec.to_dict()
         body: Dict[str, Any] = {"record_id": int(record_id), "spec": dict(spec)}
@@ -104,13 +218,13 @@ class PCORClient:
             body["seed"] = int(seed)
         if starting_context is not None:
             body["starting_context"] = int(starting_context)
-        return self._request("POST", f"/v1/datasets/{dataset}/release", body)
+        return body
 
     # ------------------------------------------------------------ transport
 
-    def _connect(self) -> http.client.HTTPConnection:
+    def _connect(self, timeout: float) -> http.client.HTTPConnection:
         conn = http.client.HTTPConnection(
-            self._host, self._port, timeout=self.timeout
+            self._host, self._port, timeout=timeout
         )
         try:
             conn.connect()
@@ -123,8 +237,13 @@ class PCORClient:
         return conn
 
     def _request(
-        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
+        effective = self.timeout if timeout is None else float(timeout)
         data = None
         headers = {TENANT_HEADER: self.tenant, "Accept": "application/json"}
         if body is not None:
@@ -137,8 +256,16 @@ class PCORClient:
         # analyst's epsilon twice.  Check /v1/budget before resubmitting.
         retries = (0, 1) if method == "GET" else (0,)
         for attempt in retries:
-            conn = self._conn if self._conn is not None else self._connect()
+            conn = (
+                self._conn
+                if self._conn is not None
+                else self._connect(effective)
+            )
             try:
+                # The keep-alive socket may carry an earlier request's
+                # timeout; pin this request's own before writing.
+                if conn.sock is not None:
+                    conn.sock.settimeout(effective)
                 conn.request(method, path, body=data, headers=headers)
                 response = conn.getresponse()
                 status = response.status

@@ -78,6 +78,19 @@ class DatasetConfig:
     profile_capacity / backend / workers:
         Passed through to the dataset's :class:`ReleaseEngine` (``None``
         keeps the engine defaults).
+    max_batch / max_delay_ms:
+        Request-coalescing knobs.  ``max_batch > 1`` puts a
+        :class:`~repro.server.batching.ReleaseCoalescer` between the HTTP
+        handlers and this dataset's engine: concurrent releases queue, a
+        flusher collects up to ``max_batch`` of them (lingering at most
+        ``max_delay_ms`` after the first arrives), admits them as one
+        batch and executes them through one ``execute_many`` call.
+        ``max_batch = 1`` (the default) disables coalescing — every
+        request takes the direct admit-then-execute path, exactly the
+        pre-batching server behavior.  The linger only ever *adds* up to
+        ``max_delay_ms`` to an isolated request's latency; under load the
+        queue refills before the flusher returns and the linger never
+        triggers.
     """
 
     name: str
@@ -92,6 +105,8 @@ class DatasetConfig:
     profile_capacity: Optional[int] = None
     backend: Optional[str] = None
     workers: Optional[int] = None
+    max_batch: int = 1
+    max_delay_ms: float = 2.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "name", str(self.name))
@@ -149,6 +164,18 @@ class DatasetConfig:
             object.__setattr__(self, "backend", key)
         if self.workers is not None and int(self.workers) < 1:
             raise SpecError(f"dataset {self.name!r}: workers must be >= 1")
+        object.__setattr__(self, "max_batch", int(self.max_batch))
+        if self.max_batch < 1:
+            raise SpecError(
+                f"dataset {self.name!r}: max_batch must be >= 1 "
+                f"(1 disables coalescing), got {self.max_batch}"
+            )
+        object.__setattr__(self, "max_delay_ms", float(self.max_delay_ms))
+        if not (0.0 <= self.max_delay_ms <= 10_000.0):
+            raise SpecError(
+                f"dataset {self.name!r}: max_delay_ms must be in [0, 10000], "
+                f"got {self.max_delay_ms}"
+            )
 
     def build_dataset(self) -> Dataset:
         """Materialise the dataset this config describes."""
@@ -169,6 +196,10 @@ class DatasetConfig:
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
+        if self.max_batch != 1:
+            out["max_batch"] = self.max_batch
+        if self.max_delay_ms != 2.0:
+            out["max_delay_ms"] = self.max_delay_ms
         if self.tenant_budgets:
             out["tenant_budgets"] = dict(self.tenant_budgets)
         return out

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import LedgerError, PrivacyBudgetError
 from repro.mechanisms.accounting import PrivacyAccountant
@@ -142,47 +142,90 @@ class TenantBudgets:
         if either ledger lacks room.  On success the charge is durably
         persisted before returning.
         """
-        tenant = str(tenant)
-        epsilon = float(epsilon)
+        [error] = self.admit_many([(tenant, label, epsilon)])
+        if error is not None:
+            raise error
+
+    def admit_many(
+        self, charges: Sequence[Tuple[str, str, float]]
+    ) -> List[Optional[PrivacyBudgetError]]:
+        """Admit a batch of ``(tenant, label, epsilon)`` charges at once.
+
+        Admission is *per charge* all-or-nothing, exactly as
+        :meth:`admit` — but the whole batch holds the manager lock once and
+        the admitted charges reach the durable store in one group-commit
+        ``append_many`` (a single fsync with the JSONL store), which is
+        what makes a coalesced admission front end worth having.
+
+        Returns one entry per charge, in order: ``None`` for an admitted
+        charge, the :class:`PrivacyBudgetError` it would have raised
+        otherwise.  One exhausted tenant therefore cannot reject the
+        strangers batched alongside it, and every admitted charge is
+        persisted exactly once — before this method returns.
+        """
+        outcomes: List[Optional[PrivacyBudgetError]] = []
+        records: List[dict] = []
+        with self._lock:
+            for tenant, label, epsilon in charges:
+                tenant = str(tenant)
+                epsilon = float(epsilon)
+                error = self._admit_one_locked(tenant, str(label), epsilon)
+                outcomes.append(error)
+                if error is None:
+                    records.append(
+                        {
+                            "tenant": tenant,
+                            "dataset": self.dataset,
+                            "label": str(label),
+                            "epsilon": epsilon,
+                        }
+                    )
+            if records:
+                append_many = getattr(self.store, "append_many", None)
+                if append_many is not None:
+                    append_many(records)
+                else:  # minimal LedgerStore implementations
+                    for record in records:
+                        self.store.append(record)
+        return outcomes
+
+    def _admit_one_locked(
+        self, tenant: str, label: str, epsilon: float
+    ) -> Optional[PrivacyBudgetError]:
+        """Charge both in-memory ledgers for one admission (caller holds
+        the lock and owns durable persistence); returns the rejection
+        instead of raising so batch callers can keep going."""
         if not (epsilon > 0.0 and math.isfinite(epsilon)):
-            raise PrivacyBudgetError(
+            return PrivacyBudgetError(
                 f"charge must be positive and finite, got {epsilon}"
             )
-        with self._lock:
-            ledger = self._tenant_ledger(tenant)
-            # Pre-check the tenant ledger: exclusively managed under this
-            # lock, so a passing check cannot be invalidated before the
-            # append below.
-            if ledger is not None and not ledger.can_charge(epsilon):
-                self._rejections[tenant] = self._rejections.get(tenant, 0) + 1
-                raise PrivacyBudgetError(
-                    f"tenant {tenant!r} charge of {epsilon:.6g} exceeds its "
-                    f"remaining budget {ledger.remaining:.6g} "
-                    f"(quota {ledger.budget:.6g})"
-                )
-            # The global accountant may be charged concurrently by callers
-            # outside the tenant layer, so go through its own atomic
-            # check-then-append rather than trusting a pre-check.
-            if self.accountant is not None:
-                try:
-                    self.accountant.charge(label, epsilon)
-                except PrivacyBudgetError:
-                    self._rejections[tenant] = self._rejections.get(tenant, 0) + 1
-                    raise
-            if ledger is not None:
-                ledger.charge(label, epsilon)  # cannot fail: pre-checked
-            else:
-                self._unbounded_spend[tenant] = (
-                    self._unbounded_spend.get(tenant, 0.0) + epsilon
-                )
-            self.store.append(
-                {
-                    "tenant": tenant,
-                    "dataset": self.dataset,
-                    "label": label,
-                    "epsilon": epsilon,
-                }
+        ledger = self._tenant_ledger(tenant)
+        # Pre-check the tenant ledger: exclusively managed under this
+        # lock, so a passing check cannot be invalidated before the
+        # append below.
+        if ledger is not None and not ledger.can_charge(epsilon):
+            self._rejections[tenant] = self._rejections.get(tenant, 0) + 1
+            return PrivacyBudgetError(
+                f"tenant {tenant!r} charge of {epsilon:.6g} exceeds its "
+                f"remaining budget {ledger.remaining:.6g} "
+                f"(quota {ledger.budget:.6g})"
             )
+        # The global accountant may be charged concurrently by callers
+        # outside the tenant layer, so go through its own atomic
+        # check-then-append rather than trusting a pre-check.
+        if self.accountant is not None:
+            try:
+                self.accountant.charge(label, epsilon)
+            except PrivacyBudgetError as exc:
+                self._rejections[tenant] = self._rejections.get(tenant, 0) + 1
+                return exc
+        if ledger is not None:
+            ledger.charge(label, epsilon)  # cannot fail: pre-checked
+        else:
+            self._unbounded_spend[tenant] = (
+                self._unbounded_spend.get(tenant, 0.0) + epsilon
+            )
+        return None
 
     # ------------------------------------------------------------ introspection
 

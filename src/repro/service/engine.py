@@ -48,7 +48,13 @@ from repro.core.starting import find_starting_context
 from repro.core.verification import OutlierVerifier
 from repro.data.masks import PredicateMaskIndex
 from repro.data.table import Dataset
-from repro.exceptions import ExecutionError, PrivacyBudgetError, SamplingError, VerificationError
+from repro.exceptions import (
+    ExecutionError,
+    PrivacyBudgetError,
+    ReproError,
+    SamplingError,
+    VerificationError,
+)
 from repro.mechanisms.accounting import PrivacyAccountant, epsilon_one_for
 from repro.mechanisms.exponential import ExponentialMechanism
 from repro.rng import RngLike, ensure_rng
@@ -113,6 +119,16 @@ class EngineMetrics:
     un-counts a request), so two snapshots can safely be differenced for
     rates; only gauges (``profiles_cached``, ``epsilon_remaining``) move
     both ways.
+
+    Batching counters (``batch_*``) describe a request coalescer layered in
+    front of the engine (the HTTP server's
+    :class:`~repro.server.batching.ReleaseCoalescer`); like
+    ``spend_by_tenant`` they are filled by that caller — the engine itself
+    does not queue.  ``batch_flushes`` / ``batch_requests`` /
+    ``batch_queue_wait_s`` are monotonic; ``batch_queue_depth`` is a gauge;
+    ``batch_size_max`` only grows and ``batch_size_min`` only shrinks, while
+    ``batch_size_p50`` is the median over a recent window of flushes and
+    moves both ways.
     """
 
     requests_submitted: int = 0
@@ -137,6 +153,13 @@ class EngineMetrics:
     profile_tasks: int = 0
     phase_wall_s: Dict[str, float] = field(default_factory=dict)
     phase_tasks: Dict[str, int] = field(default_factory=dict)
+    batch_flushes: int = 0
+    batch_requests: int = 0
+    batch_queue_depth: int = 0
+    batch_queue_wait_s: float = 0.0
+    batch_size_min: Optional[int] = None
+    batch_size_p50: Optional[float] = None
+    batch_size_max: Optional[int] = None
 
     def to_dict(self) -> Dict[str, float]:
         """Plain-dict snapshot (JSON-able)."""
@@ -440,17 +463,138 @@ class ReleaseEngine:
 
         backend = self._backend_for(reqs)
         tokens = plan_task_rngs([r.seed for r in reqs])
+        return self._execute_batch(backend, reqs, tokens)
 
+    def execute_many(
+        self,
+        requests: Sequence[Union[ReleaseRequest, Mapping]],
+        return_exceptions: bool = False,
+    ) -> List:
+        """Run a batch of releases whose budgets were already admitted.
+
+        The batch counterpart of :meth:`execute`: the engine's own
+        accountant is *not* charged — the caller performed admission against
+        a richer ledger sharing this accountant (the HTTP server's request
+        coalescer admits each queued request through
+        :class:`~repro.server.tenants.TenantBudgets` before flushing the
+        admitted set here).  Calling this without external admission runs
+        the batch unaccounted — don't.
+
+        Unlike :meth:`submit_many`, a batch mixing execution backends is
+        *grouped*, not rejected: requests are partitioned by the backend
+        their spec resolves to (the coalescer cannot choose what analysts
+        co-submit) and each group runs through the normal batch path.  RNG
+        substreams are planned once for the whole batch in request order —
+        before any grouping — and results are reduced back into request
+        order, so the grouping (and any batching boundary a coalescer
+        picks) can never change a release: every request releases
+        bit-identically to a lone :meth:`submit`/:meth:`execute` with the
+        same seed.
+
+        With ``return_exceptions=True`` a request that fails mid-release
+        (no matching context, record outside the dataset, ...) yields its
+        :class:`~repro.exceptions.ReproError` *in place* instead of
+        poisoning its co-batched requests; the caller dispatches on
+        ``isinstance(outcome, ReproError)``.  On this path a parallel
+        group that fails wholesale is replayed per-request (substreams are
+        planned up front, so the replay is bit-identical), which can double
+        some metrics counters (``releases_completed``, ``fm_evaluations``)
+        for the group — a failure-path-only distortion.
+        """
+        reqs = [self._coerce(r) for r in requests]
+        with self._lock:
+            self.requests_submitted += len(reqs)
+        if not reqs:
+            return []
+        tokens = plan_task_rngs([r.seed for r in reqs])
+        outcomes: List = [None] * len(reqs)
+        for backend, indices in self._partition_by_backend(reqs):
+            group = [reqs[i] for i in indices]
+            group_tokens = [tokens[i] for i in indices]
+            results = self._execute_batch(
+                backend, group, group_tokens, capture=return_exceptions
+            )
+            for index, result in zip(indices, results):
+                outcomes[index] = result
+        return outcomes
+
+    def _partition_by_backend(
+        self, requests: Sequence[ReleaseRequest]
+    ) -> List[Tuple[ExecutionBackend, List[int]]]:
+        """Group request indices by the execution backend their spec names.
+
+        The backend fingerprint is ``(backend, workers)`` exactly as
+        :meth:`_backend_for` resolves it for a uniform batch (spec name,
+        worker-count promotion, engine default); groups preserve first-seen
+        order and each index appears exactly once.
+        """
+        if self._explicit_backend:
+            return [(self.backend, list(range(len(requests))))]
+        groups: Dict[Optional[Tuple[str, Optional[int]]], List[int]] = {}
+        for i, request in enumerate(requests):
+            name = request.spec.backend
+            if name is None and (request.spec.workers or 0) > 1:
+                name = "process"
+            key = None if name is None else (name, request.spec.workers)
+            groups.setdefault(key, []).append(i)
+        out: List[Tuple[ExecutionBackend, List[int]]] = []
+        for key, indices in groups.items():
+            if key is None:
+                out.append((self.backend, indices))
+                continue
+            with self._lock:
+                backend = self._spec_backends.get(key)
+                if backend is None:
+                    backend = make_backend(key[0], workers=key[1])
+                    self._spec_backends[key] = backend
+            out.append((backend, indices))
+        return out
+
+    def _execute_batch(
+        self,
+        backend: ExecutionBackend,
+        reqs: Sequence[ReleaseRequest],
+        tokens: Sequence,
+        capture: bool = False,
+    ) -> List:
+        """Execute admitted requests on ``backend``, reduced in request
+        order.  With ``capture`` a failed release yields its
+        :class:`~repro.exceptions.ReproError` in place of a result."""
         if backend.parallel and len(reqs) > 1:
             t0 = time.perf_counter()
-            results = backend.run_releases(self, reqs, tokens)
+            if capture and not backend.remote:
+                # In-process backends call engine._execute per task: a
+                # capturing view turns each failure into an in-place
+                # outcome without disturbing its co-batched tasks.
+                results = backend.run_releases(_CapturingEngine(self), reqs, tokens)
+            elif capture:
+                try:
+                    results = backend.run_releases(self, reqs, tokens)
+                except ReproError:
+                    # A remote pool surfaces only the first task failure and
+                    # discards the rest of the batch.  The parent-side
+                    # tokens were never consumed (workers got pickled
+                    # copies), so replaying each request inline is
+                    # bit-identical — and isolates exactly which requests
+                    # actually fail.
+                    results = []
+                    for request, token in zip(reqs, tokens):
+                        try:
+                            results.append(
+                                self._execute(request, rng_from_token(token))
+                            )
+                        except ReproError as exc:
+                            results.append(exc)
+            else:
+                results = backend.run_releases(self, reqs, tokens)
             self._phase("release", time.perf_counter() - t0, tasks=len(reqs))
             if backend.remote:
                 # Remote tasks never pass through this process's _execute;
                 # fold their outcomes into the engine's counters here.
+                completed = [r for r in results if isinstance(r, PCORResult)]
                 with self._lock:
-                    self.releases_completed += len(results)
-                    self.wall_time_s += sum(r.wall_time_s for r in results)
+                    self.releases_completed += len(completed)
+                    self.wall_time_s += sum(r.wall_time_s for r in completed)
             return results
 
         # Serial path: warm the stores with the exact context of every
@@ -478,10 +622,14 @@ class ReleaseEngine:
             self._phase("warm_profiles", time.perf_counter() - t0, tasks=warmed)
 
         t0 = time.perf_counter()
-        results = [
-            self._execute(request, rng_from_token(token))
-            for request, token in zip(reqs, tokens)
-        ]
+        results = []
+        for request, token in zip(reqs, tokens):
+            try:
+                results.append(self._execute(request, rng_from_token(token)))
+            except ReproError as exc:
+                if not capture:
+                    raise
+                results.append(exc)
         self._phase("release", time.perf_counter() - t0, tasks=len(reqs))
         return results
 
@@ -668,3 +816,27 @@ class ReleaseEngine:
             f"verifiers={len(self._verifiers)}, "
             f"releases={self.releases_completed})"
         )
+
+
+class _CapturingEngine:
+    """An engine view whose ``_execute`` returns a failed release's
+    :class:`~repro.exceptions.ReproError` instead of raising it.
+
+    In-process backends (serial/thread) run tasks by calling
+    ``engine._execute`` directly; handing them this view makes every task
+    outcome land in the reduced result list — so one bad request in a
+    coalesced batch cannot poison the releases queued alongside it.
+    Everything else delegates to the real engine.
+    """
+
+    def __init__(self, engine: ReleaseEngine) -> None:
+        self._engine = engine
+
+    def _execute(self, request: ReleaseRequest, gen=None):
+        try:
+            return self._engine._execute(request, gen)
+        except ReproError as exc:
+            return exc
+
+    def __getattr__(self, name: str):
+        return getattr(self._engine, name)

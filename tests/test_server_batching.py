@@ -1,0 +1,429 @@
+"""The coalescing admission front end: grouping independence, partial-batch
+admission, drain-on-close, and the coalesced HTTP path.
+
+The load-bearing property is *grouping independence*: where the flush
+boundaries fall (batches of 1, of k, of everything) must never change what
+a given ``(record_id, spec, seed)`` releases — the coalescer is a
+throughput lever, invisible in results.  The deterministic tests drive
+``flush_now`` directly (``autostart=False``) so every grouping is exact.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.verification import OutlierVerifier
+from repro.data.generators import salary_reduced
+from repro.exceptions import ContextError, PrivacyBudgetError, ReproError
+from repro.outliers.zscore import ZScoreDetector
+from repro.server import (
+    CoalescerClosed,
+    InMemoryLedgerStore,
+    JsonlLedgerStore,
+    PCORClient,
+    PCORServer,
+    ReleaseCoalescer,
+    ServerConfig,
+    TenantBudgets,
+)
+from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
+
+RECORDS = 300
+SEED = 3
+
+SPEC = {
+    "detector": "zscore",
+    "detector_kwargs": {"z_threshold": 2.5, "min_population": 8},
+    "sampler": "uniform",
+    "epsilon": 0.1,
+    "n_samples": 3,
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return salary_reduced(n_records=RECORDS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def outlier_record(dataset) -> int:
+    verifier = OutlierVerifier(
+        dataset, ZScoreDetector(z_threshold=2.5, min_population=8)
+    )
+    for rid in map(int, dataset.ids):
+        if verifier.is_matching(dataset.record_bits(rid), rid):
+            return rid
+    raise AssertionError("no contextual outlier in the test dataset")
+
+
+def make_requests(outlier_record, n, first_seed=100):
+    spec = PipelineSpec.from_dict(SPEC)
+    return [
+        ReleaseRequest(record_id=outlier_record, spec=spec, seed=first_seed + i)
+        for i in range(n)
+    ]
+
+
+def strip_timing(result_dict):
+    out = dict(result_dict)
+    out.pop("wall_time_s")
+    return out
+
+
+def direct_baseline(dataset, requests):
+    """What a lone, unbatched engine releases for each request, in order."""
+    engine = ReleaseEngine(dataset)
+    try:
+        return [strip_timing(engine.submit(r).to_dict()) for r in requests]
+    finally:
+        engine.close()
+
+
+class TestGroupingIndependence:
+    """Coalesced releases are bit-identical to direct engine.submit per
+    seed, for every flush grouping: 1, k, and all."""
+
+    @pytest.mark.parametrize("grouping", ["ones", "threes", "all"])
+    def test_flush_grouping_never_changes_results(
+        self, dataset, outlier_record, grouping
+    ):
+        n = 6
+        requests = make_requests(outlier_record, n)
+        expected = direct_baseline(dataset, requests)
+
+        engine = ReleaseEngine(dataset)
+        coalescer = ReleaseCoalescer(
+            tenants=TenantBudgets(),
+            engine_for=lambda: engine,
+            max_batch=n,
+            name="salary",
+            autostart=False,
+        )
+        futures = [
+            coalescer.submit(f"t{i}", f"req-{i}", r)
+            for i, r in enumerate(requests)
+        ]
+        limit = {"ones": 1, "threes": 3, "all": None}[grouping]
+        flushed = 0
+        while True:
+            took = coalescer.flush_now(limit)
+            if not took:
+                break
+            flushed += took
+        assert flushed == n
+        got = [strip_timing(f.result(timeout=0).to_dict()) for f in futures]
+        assert got == expected
+        coalescer.close()
+        engine.close()
+
+    def test_execute_many_matches_submit_per_request(
+        self, dataset, outlier_record
+    ):
+        """The engine-level batch path (externally-admitted) is itself
+        grouping-independent versus one-at-a-time submit."""
+        requests = make_requests(outlier_record, 5)
+        expected = direct_baseline(dataset, requests)
+        engine = ReleaseEngine(dataset)
+        got = [
+            strip_timing(r.to_dict()) for r in engine.execute_many(requests)
+        ]
+        engine.close()
+        assert got == expected
+
+    def test_execute_many_isolates_per_request_failures(
+        self, dataset, outlier_record
+    ):
+        """One doomed request in a batch fails alone; its neighbours
+        release exactly what they would have without it."""
+        requests = make_requests(outlier_record, 3)
+        expected = direct_baseline(dataset, requests)
+        doomed = ReleaseRequest(
+            record_id=10**9, spec=PipelineSpec.from_dict(SPEC), seed=1
+        )
+        engine = ReleaseEngine(dataset)
+        batch = [requests[0], doomed, requests[1], requests[2]]
+        outcomes = engine.execute_many(batch, return_exceptions=True)
+        engine.close()
+        assert isinstance(outcomes[1], ContextError)
+        got = [strip_timing(o.to_dict()) for o in (outcomes[0], *outcomes[2:])]
+        assert got == expected
+
+    def test_execute_many_groups_mixed_backend_specs(
+        self, dataset, outlier_record
+    ):
+        """A batch whose specs name different backends (which submit_many
+        rejects) is partitioned per backend and scattered back into
+        request order — each release identical to a lone submit."""
+        serial_spec = PipelineSpec.from_dict({**SPEC, "backend": "serial"})
+        thread_spec = PipelineSpec.from_dict(
+            {**SPEC, "backend": "thread", "workers": 2}
+        )
+        batch = [
+            ReleaseRequest(record_id=outlier_record, spec=serial_spec, seed=100),
+            ReleaseRequest(record_id=outlier_record, spec=thread_spec, seed=101),
+            ReleaseRequest(record_id=outlier_record, spec=serial_spec, seed=102),
+        ]
+        engine = ReleaseEngine(dataset)
+        got = [r.context.bits for r in engine.execute_many(batch)]
+        engine.close()
+
+        expected = []
+        for request in batch:
+            lone = ReleaseEngine(dataset)
+            expected.append(lone.submit(request).context.bits)
+            lone.close()
+        assert got == expected
+
+    def test_execute_many_raises_without_return_exceptions(
+        self, dataset
+    ):
+        engine = ReleaseEngine(dataset)
+        doomed = ReleaseRequest(
+            record_id=10**9, spec=PipelineSpec.from_dict(SPEC), seed=1
+        )
+        with pytest.raises(ReproError):
+            engine.execute_many([doomed])
+        engine.close()
+
+
+class TestPartialBatchAdmission:
+    def test_exhausted_tenant_rejected_alone_and_charged_exactly_once(
+        self, dataset, outlier_record, tmp_path
+    ):
+        """One exhausted tenant in a batch gets its PrivacyBudgetError
+        (HTTP 402) while co-batched tenants succeed — and the WAL holds
+        exactly one charge per *admitted* request, none for the rejection."""
+        store = JsonlLedgerStore(tmp_path / "salary.ledger.jsonl")
+        tenants = TenantBudgets(
+            default_budget=1.0,
+            budgets={"poor": 0.05},  # below one 0.1-epsilon release
+            store=store,
+            dataset="salary",
+        )
+        engine = ReleaseEngine(dataset)
+        coalescer = ReleaseCoalescer(
+            tenants=tenants,
+            engine_for=lambda: engine,
+            max_batch=8,
+            name="salary",
+            autostart=False,
+        )
+        requests = make_requests(outlier_record, 3)
+        f_rich1 = coalescer.submit("rich-1", "r1", requests[0])
+        f_poor = coalescer.submit("poor", "p", requests[1])
+        f_rich2 = coalescer.submit("rich-2", "r2", requests[2])
+        assert coalescer.flush_now() == 3
+
+        with pytest.raises(PrivacyBudgetError, match="poor"):
+            f_poor.result(timeout=0)
+        assert f_rich1.result(timeout=0).record_id == outlier_record
+        assert f_rich2.result(timeout=0).record_id == outlier_record
+
+        charged = [(r["tenant"], r["epsilon"]) for r in store.replay()]
+        assert sorted(charged) == [("rich-1", 0.1), ("rich-2", 0.1)]
+        assert tenants.rejections() == {"poor": 1}
+        coalescer.close()
+        engine.close()
+        store.close()
+
+    def test_admit_many_outcomes_in_order_and_persisted_once(self):
+        store = InMemoryLedgerStore()
+        tenants = TenantBudgets(
+            default_budget=0.25, store=store, dataset="d"
+        )
+        outcomes = tenants.admit_many(
+            [
+                ("a", "q1", 0.2),
+                ("a", "q2", 0.2),  # over a's remaining 0.05
+                ("b", "q3", 0.2),
+                ("b", "bad", -1.0),  # invalid epsilon
+            ]
+        )
+        assert outcomes[0] is None
+        assert isinstance(outcomes[1], PrivacyBudgetError)
+        assert outcomes[2] is None
+        assert isinstance(outcomes[3], PrivacyBudgetError)
+        assert [(r["tenant"], r["label"]) for r in store.replay()] == [
+            ("a", "q1"),
+            ("b", "q3"),
+        ]
+        assert tenants.spent("a") == pytest.approx(0.2)
+        assert tenants.spent("b") == pytest.approx(0.2)
+
+    def test_admit_many_falls_back_without_append_many(self):
+        class MinimalStore:
+            """Only the original LedgerStore surface: no append_many."""
+
+            def __init__(self):
+                self.records = []
+
+            def append(self, record):
+                self.records.append(dict(record))
+
+            def replay(self):
+                return [dict(r) for r in self.records]
+
+            def close(self):
+                pass
+
+        store = MinimalStore()
+        tenants = TenantBudgets(store=store, dataset="d")
+        assert tenants.admit_many([("a", "q1", 0.1), ("b", "q2", 0.2)]) == [
+            None,
+            None,
+        ]
+        assert [r["tenant"] for r in store.records] == ["a", "b"]
+
+
+class TestDrainOnClose:
+    def test_close_flushes_queue_and_completes_every_future(
+        self, dataset, outlier_record
+    ):
+        engine = ReleaseEngine(dataset)
+        coalescer = ReleaseCoalescer(
+            tenants=TenantBudgets(),
+            engine_for=lambda: engine,
+            max_batch=4,
+            name="salary",
+            autostart=False,  # nothing will flush unless close() drains
+        )
+        requests = make_requests(outlier_record, 5)
+        futures = [
+            coalescer.submit("t", f"q{i}", r) for i, r in enumerate(requests)
+        ]
+        coalescer.close()
+        assert all(f.done() for f in futures)
+        expected = direct_baseline(dataset, requests)
+        got = [strip_timing(f.result(timeout=0).to_dict()) for f in futures]
+        assert got == expected
+        engine.close()
+
+    def test_submit_after_close_raises_coalescer_closed(self, outlier_record):
+        coalescer = ReleaseCoalescer(
+            tenants=TenantBudgets(),
+            engine_for=lambda: None,
+            max_batch=4,
+            autostart=False,
+        )
+        coalescer.close()
+        [request] = make_requests(outlier_record, 1)
+        with pytest.raises(CoalescerClosed):
+            coalescer.submit("t", "q", request)
+
+    def test_flusher_thread_completes_concurrent_submissions(
+        self, dataset, outlier_record
+    ):
+        """The real (autostarted) flusher under concurrent producers:
+        every future completes and the counters account for every request."""
+        engine = ReleaseEngine(dataset)
+        coalescer = ReleaseCoalescer(
+            tenants=TenantBudgets(),
+            engine_for=lambda: engine,
+            max_batch=4,
+            max_delay_ms=5.0,
+            name="salary",
+        )
+        requests = make_requests(outlier_record, 12)
+        futures = [None] * len(requests)
+
+        def enqueue(i):
+            futures[i] = coalescer.submit("t", f"q{i}", requests[i])
+
+        threads = [
+            threading.Thread(target=enqueue, args=(i,))
+            for i in range(len(requests))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        results = [f.result(timeout=30) for f in futures]
+        assert all(r.record_id == outlier_record for r in results)
+        coalescer.close()
+        snap = coalescer.snapshot()
+        assert snap["batch_requests"] == len(requests)
+        assert snap["batch_queue_depth"] == 0
+        assert 1 <= snap["batch_size_max"] <= 4
+        assert snap["batch_flushes"] >= 3  # 12 requests, batches capped at 4
+        assert snap["batch_queue_wait_s"] >= 0.0
+        engine.close()
+
+
+class TestCoalescedHTTP:
+    def test_concurrent_http_releases_match_direct_engine(
+        self, dataset, outlier_record
+    ):
+        """End-to-end: release_many against a coalescing server releases
+        the same contexts a direct engine does, and the batching counters
+        on /v1/metrics account for every request."""
+        config = ServerConfig.from_dict(
+            {
+                "server": {"port": 0},
+                "datasets": {
+                    "salary": {
+                        "source": "salary_reduced",
+                        "records": RECORDS,
+                        "seed": SEED,
+                        "budget": 50.0,
+                        "max_batch": 8,
+                        "max_delay_ms": 5.0,
+                    }
+                },
+            }
+        )
+        n = 12
+        seeds = list(range(500, 500 + n))
+        with PCORServer(config) as server:
+            client = PCORClient(server.url, tenant="alice")
+            served = client.release_many(
+                "salary",
+                [outlier_record] * n,
+                SPEC,
+                seeds=seeds,
+                concurrency=6,
+                timeout=120.0,
+            )
+            metrics = client.metrics()["datasets"]["salary"]
+            client.close()
+
+        spec = PipelineSpec.from_dict(SPEC)
+        engine = ReleaseEngine(dataset)
+        for seed, response in zip(seeds, served):
+            direct = engine.submit(
+                ReleaseRequest(record_id=outlier_record, spec=spec, seed=seed)
+            )
+            result = response["result"]
+            # The released values are seed-determined; cache-order counters
+            # (fm_evaluations, wall time) legitimately vary under
+            # concurrency — same contract as the unbatched server.
+            assert result["context"]["bits"] == direct.context.bits
+            assert result["utility_value"] == pytest.approx(direct.utility_value)
+            assert result["epsilon_one"] == pytest.approx(direct.epsilon_one)
+            assert result["n_candidates"] == direct.n_candidates
+        engine.close()
+
+        assert metrics["batch_requests"] == n
+        assert metrics["batch_flushes"] >= 2  # 12 requests, max_batch 8
+        assert metrics["batch_size_max"] <= 8
+        assert metrics["epsilon_spent"] == pytest.approx(n * SPEC["epsilon"])
+
+    def test_max_batch_one_keeps_direct_path(self):
+        """max_batch = 1 (the default) builds no coalescer at all: the
+        server behaves exactly as before batching existed."""
+        config = ServerConfig.from_dict(
+            {
+                "server": {"port": 0},
+                "datasets": {
+                    "salary": {
+                        "source": "salary_reduced",
+                        "records": RECORDS,
+                        "seed": SEED,
+                    }
+                },
+            }
+        )
+        server = PCORServer(config)
+        try:
+            assert server._coalescers == {}
+        finally:
+            server.shutdown()
