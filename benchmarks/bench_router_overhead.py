@@ -1,0 +1,140 @@
+"""Proxy overhead of the sharded-serving router (``src/repro/cluster/``).
+
+Workload: the standard ``salary_reduced`` release set (LOF k=10, BFS at
+``n_samples=50``), identical seeds on both sides:
+
+* **direct** — one client against a single in-process :class:`PCORServer`
+  hosting the dataset (the pre-cluster deployment).
+* **routed** — the same client workload against a :class:`PCORRouter`
+  over a 2-worker in-process fleet (``manager = "thread"``: real HTTP on
+  both hops, no subprocess spawn noise in the timings).
+
+The router adds one loopback HTTP hop (keep-alive, byte passthrough) per
+release.  Gate: **routed p50 latency within 15% of direct p50** — the
+proxy must stay a framing cost, never a second serving tier.  Releases
+are asserted bit-identical across the two paths (modulo the wall-clock
+field) before any timing is trusted.
+
+In-memory ledgers on both sides: this measures proxying, not fsync.
+"""
+
+import time
+from statistics import median
+
+from repro.cluster import PCORRouter
+from repro.data.generators import salary_reduced
+from repro.experiments.tables import DETECTOR_KWARGS
+from repro.server import PCORClient, PCORServer, ServerConfig
+from repro.service import PipelineSpec, ReleaseEngine
+
+ROUNDS = 5
+N_RECORDS = 2_000
+OVERHEAD_GATE = 0.15
+
+SPEC_BODY = dict(
+    detector="lof",
+    detector_kwargs=DETECTOR_KWARGS["lof"],
+    sampler="bfs",
+    n_samples=50,
+    epsilon=0.2,
+)
+
+DATASET_BODY = {"source": "salary_reduced", "records": N_RECORDS, "seed": 7}
+
+
+def _record_ids(scale) -> list:
+    n_releases = 6 if scale.name == "smoke" else 16
+    dataset = salary_reduced(n_records=N_RECORDS, seed=7)
+    spec = PipelineSpec(**SPEC_BODY)
+    engine = ReleaseEngine(dataset)
+    verifier = engine.verifier_for(spec.build_detector())
+    record_ids = []
+    for rid in map(int, dataset.ids):
+        if verifier.is_matching(dataset.record_bits(rid), rid):
+            record_ids.append(rid)
+        if len(record_ids) == n_releases:
+            break
+    engine.close()
+    assert len(record_ids) == n_releases, "too few exact-context outliers"
+    return record_ids
+
+
+def _run(url: str, record_ids: list) -> list:
+    """One sequential pass over the workload; per-release latencies."""
+    client = PCORClient(url, tenant="bench")
+    latencies = []
+    try:
+        for i, rid in enumerate(record_ids):
+            t0 = time.perf_counter()
+            client.release("salary", record_id=rid, spec=SPEC_BODY, seed=100 + i)
+            latencies.append(time.perf_counter() - t0)
+    finally:
+        client.close()
+    return latencies
+
+
+def _strip_timing(result: dict) -> dict:
+    out = dict(result)
+    out.pop("wall_time_s", None)
+    return out
+
+
+def test_router_proxy_overhead(emit, scale):
+    record_ids = _record_ids(scale)
+
+    direct_config = ServerConfig.from_dict(
+        {"server": {"port": 0}, "datasets": {"salary": DATASET_BODY}}
+    )
+    routed_config = ServerConfig.from_dict(
+        {
+            "server": {"port": 0},
+            "datasets": {"salary": DATASET_BODY},
+            "cluster": {
+                "workers": 2,
+                "manager": "thread",
+                "heartbeat_interval_s": 0.5,
+                "heartbeat_timeout_s": 2.0,
+            },
+        }
+    )
+
+    with PCORServer(direct_config) as server, PCORRouter(routed_config) as router:
+        # Correctness before speed: routed releases must be bit-identical
+        # to direct serving for the same seeds (wall clock excluded).
+        for i, rid in enumerate(record_ids[:3]):
+            direct_result = PCORClient(server.url, tenant=f"id-{i}").release(
+                "salary", record_id=rid, spec=SPEC_BODY, seed=100 + i
+            )["result"]
+            routed_result = PCORClient(router.url, tenant=f"id-{i}").release(
+                "salary", record_id=rid, spec=SPEC_BODY, seed=100 + i
+            )["result"]
+            assert _strip_timing(routed_result) == _strip_timing(direct_result)
+
+        # Both engines are now warm; interleave rounds so drift (thermal,
+        # scheduler) hits both paths equally.
+        direct_lat, routed_lat = [], []
+        for _ in range(ROUNDS):
+            direct_lat.extend(_run(server.url, record_ids))
+            routed_lat.extend(_run(router.url, record_ids))
+
+    p50_direct = median(direct_lat)
+    p50_routed = median(routed_lat)
+    overhead = p50_routed / p50_direct - 1.0
+    hop_ms = (p50_routed - p50_direct) * 1000.0
+
+    emit(
+        "bench_router_overhead",
+        "router proxy vs direct serving "
+        f"(salary_reduced n={N_RECORDS}, {len(record_ids)} records x "
+        f"{ROUNDS} rounds, LOF k=10, BFS n_samples=50, 2-worker thread "
+        "fleet, warmed)\n"
+        f"  direct p50 latency  : {p50_direct * 1000:8.2f} ms\n"
+        f"  routed p50 latency  : {p50_routed * 1000:8.2f} ms\n"
+        f"  proxy hop           : {hop_ms:+8.2f} ms\n"
+        f"  p50 overhead        : {overhead * 100:+8.2f}%  "
+        f"(gate: < {OVERHEAD_GATE * 100:.0f}%)",
+    )
+    assert overhead < OVERHEAD_GATE, (
+        f"router adds {overhead * 100:.2f}% p50 latency over direct serving "
+        f"(gate: < {OVERHEAD_GATE * 100:.0f}%)"
+    )

@@ -7,7 +7,11 @@ Subcommands
   ``--json`` emits the result as JSON).
 * ``serve``         — host datasets over HTTP (the multi-tenant release
   service: per-analyst budgets, durable ledgers; see
-  ``src/repro/server/``).
+  ``src/repro/server/``).  With ``--workers N`` (or a ``[cluster]``
+  config section) it becomes a sharded deployment: a thin router plus N
+  release-worker processes (``src/repro/cluster/``).
+* ``worker``        — internal: one cluster release worker, spawned by
+  the ``serve`` supervisor.
 * ``specs``         — list the registered detectors, samplers and utilities.
 * ``table N``       — regenerate paper Table N (2-13).
 * ``figure N``      — regenerate paper Figure N (1-5) as ASCII histograms.
@@ -137,6 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bind port override (0 picks an ephemeral port, printed on start)",
     )
+    p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sharded serving: run a router plus N release workers "
+        "(overrides [cluster] workers; 0 forces single-process)",
+    )
+
+    p_wrk = sub.add_parser(
+        "worker",
+        help="(internal) run one cluster release worker — spawned by "
+        "'pcor serve --workers N', not meant to be run by hand",
+    )
+    p_wrk.add_argument("--config", required=True, metavar="FILE")
+    p_wrk.add_argument("--shard", required=True, type=int)
+    p_wrk.add_argument("--router", required=True, metavar="URL")
+    p_wrk.add_argument("--worker-id", required=True)
 
     sub.add_parser(
         "specs", help="list registered detectors, samplers and utilities"
@@ -219,6 +241,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "worker":
+        return _run_worker(args)
 
     if args.command == "specs":
         return _run_specs()
@@ -346,10 +371,32 @@ def _run_release_without_reference(args, dataset, spec: PipelineSpec) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    """Host the multi-tenant HTTP release service until SIGINT/SIGTERM."""
+    """Host the release service until SIGINT/SIGTERM — single-process, or
+    (with ``--workers N`` / ``[cluster] workers``) a router + worker fleet."""
     import signal
 
     config = ServerConfig.from_file(args.config)
+    config_path = args.config
+    if args.workers is not None:
+        # CLI override rewrites the cluster section; the effective config
+        # no longer matches the file, so workers must get a fresh copy
+        # (the process manager serialises it) — shard assignment depends
+        # on the worker count both sides read.
+        import dataclasses
+
+        from repro.server import ClusterConfig
+
+        if args.workers > 0:
+            base = config.cluster.to_dict() if config.cluster else {}
+            base["workers"] = args.workers
+            cluster = ClusterConfig(**base)
+        else:
+            cluster = None
+        config = dataclasses.replace(config, cluster=cluster)
+        config_path = None
+
+    if config.cluster is not None and config.cluster.workers >= 1:
+        return _serve_cluster(args, config, config_path)
     server = PCORServer(config, host=args.host, port=args.port)
 
     def _stop(signum, frame):  # pragma: no cover - signal plumbing
@@ -370,6 +417,51 @@ def _run_serve(args: argparse.Namespace) -> int:
         server.shutdown()
         print("pcor server stopped; ledgers closed", flush=True)
     return 0
+
+
+def _serve_cluster(args: argparse.Namespace, config, config_path) -> int:
+    """Router + fleet serving (``pcor serve --workers N``)."""
+    import signal
+
+    from repro.cluster import PCORRouter
+
+    router = PCORRouter(
+        config, host=args.host, port=args.port, config_path=config_path
+    )
+
+    def _stop(signum, frame):  # pragma: no cover - signal plumbing
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _stop)
+    print(
+        f"pcor router listening on {router.url} "
+        f"(workers: {config.cluster.workers}, manager: {config.cluster.manager}; "
+        f"datasets: {', '.join(sorted(config.datasets))}; "
+        f"ledger: {config.ledger})",
+        flush=True,
+    )
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.shutdown()
+        print("pcor router stopped; fleet terminated", flush=True)
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    """One cluster release worker (spawned by the fleet supervisor)."""
+    from repro.cluster import ReleaseWorker
+
+    config = ServerConfig.from_file(args.config)
+    worker = ReleaseWorker(
+        config,
+        shard=args.shard,
+        router_url=args.router,
+        worker_id=args.worker_id,
+    )
+    return worker.run()
 
 
 def _run_specs() -> int:

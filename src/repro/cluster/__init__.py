@@ -1,0 +1,55 @@
+"""Sharded serving: a router front end over a fleet of release workers.
+
+``pcor serve --workers N`` (or ``[cluster] workers = N`` in the config)
+swaps the single :class:`~repro.server.app.PCORServer` process for:
+
+* a :class:`~repro.cluster.router.PCORRouter` owning the public address
+  and **no engines** — it proxies ``/v1/*`` verbatim and aggregates the
+  fleet-wide routes;
+* ``N`` :class:`~repro.cluster.worker.ReleaseWorker` processes, each
+  hosting the disjoint shard of datasets that consistent hashing
+  (:mod:`repro.cluster.hashing`) assigns it — so every dataset's budget
+  ledger keeps exactly one writer;
+* a :class:`~repro.cluster.fleet.WorkerFleet` supervisor that respawns
+  crashed workers through a :class:`~repro.cluster.manager.WorkerManager`
+  (subprocesses in production, in-process threads in tests); a respawned
+  worker replays its ledgers before accepting traffic.
+
+Clients don't change: :class:`~repro.server.client.PCORClient` pointed at
+the router behaves exactly as against a single server, bit-identical
+releases included.
+"""
+
+from repro.cluster.hashing import (
+    ConsistentHashRing,
+    shard_assignments,
+    stable_hash,
+)
+from repro.cluster.fleet import ShardState, WorkerFleet
+from repro.cluster.manager import (
+    InProcessWorkerManager,
+    LocalProcessManager,
+    WorkerHandle,
+    WorkerManager,
+    WorkerSpec,
+    make_worker_manager,
+)
+from repro.cluster.router import PCORRouter
+from repro.cluster.worker import ReleaseWorker, shard_config
+
+__all__ = [
+    "ConsistentHashRing",
+    "InProcessWorkerManager",
+    "LocalProcessManager",
+    "PCORRouter",
+    "ReleaseWorker",
+    "ShardState",
+    "WorkerFleet",
+    "WorkerHandle",
+    "WorkerManager",
+    "WorkerSpec",
+    "make_worker_manager",
+    "shard_assignments",
+    "shard_config",
+    "stable_hash",
+]

@@ -1,0 +1,296 @@
+"""Fleet state: which worker serves which shard, and is it alive.
+
+The :class:`WorkerFleet` is the router's supervisor.  It spawns one
+worker per shard through a :class:`~repro.cluster.manager.WorkerManager`,
+accepts their registrations and heartbeats (the router's control channel
+calls straight into :meth:`register` / :meth:`heartbeat`), watches for
+silence, and respawns the dead.
+
+Generations keep crash recovery honest: each shard's expected worker id
+is ``shard{i}-gen{g}``, bumped on every respawn.  A report from any other
+id is answered ``ok: False`` — so a hung-but-not-dead worker that wakes
+up after its replacement registered learns it was superseded and exits,
+instead of becoming a second writer on the shard's ledgers.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.exceptions import ServerError
+from repro.server.config import ServerConfig
+from repro.cluster.hashing import ConsistentHashRing
+from repro.cluster.manager import WorkerHandle, WorkerManager, WorkerSpec
+
+logger = logging.getLogger("repro.cluster")
+
+
+class ShardState:
+    """One shard's slot in the fleet (mutate only under the fleet lock)."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.generation = 0
+        self.handle: Optional[WorkerHandle] = None
+        self.url: Optional[str] = None
+        self.pid: Optional[int] = None
+        self.datasets: List[str] = []
+        self.status = "starting"  # starting | ok | draining | dead
+        self.last_beat: Optional[float] = None
+        self.respawns = 0
+
+    @property
+    def expected_id(self) -> str:
+        return f"shard{self.shard}-gen{self.generation}"
+
+    @property
+    def ready(self) -> bool:
+        return self.url is not None and self.status in ("ok", "draining")
+
+    def heartbeat_age(self, now: float) -> Optional[float]:
+        return None if self.last_beat is None else now - self.last_beat
+
+
+class WorkerFleet:
+    """Spawn, track, and respawn one worker per shard."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        manager: WorkerManager,
+        router_url: str,
+    ) -> None:
+        cluster = config.cluster
+        if cluster is None or cluster.workers < 1:
+            raise ServerError("a worker fleet needs [cluster] workers >= 1")
+        self.config = config
+        self.cluster = cluster
+        self.manager = manager
+        self.router_url = router_url
+        self.ring = ConsistentHashRing(cluster.workers)
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._shards = [ShardState(i) for i in range(cluster.workers)]
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "WorkerFleet":
+        for state in self._shards:
+            self._spawn_locked_free(state)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="pcor-fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def _spawn_locked_free(self, state: ShardState) -> None:
+        """Spawn ``state``'s current generation (no lock needed: callers
+        either run before the monitor exists or already hold the lock).
+
+        State resets *before* the spawn: an in-process worker can register
+        concurrently with ``manager.spawn`` returning, and a reset
+        afterwards would wipe that registration.
+        """
+        state.status = "starting"
+        state.url = None
+        state.pid = None
+        state.last_beat = None
+        spec = WorkerSpec(
+            shard=state.shard,
+            generation=state.generation,
+            router_url=self.router_url,
+        )
+        state.handle = self.manager.spawn(spec)
+        if state.pid is None:  # registration may have landed already
+            state.pid = state.handle.pid
+        logger.info(
+            "fleet: spawned worker %s (pid %s)", spec.worker_id, state.pid
+        )
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until every shard has registered (raises on timeout)."""
+        deadline = time.monotonic() + timeout
+        with self._changed:
+            while True:
+                missing = [s.shard for s in self._shards if not s.ready]
+                if not missing:
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    raise ServerError(
+                        f"cluster startup timed out after {timeout:.0f}s; "
+                        f"shard(s) {missing} never registered"
+                    )
+                self._changed.wait(timeout=remaining)
+
+    def stop(self) -> None:
+        self._stop.set()
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.join(timeout=self.cluster.heartbeat_interval_s + 5.0)
+        with self._lock:
+            handles = [s.handle for s in self._shards if s.handle is not None]
+        for handle in handles:
+            handle.stop()
+        self.manager.close()
+
+    # ------------------------------------------------------ control channel
+
+    def register(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """A worker announcing its URL and datasets.  Only the shard's
+        current generation is accepted; anything else is superseded."""
+        worker_id = str(payload.get("worker_id", ""))
+        state = self._state_for(payload)
+        with self._changed:
+            if state is None or worker_id != state.expected_id:
+                return {
+                    "ok": False,
+                    "reason": f"worker {worker_id!r} is not the current "
+                    "generation for its shard (superseded)",
+                }
+            datasets = [str(d) for d in payload.get("datasets", [])]
+            claimed = self._claimed_elsewhere(state.shard, datasets)
+            if claimed:
+                # Single-writer invariant: a dataset served by two shards
+                # would mean two ledger writers.  Refuse loudly.
+                return {
+                    "ok": False,
+                    "reason": "dataset(s) already owned by another shard: "
+                    f"{sorted(claimed)}",
+                }
+            state.url = str(payload["url"])
+            state.pid = int(payload.get("pid", state.pid or 0)) or state.pid
+            state.datasets = datasets
+            state.status = str(payload.get("status", "ok"))
+            state.last_beat = time.monotonic()
+            self._changed.notify_all()
+            logger.info(
+                "fleet: shard %d registered as %s at %s (%s)",
+                state.shard,
+                worker_id,
+                state.url,
+                ", ".join(datasets) or "no datasets",
+            )
+            return {"ok": True}
+
+    def heartbeat(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        worker_id = str(payload.get("worker_id", ""))
+        state = self._state_for(payload)
+        with self._changed:
+            if (
+                state is None
+                or worker_id != state.expected_id
+                or state.url is None
+            ):
+                return {
+                    "ok": False,
+                    "reason": f"worker {worker_id!r} is not registered as the "
+                    "current generation for its shard (superseded)",
+                }
+            state.last_beat = time.monotonic()
+            state.status = str(payload.get("status", "ok"))
+            self._changed.notify_all()
+            return {"ok": True}
+
+    def _state_for(self, payload: Mapping[str, Any]) -> Optional[ShardState]:
+        try:
+            shard = int(payload.get("shard", -1))
+        except (TypeError, ValueError):
+            return None
+        if not (0 <= shard < len(self._shards)):
+            return None
+        return self._shards[shard]
+
+    def _claimed_elsewhere(self, shard: int, datasets: List[str]) -> set:
+        mine = set(datasets)
+        taken = set()
+        for other in self._shards:
+            if other.shard != shard and other.url is not None:
+                taken |= mine & set(other.datasets)
+        return taken
+
+    # ------------------------------------------------------------- liveness
+
+    def _monitor_loop(self) -> None:
+        interval = self.cluster.heartbeat_interval_s
+        timeout = self.cluster.heartbeat_timeout_s
+        while not self._stop.wait(interval):
+            now = time.monotonic()
+            with self._changed:
+                for state in self._shards:
+                    if self._is_dead(state, now, timeout):
+                        self._declare_dead(state)
+                        if self.cluster.respawn:
+                            state.generation += 1
+                            state.respawns += 1
+                            self._spawn_locked_free(state)
+                self._changed.notify_all()
+
+    @staticmethod
+    def _is_dead(state: ShardState, now: float, timeout: float) -> bool:
+        if state.handle is None or state.status == "dead":
+            return False
+        if not state.handle.alive():
+            return True
+        age = state.heartbeat_age(now)
+        # Never registered: give the worker the full timeout from spawn
+        # (last_beat is None until the first register lands).
+        return age is not None and age > timeout
+
+    def _declare_dead(self, state: ShardState) -> None:
+        logger.warning(
+            "fleet: shard %d worker %s is dead (pid %s); %s",
+            state.shard,
+            state.expected_id,
+            state.pid,
+            "respawning" if self.cluster.respawn else "respawn disabled",
+        )
+        if state.handle is not None:
+            try:
+                state.handle.kill()  # reap; no-op if already gone
+            except Exception:  # pragma: no cover - best-effort reaping
+                logger.exception("fleet: reaping shard %d failed", state.shard)
+        state.handle = None
+        state.url = None
+        state.status = "dead"
+
+    # ------------------------------------------------------------- querying
+
+    def shard_for(self, dataset: str) -> int:
+        return self.ring.shard_for(dataset)
+
+    def url_for_shard(self, shard: int) -> Optional[str]:
+        with self._lock:
+            state = self._shards[shard]
+            return state.url if state.ready else None
+
+    def live_urls(self) -> Dict[int, str]:
+        """``{shard: url}`` for every shard with a registered live worker."""
+        with self._lock:
+            return {s.shard: s.url for s in self._shards if s.ready}
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Per-shard observability row (healthz / metrics)."""
+        now = time.monotonic()
+        with self._lock:
+            rows = []
+            for s in self._shards:
+                age = s.heartbeat_age(now)
+                rows.append(
+                    {
+                        "shard": s.shard,
+                        "worker_id": s.expected_id,
+                        "status": s.status,
+                        "url": s.url,
+                        "pid": s.pid,
+                        "datasets": list(s.datasets),
+                        "heartbeat_age_s": None if age is None else round(age, 3),
+                        "respawns": s.respawns,
+                    }
+                )
+            return rows

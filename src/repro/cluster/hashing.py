@@ -1,0 +1,73 @@
+"""Consistent dataset → shard assignment.
+
+The cluster's correctness rests on one invariant: **every dataset's budget
+ledger has exactly one writer**.  The router and every worker must
+therefore agree — with no coordination beyond the shared config — on which
+shard owns which dataset.  A keyed hash gives that agreement:
+
+* assignment depends only on the dataset *name* and the shard count —
+  never on registry order, so two processes iterating the config in
+  different orders still partition identically;
+* the ring form (each shard projected to many virtual points, a dataset
+  owned by the next point clockwise from its own hash) keeps assignments
+  mostly stable when the worker count changes: growing from N to N+1
+  shards moves only the ~1/(N+1) of datasets nearest the new shard's
+  points, instead of reshuffling almost everything the way ``hash % N``
+  would.
+
+Hashes are BLAKE2b, *not* Python's builtin ``hash()`` — the builtin is
+salted per process (PYTHONHASHSEED), which would hand each worker its own
+private idea of the partition.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List
+
+from repro.exceptions import ServerError
+
+#: Virtual points per shard on the ring.  More points = smoother balance
+#: (the standard deviation of shard load shrinks like 1/sqrt(replicas))
+#: at a one-off O(shards * replicas * log(...)) build cost.
+DEFAULT_REPLICAS = 64
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Dataset name → shard index over ``shards`` ring positions."""
+
+    def __init__(self, shards: int, replicas: int = DEFAULT_REPLICAS) -> None:
+        shards = int(shards)
+        if shards < 1:
+            raise ServerError(f"hash ring needs >= 1 shard, got {shards}")
+        if int(replicas) < 1:
+            raise ServerError(f"hash ring needs >= 1 replica, got {replicas}")
+        self.shards = shards
+        points = sorted(
+            (stable_hash(f"shard={shard}#vnode={vnode}"), shard)
+            for shard in range(shards)
+            for vnode in range(int(replicas))
+        )
+        self._hashes: List[int] = [h for h, _ in points]
+        self._owners: List[int] = [s for _, s in points]
+
+    def shard_for(self, name: str) -> int:
+        """The shard owning dataset ``name`` (deterministic, order-free)."""
+        point = stable_hash(f"dataset={name}")
+        index = bisect_right(self._hashes, point) % len(self._hashes)
+        return self._owners[index]
+
+
+def shard_assignments(
+    names: Iterable[str], shards: int, replicas: int = DEFAULT_REPLICAS
+) -> Dict[str, int]:
+    """``{dataset_name: shard}`` for every name, independent of order."""
+    ring = ConsistentHashRing(shards, replicas=replicas)
+    return {str(name): ring.shard_for(str(name)) for name in names}

@@ -1,0 +1,231 @@
+"""Worker supervision: where release workers run and how they restart.
+
+The router never spawns processes itself — it asks a
+:class:`WorkerManager` for a worker and gets back a
+:class:`WorkerHandle` it can health-check and terminate.  Two managers
+ship today:
+
+* :class:`LocalProcessManager` — real subprocesses (``pcor worker``),
+  the production shape: a crash loses only that shard's in-flight
+  requests, and the OS reclaims everything.
+* :class:`InProcessWorkerManager` — workers as threads inside the
+  current process.  No spawn latency and fully deterministic, which is
+  what tests want; "crash" is simulated by aborting the worker's server
+  without drain.
+
+The protocol is deliberately tiny (spawn / handle.alive / stop / kill)
+so a remote manager — SSH, containers, a job scheduler — can slot in
+later without the fleet or router changing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, TYPE_CHECKING
+
+from repro.exceptions import ServerError
+from repro.server.config import MANAGER_KINDS, ServerConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.worker import ReleaseWorker
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a manager needs to start one worker."""
+
+    shard: int
+    generation: int
+    router_url: str
+
+    @property
+    def worker_id(self) -> str:
+        """Stable identity per (shard, generation) — ``shard0-gen1`` —
+        so the fleet can tell a respawn from a stale survivor."""
+        return f"shard{self.shard}-gen{self.generation}"
+
+
+class WorkerHandle:
+    """A running worker as seen by its supervisor."""
+
+    spec: WorkerSpec
+    pid: int
+
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful termination (drain, close ledgers)."""
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Immediate termination — the crash path."""
+        raise NotImplementedError
+
+
+class WorkerManager:
+    """Spawns workers somewhere.  ``kind`` names the deployment shape."""
+
+    kind: str = "abstract"
+
+    def spawn(self, spec: WorkerSpec) -> WorkerHandle:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release manager-level resources (spawned workers are stopped
+        individually via their handles, not here)."""
+
+
+# --------------------------------------------------------------- subprocesses
+
+
+class _ProcessHandle(WorkerHandle):
+    def __init__(self, spec: WorkerSpec, process: subprocess.Popen) -> None:
+        self.spec = spec
+        self._process = process
+        self.pid = process.pid
+
+    def alive(self) -> bool:
+        return self._process.poll() is None
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if not self.alive():
+            return
+        self._process.send_signal(signal.SIGTERM)
+        try:
+            self._process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.kill()
+
+    def kill(self) -> None:
+        if self.alive():
+            self._process.kill()
+        self._process.wait(timeout=10.0)
+
+
+class LocalProcessManager(WorkerManager):
+    """Workers as local subprocesses: ``python -m repro worker ...``.
+
+    The full cluster config travels by file, not argv: the manager
+    serialises it once to a private temp file (unless the caller already
+    has it on disk) and every worker re-derives its own shard from the
+    shared document — the same hash both sides compute.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self, config: ServerConfig, config_path: Optional[str] = None
+    ) -> None:
+        self._config = config
+        self._owns_config_file = config_path is None
+        if config_path is None:
+            fd, config_path = tempfile.mkstemp(
+                prefix="pcor-cluster-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(config.to_dict(), handle)
+        self._config_path = str(config_path)
+
+    @property
+    def config_path(self) -> str:
+        return self._config_path
+
+    def spawn(self, spec: WorkerSpec) -> WorkerHandle:
+        src_root = Path(__file__).resolve().parent.parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src_root), env.get("PYTHONPATH")) if p
+        )
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--config",
+            self._config_path,
+            "--shard",
+            str(spec.shard),
+            "--router",
+            spec.router_url,
+            "--worker-id",
+            spec.worker_id,
+        ]
+        process = subprocess.Popen(argv, env=env)
+        return _ProcessHandle(spec, process)
+
+    def close(self) -> None:
+        if self._owns_config_file:
+            try:
+                os.unlink(self._config_path)
+            except OSError:
+                pass
+
+
+# -------------------------------------------------------------------- threads
+
+
+class _InProcessHandle(WorkerHandle):
+    def __init__(self, spec: WorkerSpec, worker: "ReleaseWorker") -> None:
+        self.spec = spec
+        self.worker = worker
+        self.pid = os.getpid()
+
+    def alive(self) -> bool:
+        return self.worker.alive
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.worker.stop()
+
+    def kill(self) -> None:
+        # No drain, no goodbye heartbeat — as close to SIGKILL as a
+        # thread gets.  Durable ledger state is already fsync'd per
+        # charge, so what a respawn replays matches a real crash.
+        self.worker.kill()
+
+
+class InProcessWorkerManager(WorkerManager):
+    """Workers as threads in this process (tests, dev, demos)."""
+
+    kind = "thread"
+
+    def __init__(self, config: ServerConfig) -> None:
+        self._config = config
+        self._lock = threading.Lock()
+
+    def spawn(self, spec: WorkerSpec) -> WorkerHandle:
+        from repro.cluster.worker import ReleaseWorker
+
+        with self._lock:
+            worker = ReleaseWorker(
+                self._config,
+                shard=spec.shard,
+                router_url=spec.router_url,
+                worker_id=spec.worker_id,
+            )
+            worker.start()
+        return _InProcessHandle(spec, worker)
+
+
+def make_worker_manager(
+    config: ServerConfig, config_path: Optional[str] = None
+) -> WorkerManager:
+    """The manager the config asks for (``[cluster] manager = ...``)."""
+    cluster = config.cluster
+    if cluster is None:
+        raise ServerError("make_worker_manager needs a [cluster] section")
+    if cluster.manager == "process":
+        return LocalProcessManager(config, config_path=config_path)
+    if cluster.manager == "thread":
+        return InProcessWorkerManager(config)
+    raise ServerError(  # unreachable while ClusterConfig validates; defensive
+        f"unknown cluster manager {cluster.manager!r}; known: {MANAGER_KINDS}"
+    )

@@ -1,0 +1,455 @@
+"""The cluster front door: a thin HTTP router that owns no engines.
+
+:class:`PCORRouter` binds the public address, spawns a
+:class:`~repro.cluster.fleet.WorkerFleet` (one release worker per shard),
+and proxies the existing ``/v1/*`` JSON API unchanged:
+
+* **Per-dataset routes** (``/v1/datasets/{name}/release``,
+  ``/v1/budget?dataset=NAME``) forward to the shard owning the dataset —
+  the same consistent hash the workers compute — and pass the worker's
+  response bytes through *verbatim*.  No re-serialization means releases
+  through the router are bit-identical to single-process serving, and
+  typed error payloads (402 budget exhaustion, 400 validation, ...)
+  survive untouched.
+* **Aggregate routes** (``/v1/datasets``, ``/v1/metrics``,
+  ``/v1/budget`` without a dataset) fan out to every live shard and merge
+  the per-dataset maps; shards with no live worker are reported in
+  ``unavailable_shards`` rather than silently omitted.
+* **Control routes** (``/control/v1/register``, ``/control/v1/heartbeat``)
+  are the workers' loopback-only channel into the fleet.
+
+Proxy retry policy mirrors :class:`~repro.server.client.PCORClient`:
+a GET may be retried once on a fresh connection (reads are idempotent),
+but a release POST is never blindly resent — the worker may have charged
+the budget (fsync'd) before the response was lost, and a resend would
+double-spend.  A shard with no live worker yields a typed 503
+(:class:`~repro.exceptions.ShardUnavailableError`) with ``Retry-After``
+set to the heartbeat interval — by then the supervisor has usually
+respawned the worker and replayed its ledgers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro import __version__
+from repro.exceptions import ServerError, ShardUnavailableError
+from repro.server.config import ServerConfig
+from repro.server.http import (
+    HEALTH_PATH,
+    TENANT_HEADER,
+    DrainState,
+    JsonRequestHandler,
+    ThreadingJsonServer,
+)
+from repro.cluster.fleet import WorkerFleet
+from repro.cluster.manager import WorkerManager, make_worker_manager
+
+logger = logging.getLogger("repro.cluster")
+
+__all__ = ["PCORRouter"]
+
+#: Loopback peers allowed to speak the worker control protocol.
+_LOOPBACK = ("127.0.0.1", "::1")
+
+
+class _RouterHandler(JsonRequestHandler):
+    """One request against a :class:`PCORRouter` (``self.server.app``)."""
+
+    def _route_get(self, raw: bytes) -> None:
+        app: "PCORRouter" = self._app()
+        url = urlparse(self.path)
+        if url.path == HEALTH_PATH:
+            self._respond(200, app.health())
+        elif url.path == "/v1/datasets":
+            self._respond(200, app.list_datasets())
+        elif url.path == "/v1/metrics":
+            self._respond(200, app.metrics())
+        elif url.path == "/v1/budget":
+            dataset = parse_qs(url.query).get("dataset", [None])[0]
+            if dataset is None:
+                self._respond(200, app.budget(self._tenant()))
+            else:
+                # Single-dataset budget: pass through to the owning shard
+                # verbatim (including 404s for unknown names).
+                self._passthrough(app, dataset, "GET", self.path)
+        else:
+            raise ServerError(f"no such route: GET {url.path}")
+
+    def _route_post(self, raw: bytes) -> None:
+        app: "PCORRouter" = self._app()
+        url = urlparse(self.path)
+        if url.path.startswith("/control/"):
+            self._control(app, url.path, raw)
+            return
+        parts = url.path.strip("/").split("/")
+        if (
+            len(parts) == 4
+            and parts[:2] == ["v1", "datasets"]
+            and parts[3] == "release"
+        ):
+            # Forward the request bytes verbatim: what the worker parses
+            # is exactly what the client sent, so a release through the
+            # router is bit-identical to one served directly.
+            self._passthrough(app, parts[2], "POST", self.path, body=raw)
+        else:
+            raise ServerError(f"no such route: POST {url.path}")
+
+    def _passthrough(
+        self,
+        app: "PCORRouter",
+        dataset: str,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> None:
+        tenant = (self.headers.get(TENANT_HEADER) or "").strip()
+        status, data, retry_after = app.proxy(
+            dataset, method, path, body=body, tenant=tenant
+        )
+        headers = {"Retry-After": retry_after} if retry_after else None
+        self._respond_raw(status, data, headers=headers)
+
+    def _control(self, app: "PCORRouter", path: str, raw: bytes) -> None:
+        if self.client_address[0] not in _LOOPBACK:
+            # The control channel is an implementation detail of the
+            # router↔worker loopback pair, not part of the public API.
+            raise ServerError(f"no such route: POST {path}")
+        body = self._parse_json(raw)
+        if path == "/control/v1/register":
+            self._respond(200, app.fleet.register(body))
+        elif path == "/control/v1/heartbeat":
+            self._respond(200, app.fleet.heartbeat(body))
+        else:
+            raise ServerError(f"no such route: POST {path}")
+
+
+class PCORRouter:
+    """Sharded serving: a proxy front end plus a supervised worker fleet.
+
+    Parameters
+    ----------
+    config:
+        The full cluster :class:`ServerConfig` (``cluster.workers >= 1``).
+        Workers derive their own shard sub-configs from the same document.
+    host / port:
+        Public bind overrides (``port=0`` picks an ephemeral port).
+    manager:
+        Worker supervisor override; defaults to what
+        ``[cluster] manager`` names (subprocesses, or in-process threads).
+    config_path:
+        Where ``config`` already lives on disk, if anywhere — lets the
+        process manager point workers at the original file instead of a
+        temp copy.
+    """
+
+    def __init__(
+        self,
+        config: Union[ServerConfig, Mapping],
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        manager: Optional[WorkerManager] = None,
+        config_path: Optional[str] = None,
+    ) -> None:
+        if not isinstance(config, ServerConfig):
+            config = ServerConfig.from_dict(config)
+        cluster = config.cluster
+        if cluster is None or cluster.workers < 1:
+            raise ServerError(
+                "PCORRouter needs [cluster] workers >= 1; "
+                "use PCORServer for single-process serving"
+            )
+        self.config = config
+        self.cluster = cluster
+        bind = (
+            host if host is not None else config.host,
+            port if port is not None else config.port,
+        )
+        try:
+            self._httpd = ThreadingJsonServer(bind, _RouterHandler)
+        except OSError as exc:
+            raise ServerError(f"cannot bind {bind[0]}:{bind[1]}: {exc}") from None
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self.drain = DrainState()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._responses_by_status: Dict[str, int] = {}
+        # Per-shard proxy counters (requests routed, time spent proxying,
+        # transport errors) — the router's own observability.
+        self._proxy_stats: Dict[int, Dict[str, float]] = {
+            shard: {"requests": 0, "errors": 0, "proxy_ms_total": 0.0}
+            for shard in range(cluster.workers)
+        }
+        # Workers dial back over loopback even if the public bind is
+        # wildcard — the fleet stays a single-host unit for now.
+        self.control_url = f"http://127.0.0.1:{self.port}"
+        if manager is None:
+            manager = make_worker_manager(config, config_path=config_path)
+        self.fleet = WorkerFleet(config, manager, router_url=self.control_url)
+        # Keep-alive proxy connections, one per worker per handler thread
+        # (handler threads die with their connection, taking these along).
+        self._local = threading.local()
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self.drain.draining
+
+    def start(self, wait_ready: bool = True, timeout: float = 30.0) -> "PCORRouter":
+        """Open the front door, spawn the fleet, optionally block until
+        every shard has registered."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="pcor-router",
+                daemon=True,
+            )
+            self._thread.start()
+            self.fleet.start()
+        if wait_ready:
+            self.fleet.wait_ready(timeout=timeout)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (CLI path).
+
+        The listener must accept before the fleet spawns (workers register
+        through it), so the serve loop runs in the background thread
+        either way and this just parks the caller.
+        """
+        self.start(wait_ready=False)
+        try:
+            while self._thread is not None and self._thread.is_alive():
+                self._thread.join(timeout=1.0)
+        except KeyboardInterrupt:
+            raise
+
+    def shutdown(self) -> None:
+        """Drain in-flight proxies, stop the fleet, close the listener."""
+        if self._thread is not None and self._thread.is_alive():
+            self._httpd.shutdown()
+        self.drain.drain()
+        self.fleet.stop()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "PCORRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _count(self, status: int) -> None:
+        key = f"{status // 100}xx"
+        with self._lock:
+            self._responses_by_status[key] = (
+                self._responses_by_status.get(key, 0) + 1
+            )
+
+    # ---------------------------------------------------------------- proxy
+
+    def proxy(
+        self,
+        dataset: str,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        tenant: str = "",
+    ) -> Tuple[int, bytes, Optional[str]]:
+        """Forward one request to the shard owning ``dataset``.
+
+        Returns ``(status, response_bytes, retry_after_header)`` for
+        verbatim passthrough.  GETs may retry once on a fresh connection;
+        POSTs never (see module docstring — double-spend).
+        """
+        shard = self.fleet.shard_for(dataset)
+        worker_url = self.fleet.url_for_shard(shard)
+        if worker_url is None:
+            self._note_proxy(shard, 0.0, error=True)
+            raise self._unavailable(shard)
+        headers = {}
+        if tenant:
+            headers[TENANT_HEADER] = tenant
+        started = time.monotonic()
+        attempts = 2 if method == "GET" else 1
+        for attempt in range(attempts):
+            conn = self._connection(worker_url, fresh=attempt > 0)
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                retry_after = response.getheader("Retry-After")
+                self._note_proxy(
+                    shard, (time.monotonic() - started) * 1000.0
+                )
+                return response.status, data, retry_after
+            except (OSError, http.client.HTTPException):
+                self._drop_connection(worker_url)
+                if attempt + 1 >= attempts:
+                    self._note_proxy(
+                        shard,
+                        (time.monotonic() - started) * 1000.0,
+                        error=True,
+                    )
+                    raise self._unavailable(shard) from None
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _unavailable(self, shard: int) -> ShardUnavailableError:
+        exc = ShardUnavailableError(
+            f"shard {shard} has no live worker; the supervisor "
+            f"{'is respawning it' if self.cluster.respawn else 'will not respawn it'} "
+            "- retry shortly"
+        )
+        # Surfaced as the Retry-After header: one heartbeat interval is
+        # roughly when a respawned worker will have registered.
+        exc.retry_after = self.cluster.heartbeat_interval_s
+        return exc
+
+    def _connection(self, url: str, fresh: bool = False):
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = self._local.pool = {}
+        if fresh or url not in pool:
+            self._drop_connection(url)
+            parsed = urlparse(url)
+            pool[url] = http.client.HTTPConnection(
+                parsed.hostname, parsed.port, timeout=60.0
+            )
+        return pool[url]
+
+    def _drop_connection(self, url: str) -> None:
+        pool = getattr(self._local, "pool", None)
+        if pool is not None and url in pool:
+            try:
+                pool.pop(url).close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+
+    def _note_proxy(self, shard: int, ms: float, error: bool = False) -> None:
+        with self._lock:
+            stats = self._proxy_stats[shard]
+            stats["requests"] += 1
+            stats["proxy_ms_total"] += ms
+            if error:
+                stats["errors"] += 1
+
+    def _shard_json(self, shard: int, url: str, path: str, tenant: str = ""):
+        """One aggregation fan-out call (returns None on a dead shard)."""
+        headers = {TENANT_HEADER: tenant} if tenant else {}
+        parsed = urlparse(url)
+        conn = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=30.0
+        )
+        try:
+            conn.request("GET", path, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            if response.status != 200:
+                return None
+            return json.loads(data.decode("utf-8"))
+        except (OSError, http.client.HTTPException, ValueError):
+            return None
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------ endpoints
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.drain.draining else "ok",
+            "version": __version__,
+            "role": "router",
+            "workers": self.cluster.workers,
+            "datasets": sorted(self.config.datasets),
+            "shards": self.fleet.snapshot(),
+        }
+
+    def _aggregate(
+        self, path: str, tenant: str = ""
+    ) -> Tuple[Dict[str, Any], list]:
+        """Merge the per-dataset map under ``"datasets"`` from every live
+        shard; dead shards are listed, not silently dropped."""
+        live = self.fleet.live_urls()
+        merged: Dict[str, Any] = {}
+        failed = sorted(set(range(self.cluster.workers)) - set(live))
+        for shard, url in sorted(live.items()):
+            body = self._shard_json(shard, url, path, tenant=tenant)
+            if body is None:
+                failed.append(shard)
+                continue
+            merged.update(body.get("datasets", {}))
+        return merged, sorted(failed)
+
+    def list_datasets(self) -> Dict[str, Any]:
+        merged, failed = self._aggregate("/v1/datasets")
+        out: Dict[str, Any] = {"datasets": merged}
+        if failed:
+            out["unavailable_shards"] = failed
+        return out
+
+    def budget(self, tenant: str) -> Dict[str, Any]:
+        merged, failed = self._aggregate("/v1/budget", tenant=tenant)
+        out: Dict[str, Any] = {"tenant": tenant, "datasets": merged}
+        if failed:
+            out["unavailable_shards"] = failed
+        return out
+
+    def metrics(self) -> Dict[str, Any]:
+        """Fleet-wide monotonic counters plus the router's own shard view
+        (request counts, proxy latency, heartbeat age, respawns)."""
+        merged, failed = self._aggregate("/v1/metrics")
+        with self._lock:
+            responses = dict(self._responses_by_status)
+            stats = {s: dict(v) for s, v in self._proxy_stats.items()}
+        shards = []
+        for row in self.fleet.snapshot():
+            shard_stats = stats.get(row["shard"], {})
+            requests = int(shard_stats.get("requests", 0))
+            total_ms = float(shard_stats.get("proxy_ms_total", 0.0))
+            shards.append(
+                {
+                    "shard": row["shard"],
+                    "status": row["status"],
+                    "requests": requests,
+                    "proxy_errors": int(shard_stats.get("errors", 0)),
+                    "proxy_ms_mean": (
+                        round(total_ms / requests, 3) if requests else None
+                    ),
+                    "heartbeat_age_s": row["heartbeat_age_s"],
+                    "respawns": row["respawns"],
+                }
+            )
+        out: Dict[str, Any] = {
+            "server": {"responses_by_status": responses},
+            "router": {"workers": self.cluster.workers, "shards": shards},
+            "datasets": merged,
+        }
+        if failed:
+            out["unavailable_shards"] = failed
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PCORRouter(url={self.url!r}, workers={self.cluster.workers})"
+        )

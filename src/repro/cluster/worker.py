@@ -1,0 +1,307 @@
+"""One release worker: a shard of the dataset registry behind the router.
+
+A :class:`ReleaseWorker` is a full :class:`~repro.server.app.PCORServer`
+hosting only the datasets its shard owns (consistent hashing over the
+shared config — see :mod:`repro.cluster.hashing`), bound to an ephemeral
+loopback port, plus a heartbeat thread reporting to the router's control
+channel.
+
+Ordering is what makes a crash safe: the worker's registry replays its
+datasets' durable ledgers during ``PCORServer`` *construction* — before
+the listener thread starts, and before the worker registers its URL with
+the router — so by the time the router proxies the first request to a
+(re)spawned worker, an exhausted tenant is already exhausted again.  The
+ledger files themselves are partitioned exactly like the datasets (one
+JSONL WAL per dataset), so a shard's ledgers have a single writer no
+matter how many workers share ``ledger_dir``.
+
+A worker is deliberately disposable: it exits when its heartbeats are
+rejected (a newer generation superseded it) and when the router stops
+answering (the supervisor died — orphans must not keep ports and ledgers
+open).  The supervisor treats worker death as routine and respawns.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+import os
+import signal
+import threading
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlparse
+
+from repro import __version__
+from repro.exceptions import ServerError
+from repro.server.app import PCORServer
+from repro.server.config import ServerConfig
+from repro.cluster.hashing import shard_assignments
+
+logger = logging.getLogger("repro.cluster")
+
+#: Consecutive failed heartbeats after which a worker assumes the router
+#: is gone and shuts itself down.
+MAX_HEARTBEAT_FAILURES = 5
+
+
+def shard_config(config: ServerConfig, shard: int) -> ServerConfig:
+    """The sub-config a shard's worker serves: its datasets, its port.
+
+    The worker binds loopback on an ephemeral port (the router proxies;
+    workers are never exposed directly) and drops the ``cluster`` section
+    — a worker must not recursively spawn a fleet.  Ledger policy is
+    inherited unchanged: per-dataset WAL files make the partition of
+    datasets also a partition of ledgers.
+    """
+    cluster = config.cluster
+    if cluster is None or cluster.workers < 1:
+        raise ServerError(
+            "shard_config needs a [cluster] section with workers >= 1"
+        )
+    if not (0 <= int(shard) < cluster.workers):
+        raise ServerError(
+            f"shard must be in [0, {cluster.workers}), got {shard}"
+        )
+    owners = shard_assignments(config.datasets, cluster.workers)
+    mine = {
+        name: cfg
+        for name, cfg in config.datasets.items()
+        if owners[name] == int(shard)
+    }
+    return ServerConfig(
+        datasets=mine,
+        host="127.0.0.1",
+        port=0,
+        ledger=config.ledger,
+        ledger_dir=config.ledger_dir,
+        fsync=config.fsync,
+    )
+
+
+class ReleaseWorker:
+    """One shard's serving process (or thread, under the thread manager).
+
+    Parameters
+    ----------
+    config:
+        The *full* cluster :class:`ServerConfig`; the worker derives its
+        own shard's sub-config from it (both sides hash identically).
+    shard:
+        This worker's shard index in ``[0, cluster.workers)``.
+    router_url:
+        The router's loopback control URL (registration + heartbeats).
+    worker_id:
+        Identity assigned by the supervisor, unique per (shard,
+        generation); a superseded id's heartbeats are rejected, telling a
+        stale worker to exit.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        shard: int,
+        router_url: str,
+        worker_id: str,
+    ) -> None:
+        self.shard = int(shard)
+        self.worker_id = str(worker_id)
+        self.router_url = str(router_url).rstrip("/")
+        parsed = urlparse(self.router_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ServerError(
+                f"router_url must look like http://host:port, got {router_url!r}"
+            )
+        self._router_host = parsed.hostname
+        self._router_port = parsed.port or 80
+        cluster = config.cluster
+        if cluster is None:
+            raise ServerError("a release worker needs a [cluster] section")
+        self.heartbeat_interval_s = cluster.heartbeat_interval_s
+        # Ledger replay happens right here, inside the registry build —
+        # before start() ever opens the listener to traffic.
+        self.server = PCORServer(shard_config(config, self.shard))
+        self.datasets: List[str] = self.server.registry.names()
+        self._stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def alive(self) -> bool:
+        thread = self._heartbeat_thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> "ReleaseWorker":
+        """Serve the shard and start heartbeating (non-blocking)."""
+        self.server.start()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"pcor-worker-{self.worker_id}",
+            daemon=True,
+        )
+        self._heartbeat_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful exit: drain in-flight requests, close ledgers."""
+        self._stop.set()
+        thread = self._heartbeat_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=self.heartbeat_interval_s + 5.0)
+        self.server.shutdown()
+
+    def kill(self) -> None:
+        """Abrupt exit — no drain, no goodbye heartbeat (crash simulation
+        for the in-process manager; a subprocess worker dies by signal)."""
+        self._stop.set()
+        self.server.abort()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        thread = self._heartbeat_thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    # ----------------------------------------------------------- heartbeats
+
+    def _heartbeat_loop(self) -> None:
+        """Register, then beat until stopped, rejected, or orphaned."""
+        registered = False
+        failures = 0
+        while not self._stop.is_set():
+            try:
+                if not registered:
+                    reply = self._control_post(
+                        "/control/v1/register", self._registration()
+                    )
+                    if not reply.get("ok", False):
+                        logger.warning(
+                            "worker %s registration rejected: %s",
+                            self.worker_id,
+                            reply.get("reason", "no reason given"),
+                        )
+                        break
+                    registered = True
+                else:
+                    reply = self._control_post(
+                        "/control/v1/heartbeat", self._beat()
+                    )
+                    if not reply.get("ok", False):
+                        logger.info(
+                            "worker %s superseded (%s); exiting",
+                            self.worker_id,
+                            reply.get("reason", "no reason given"),
+                        )
+                        break
+                failures = 0
+            except ServerError as exc:
+                failures += 1
+                registered = False  # a restarted router needs a re-register
+                logger.debug(
+                    "worker %s heartbeat failure %d/%d: %s",
+                    self.worker_id,
+                    failures,
+                    MAX_HEARTBEAT_FAILURES,
+                    exc,
+                )
+                if failures >= MAX_HEARTBEAT_FAILURES:
+                    logger.warning(
+                        "worker %s lost the router (%d consecutive heartbeat "
+                        "failures); shutting down",
+                        self.worker_id,
+                        failures,
+                    )
+                    break
+            self._stop.wait(self.heartbeat_interval_s)
+        # Reached on stop(), rejection, or router loss.  stop() shuts the
+        # server down itself; the other two exits must do it here so an
+        # orphaned worker releases its port and ledger handles.
+        if not self._stop.is_set():
+            self._stop.set()
+            self.server.shutdown()
+
+    def _registration(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "shard": self.shard,
+            "url": self.url,
+            "pid": os.getpid(),
+            "datasets": self.datasets,
+            "version": __version__,
+            "status": self._status(),
+        }
+
+    def _beat(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "shard": self.shard,
+            "status": self._status(),
+        }
+
+    def _status(self) -> str:
+        # The /healthz "draining" satellite feeds straight into the fleet:
+        # a draining worker is deliberately finishing, not dead.
+        return "draining" if self.server.draining else "ok"
+
+    def _control_post(self, path: str, body: Dict[str, Any]) -> Dict[str, Any]:
+        """One control-channel POST (fresh loopback connection per beat —
+        ~1/s per worker, not worth pooling)."""
+        data = json.dumps(body).encode("utf-8")
+        timeout = max(1.0, self.heartbeat_interval_s)
+        conn = http.client.HTTPConnection(
+            self._router_host, self._router_port, timeout=timeout
+        )
+        try:
+            conn.request(
+                "POST",
+                path,
+                body=data,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServerError(
+                    f"control channel {path} answered {response.status}"
+                )
+            return json.loads(raw.decode("utf-8"))
+        except (OSError, http.client.HTTPException, ValueError) as exc:
+            raise ServerError(f"control channel unreachable: {exc}") from None
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------ CLI entry
+
+    def run(self) -> int:
+        """Blocking entry point for ``pcor worker`` (SIGTERM-graceful)."""
+        done = threading.Event()
+
+        def _stop_signal(signum, frame):  # pragma: no cover - signal plumbing
+            done.set()
+
+        signal.signal(signal.SIGTERM, _stop_signal)
+        signal.signal(signal.SIGINT, _stop_signal)
+        self.start()
+        logger.info(
+            "worker %s serving shard %d (%s) on %s",
+            self.worker_id,
+            self.shard,
+            ", ".join(self.datasets) or "no datasets",
+            self.url,
+        )
+        # Wake on SIGTERM or on the heartbeat thread exiting on its own
+        # (superseded / orphaned).
+        while not done.is_set() and self.alive:
+            done.wait(0.2)
+        self.stop()
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReleaseWorker(id={self.worker_id!r}, shard={self.shard}, "
+            f"datasets={self.datasets})"
+        )

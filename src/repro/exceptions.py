@@ -62,3 +62,12 @@ class LedgerError(ReproError):
 
 class ServerError(ReproError):
     """The PCOR HTTP service failed (bad config, transport or protocol error)."""
+
+
+class ShardUnavailableError(ServerError):
+    """A cluster shard has no live worker to serve the request (HTTP 503).
+
+    Transient by design: the router's supervisor respawns crashed workers,
+    so the same request is expected to succeed after ``Retry-After``.
+    """
+

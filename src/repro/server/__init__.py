@@ -37,7 +37,7 @@ queries — made concrete, stdlib-only:
 from repro.server.app import PCORServer, TENANT_HEADER
 from repro.server.batching import CoalescerClosed, ReleaseCoalescer
 from repro.server.client import PCORClient
-from repro.server.config import DatasetConfig, ServerConfig
+from repro.server.config import ClusterConfig, DatasetConfig, ServerConfig
 from repro.server.ledger import (
     InMemoryLedgerStore,
     JsonlLedgerStore,
@@ -50,6 +50,7 @@ __all__ = [
     "PCORServer",
     "PCORClient",
     "ServerConfig",
+    "ClusterConfig",
     "DatasetConfig",
     "DatasetRegistry",
     "DatasetEntry",

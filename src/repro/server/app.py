@@ -13,6 +13,8 @@ Routes (all JSON):
 Method   Path                                 Body / semantics
 =======  ===================================  =====================================
 GET      ``/healthz``                         liveness + hosted dataset names
+                                              (answered even while draining,
+                                              with ``"status": "draining"``)
 GET      ``/v1/datasets``                     per-dataset budget/engine summary
 GET      ``/v1/budget``                       caller's budgets (tenant header;
                                               optional ``?dataset=NAME``)
@@ -27,8 +29,10 @@ Analysts authenticate with the ``X-PCOR-Tenant`` header (required on
 ``/v1/budget`` and releases).  Errors come back as typed payloads
 ``{"error": {"type", "message", "status"}}``: budget exhaustion maps to
 402, validation to 400, unknown datasets/routes to 404, releases that fail
-mid-run to 422 — and the client resurrects the original exception class
-from ``type``.
+mid-run to 422, shutdown drain to 503 (with ``Retry-After``) — and the
+client resurrects the original exception class from ``type``.  The wire
+dialect itself (handler core, drain window, error mapping) lives in
+:mod:`repro.server.http`, shared with the cluster router.
 """
 
 from __future__ import annotations
@@ -36,105 +40,31 @@ from __future__ import annotations
 import json
 import logging
 import threading
-import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
-from repro.exceptions import (
-    PrivacyBudgetError,
-    ReproError,
-    ServerError,
-    SpecError,
-)
+from repro.exceptions import ServerError
 from repro.server.batching import CoalescerClosed, ReleaseCoalescer
 from repro.server.config import ServerConfig
+from repro.server.http import (
+    TENANT_HEADER,
+    DrainState,
+    JsonRequestHandler,
+    ThreadingJsonServer,
+    _BadRequest,
+)
 from repro.server.registry import DatasetRegistry
 from repro.service.engine import ReleaseRequest
 from repro.service.spec import PipelineSpec
 
 logger = logging.getLogger("repro.server")
 
-#: Header naming the calling analyst.
-TENANT_HEADER = "X-PCOR-Tenant"
+__all__ = ["PCORServer", "TENANT_HEADER"]
 
 
-class _Draining(ServerError):
-    """Request arrived after shutdown began (maps to 503; the client
-    resurrects the public base, ServerError)."""
-
-
-#: Exception class → HTTP status for typed error payloads (first match in
-#: iteration order wins, so subclasses precede their bases).
-_STATUS_FOR = {
-    _Draining: 503,
-    PrivacyBudgetError: 402,
-    SpecError: 400,
-    ServerError: 404,
-}
-
-
-def _status_for(exc: Exception) -> int:
-    for cls, status in _STATUS_FOR.items():
-        if isinstance(exc, cls):
-            return status
-    if isinstance(exc, ReproError):
-        # The request was well-formed and admitted but the release failed
-        # (no matching context, record outside the dataset, ...).
-        return 422
-    return 500
-
-
-class _BadRequest(SpecError):
-    """Malformed request body/headers (maps to 400 like any SpecError)."""
-
-
-class _Handler(BaseHTTPRequestHandler):
-    """One request.  All state lives on ``self.server`` (the PCORServer)."""
-
-    server_version = f"pcor/{__version__}"
-    protocol_version = "HTTP/1.1"
-    # Buffered writes + TCP_NODELAY: a response leaves in one segment
-    # instead of one write per header, and keep-alive clients never hit
-    # the Nagle/delayed-ACK 40 ms stall.
-    wbufsize = 64 * 1024
-    disable_nagle_algorithm = True
-
-    # --------------------------------------------------------------- routes
-
-    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        self._guarded(self._route_get)
-
-    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
-        self._guarded(self._route_post)
-
-    def _guarded(self, route) -> None:
-        """Run one routed request inside the server's active-request window.
-
-        The begin/end pair is per *request*, not per connection: keep-alive
-        handler threads spend their life blocked in ``readline`` between
-        requests, so counting connections would make shutdown wait on idle
-        sockets.  Requests arriving after shutdown began get 503 — after
-        the body is drained, so even the rejection leaves the keep-alive
-        stream in sync.
-        """
-        app = self._app()
-        # Drain the body before anything else, even for requests that will
-        # 404 or 503: unread body bytes left in rfile would be parsed as
-        # the next request line, desyncing the keep-alive connection.
-        raw = self._read_body()
-        try:
-            app._begin_request()
-        except Exception as exc:  # noqa: BLE001 — typed 503 payload
-            self._respond_error(exc)
-            return
-        try:
-            route(raw)
-        except Exception as exc:  # noqa: BLE001 — mapped to typed payloads
-            self._respond_error(exc)
-        finally:
-            app._end_request()
+class _Handler(JsonRequestHandler):
+    """One request against a :class:`PCORServer` (``self.server.app``)."""
 
     def _route_get(self, raw: bytes) -> None:
         url = urlparse(self.path)
@@ -162,76 +92,6 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(200, payload)
         else:
             raise ServerError(f"no such route: POST {url.path}")
-
-    # -------------------------------------------------------------- helpers
-
-    def _app(self) -> "PCORServer":
-        return self.server.app  # type: ignore[attr-defined]
-
-    def _tenant(self) -> str:
-        tenant = (self.headers.get(TENANT_HEADER) or "").strip()
-        if not tenant:
-            raise _BadRequest(
-                f"missing {TENANT_HEADER} header: every analyst-facing route "
-                "is tenant-scoped"
-            )
-        return tenant
-
-    def _read_body(self) -> bytes:
-        length = int(self.headers.get("Content-Length") or 0)
-        return self.rfile.read(length) if length > 0 else b""
-
-    @staticmethod
-    def _parse_json(raw: bytes) -> Dict[str, Any]:
-        if not raw:
-            raise _BadRequest("request body is empty; expected a JSON object")
-        try:
-            body = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise _BadRequest(f"request body is not valid JSON: {exc}") from None
-        if not isinstance(body, dict):
-            raise _BadRequest(
-                f"request body must be a JSON object, got {type(body).__name__}"
-            )
-        return body
-
-    def _respond(self, status: int, payload: Mapping[str, Any]) -> None:
-        data = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
-        self._app()._count(status)
-
-    def _respond_error(self, exc: Exception) -> None:
-        status = _status_for(exc)
-        if status == 500:
-            logger.exception("unhandled error serving %s", self.path)
-        # Publish the nearest *public* class name so the client can
-        # resurrect the exception (internal helpers like _BadRequest
-        # surface as their public base, SpecError).
-        name = next(
-            base.__name__
-            for base in type(exc).__mro__
-            if not base.__name__.startswith("_")
-        )
-        payload = {
-            "error": {
-                "type": name,
-                "message": str(exc),
-                "status": status,
-            }
-        }
-        self._respond(status, payload)
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        logger.debug("%s - %s", self.address_string(), format % args)
-
-
-class _HTTPServer(ThreadingHTTPServer):
-    daemon_threads = True
-    allow_reuse_address = True
 
 
 class PCORServer:
@@ -271,7 +131,7 @@ class PCORServer:
             port if port is not None else server_config.port,
         )
         try:
-            self._httpd = _HTTPServer(bind, _Handler)
+            self._httpd = ThreadingJsonServer(bind, _Handler)
         except OSError as exc:
             self.registry.close()
             raise ServerError(f"cannot bind {bind[0]}:{bind[1]}: {exc}") from None
@@ -282,9 +142,7 @@ class PCORServer:
         # Shutdown drain: handler threads are daemonic and NOT joined by
         # server_close(), so the ledger must not close until every request
         # that entered a release path has left it.
-        self._drain_cond = threading.Condition()
-        self._active_requests = 0
-        self._draining = False
+        self.drain = DrainState()
         # One coalescer per dataset that opted in (max_batch > 1); the
         # engine_for thunk keeps dataset construction lazy.
         self._coalescers: Dict[str, ReleaseCoalescer] = {}
@@ -318,6 +176,12 @@ class PCORServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def draining(self) -> bool:
+        """True once shutdown began (mirrored by ``/healthz`` as
+        ``"status": "draining"`` — worker heartbeats forward it)."""
+        return self.drain.draining
+
     def start(self) -> "PCORServer":
         """Serve in a background thread (idempotent); returns ``self``."""
         if self._thread is None or not self._thread.is_alive():
@@ -350,7 +214,7 @@ class PCORServer:
         # an app used in-process via PCORServer.release() without start().
         if self._thread is not None and self._thread.is_alive():
             self._httpd.shutdown()
-        self._drain_requests()
+        self.drain.drain()
         for coalescer in self._coalescers.values():
             coalescer.close()
         self._httpd.server_close()
@@ -359,44 +223,22 @@ class PCORServer:
             self._thread = None
         self.registry.close()
 
-    # --------------------------------------------------------- request drain
+    def abort(self) -> None:
+        """Tear the server down *without* draining (crash simulation).
 
-    def _begin_request(self) -> None:
-        """Admit one HTTP request into the drain window (handlers call this
-        once per routed request); 503s requests racing shutdown."""
-        with self._drain_cond:
-            if self._draining:
-                raise _Draining(
-                    "server is shutting down; no new requests are admitted"
-                )
-            self._active_requests += 1
-
-    def _end_request(self) -> None:
-        with self._drain_cond:
-            self._active_requests -= 1
-            if self._active_requests <= 0:
-                self._drain_cond.notify_all()
-
-    def _drain_requests(self, timeout: float = 10.0) -> None:
-        """Stop admitting requests and wait for active handlers to finish.
-
-        Handlers blocked on coalescer futures count as active, and the
-        coalescers are still open while this waits — their flushers
-        complete those futures, the handlers respond and leave the window.
+        Closes the listener and the registry immediately, abandoning any
+        in-flight request mid-handler — the closest an in-process worker
+        gets to ``kill -9``.  Ledgers fsync per admitted charge, so the
+        durable state an :meth:`abort` leaves behind is exactly what a
+        real crash would: every admitted charge present, nothing else.
         """
-        deadline = time.monotonic() + timeout
-        with self._drain_cond:
-            self._draining = True
-            while self._active_requests > 0:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    logger.warning(
-                        "shutdown drain timed out with %d request(s) still "
-                        "active",
-                        self._active_requests,
-                    )
-                    break
-                self._drain_cond.wait(remaining)
+        if self._thread is not None and self._thread.is_alive():
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.registry.close()
 
     def __enter__(self) -> "PCORServer":
         return self.start()
@@ -414,8 +256,12 @@ class PCORServer:
     # ------------------------------------------------------------ endpoints
 
     def health(self) -> Dict[str, Any]:
+        """Liveness + drain status.  Unlike every other route this is
+        answered even mid-shutdown: the router heartbeat (and any
+        orchestrator probe) distinguishes a *draining* worker — stop
+        routing to it, don't respawn it — from a dead one."""
         return {
-            "status": "ok",
+            "status": "draining" if self.drain.draining else "ok",
             "version": __version__,
             "datasets": self.registry.names(),
         }

@@ -29,6 +29,7 @@ import http.client
 import json
 import queue
 import socket
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from urllib.parse import urlparse
@@ -50,14 +51,34 @@ class PCORClient:
         Value of the ``X-PCOR-Tenant`` header sent with every request.
     timeout:
         Per-request socket timeout in seconds.
+    retry_503:
+        How many times an *idempotent GET* answered 503-with-``Retry-After``
+        is retried after waiting (capped) for the advertised delay.  A
+        sharded router 503s while a crashed worker respawns and during
+        shutdown drain — both transient by design, so budget/metrics/
+        dataset reads ride them out.  Release **POSTs are never blindly
+        resent**, 503 or not: the server (or the worker behind a router)
+        may have admitted — and fsync'd — the charge before the response
+        was lost, and a blind retry would spend the analyst's epsilon
+        twice.  Check ``/v1/budget`` before resubmitting a release.
+    max_retry_after_s:
+        Cap on each ``Retry-After`` wait (a server asking for a minute
+        should not stall an interactive client that long).
     """
 
     def __init__(
-        self, base_url: str, tenant: str = "default", timeout: float = 60.0
+        self,
+        base_url: str,
+        tenant: str = "default",
+        timeout: float = 60.0,
+        retry_503: int = 2,
+        max_retry_after_s: float = 2.0,
     ) -> None:
         self.base_url = str(base_url).rstrip("/")
         self.tenant = str(tenant)
         self.timeout = float(timeout)
+        self.retry_503 = max(0, int(retry_503))
+        self.max_retry_after_s = float(max_retry_after_s)
         parsed = urlparse(self.base_url)
         if parsed.scheme != "http" or not parsed.hostname:
             raise ServerError(
@@ -173,7 +194,13 @@ class PCORClient:
         n_workers = min(int(concurrency), len(records))
         pool: "queue.SimpleQueue[PCORClient]" = queue.SimpleQueue()
         clients = [
-            PCORClient(self.base_url, tenant=self.tenant, timeout=self.timeout)
+            PCORClient(
+                self.base_url,
+                tenant=self.tenant,
+                timeout=self.timeout,
+                retry_503=self.retry_503,
+                max_retry_after_s=self.max_retry_after_s,
+            )
             for _ in range(n_workers)
         ]
         for client in clients:
@@ -249,35 +276,51 @@ class PCORClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        # One retry for *idempotent* requests only: a keep-alive peer may
-        # have dropped an idle connection.  A release POST is never
-        # resent — the server may have admitted (and fsync'd) the charge
-        # before the connection died, and a blind retry would spend the
-        # analyst's epsilon twice.  Check /v1/budget before resubmitting.
-        retries = (0, 1) if method == "GET" else (0,)
-        for attempt in retries:
-            conn = (
-                self._conn
-                if self._conn is not None
-                else self._connect(effective)
-            )
-            try:
-                # The keep-alive socket may carry an earlier request's
-                # timeout; pin this request's own before writing.
-                if conn.sock is not None:
-                    conn.sock.settimeout(effective)
-                conn.request(method, path, body=data, headers=headers)
-                response = conn.getresponse()
-                status = response.status
-                raw = response.read()
-                break
-            except (http.client.HTTPException, OSError) as exc:
-                self.close()
-                if attempt < retries[-1]:
-                    continue
-                raise ServerError(
-                    f"cannot reach {self.base_url + path}: {exc}"
-                ) from None
+        # Two retry layers, both for *idempotent* GETs only.  Transport: a
+        # keep-alive peer may have dropped an idle connection — reconnect
+        # once.  Service: a 503 carrying Retry-After (router shard down,
+        # shutdown drain) is transient by contract — wait (capped) and ask
+        # again, up to retry_503 times.  A release POST is never resent on
+        # either layer — the server may have admitted (and fsync'd) the
+        # charge before the connection died or the 503 raced the drain,
+        # and a blind retry would spend the analyst's epsilon twice.
+        # Check /v1/budget before resubmitting a release.
+        transport_retries = (0, 1) if method == "GET" else (0,)
+        service_attempts = self.retry_503 if method == "GET" else 0
+        while True:
+            for attempt in transport_retries:
+                conn = (
+                    self._conn
+                    if self._conn is not None
+                    else self._connect(effective)
+                )
+                try:
+                    # The keep-alive socket may carry an earlier request's
+                    # timeout; pin this request's own before writing.
+                    if conn.sock is not None:
+                        conn.sock.settimeout(effective)
+                    conn.request(method, path, body=data, headers=headers)
+                    response = conn.getresponse()
+                    status = response.status
+                    retry_after = response.getheader("Retry-After")
+                    raw = response.read()
+                    break
+                except (http.client.HTTPException, OSError) as exc:
+                    self.close()
+                    if attempt < transport_retries[-1]:
+                        continue
+                    raise ServerError(
+                        f"cannot reach {self.base_url + path}: {exc}"
+                    ) from None
+            if status == 503 and service_attempts > 0 and retry_after:
+                try:
+                    delay = float(retry_after)
+                except ValueError:
+                    break  # HTTP-date form: not worth parsing, give up
+                service_attempts -= 1
+                time.sleep(max(0.0, min(delay, self.max_retry_after_s)))
+                continue
+            break
         if status >= 400:
             raise _error_from(status, raw)
         try:

@@ -205,9 +205,99 @@ class DatasetConfig:
         return out
 
 
+#: Worker-manager kinds a cluster config may name (``process`` spawns real
+#: subprocesses; ``thread`` hosts workers in-process — tests and dev).
+MANAGER_KINDS = ("process", "thread")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The ``[cluster]`` section: sharded serving behind a router.
+
+    With ``workers >= 1``, ``pcor serve`` starts a
+    :class:`~repro.cluster.router.PCORRouter` plus ``workers``
+    release-worker processes instead of a single :class:`PCORServer`.
+    Datasets are partitioned over workers by consistent hashing of the
+    dataset name, so each dataset's budget ledger has exactly one writer.
+
+    Parameters
+    ----------
+    workers:
+        Release-worker count.  ``0`` (the default when the section is
+        absent) keeps single-process serving.
+    heartbeat_interval_s:
+        How often each worker reports to the router.
+    heartbeat_timeout_s:
+        Heartbeat silence after which the router declares a worker dead
+        (must exceed the interval — a single delayed beat is not a death).
+    respawn:
+        Whether the router's supervisor restarts dead workers.  A
+        respawned worker replays its datasets' ledgers before accepting
+        traffic, so budget truth survives the crash (with a durable
+        ledger; an in-memory ledger forgets spend with its process).
+    manager:
+        Where workers run: ``"process"`` (local subprocesses via
+        ``LocalProcessManager``) or ``"thread"`` (in-process, for tests).
+        The :class:`~repro.cluster.manager.WorkerManager` protocol leaves
+        room for remote managers later.
+    """
+
+    workers: int = 0
+    heartbeat_interval_s: float = 1.0
+    heartbeat_timeout_s: float = 5.0
+    respawn: bool = True
+    manager: str = "process"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workers", int(self.workers))
+        object.__setattr__(
+            self, "heartbeat_interval_s", float(self.heartbeat_interval_s)
+        )
+        object.__setattr__(
+            self, "heartbeat_timeout_s", float(self.heartbeat_timeout_s)
+        )
+        object.__setattr__(self, "respawn", bool(self.respawn))
+        object.__setattr__(self, "manager", str(self.manager).lower())
+        if self.workers < 0:
+            raise SpecError(f"cluster workers must be >= 0, got {self.workers}")
+        if not (self.heartbeat_interval_s > 0.0):
+            raise SpecError(
+                "cluster heartbeat_interval_s must be > 0, "
+                f"got {self.heartbeat_interval_s}"
+            )
+        if not (self.heartbeat_timeout_s > self.heartbeat_interval_s):
+            raise SpecError(
+                "cluster heartbeat_timeout_s must exceed heartbeat_interval_s "
+                f"({self.heartbeat_interval_s}), got {self.heartbeat_timeout_s}"
+            )
+        if self.manager not in MANAGER_KINDS:
+            raise SpecError(
+                f"unknown cluster manager {self.manager!r}; "
+                f"use one of {MANAGER_KINDS}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"workers": self.workers}
+        if self.heartbeat_interval_s != 1.0:
+            out["heartbeat_interval_s"] = self.heartbeat_interval_s
+        if self.heartbeat_timeout_s != 5.0:
+            out["heartbeat_timeout_s"] = self.heartbeat_timeout_s
+        if not self.respawn:
+            out["respawn"] = False
+        if self.manager != "process":
+            out["manager"] = self.manager
+        return out
+
+
 @dataclass(frozen=True)
 class ServerConfig:
-    """Everything one ``pcor serve`` process hosts."""
+    """Everything one ``pcor serve`` process hosts.
+
+    Programmatic construction permits an empty ``datasets`` mapping — a
+    cluster worker whose shard happens to hold no datasets still needs a
+    servable (if idle) config.  :meth:`from_dict` (and hence every config
+    file) still rejects it: a top-level server hosting nothing is a typo.
+    """
 
     datasets: Mapping[str, DatasetConfig] = field(default_factory=dict)
     host: str = DEFAULT_HOST
@@ -215,6 +305,7 @@ class ServerConfig:
     ledger: str = "memory"
     ledger_dir: Optional[str] = None
     fsync: bool = True
+    cluster: Optional[ClusterConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "host", str(self.host))
@@ -235,8 +326,6 @@ class ServerConfig:
                     f"got {type(cfg).__name__}"
                 )
         object.__setattr__(self, "datasets", coerced)
-        if not coerced:
-            raise SpecError("server config hosts no datasets")
         if not (0 <= self.port <= 65535):
             raise SpecError(f"port must be in [0, 65535], got {self.port}")
         if self.ledger not in LEDGER_KINDS:
@@ -245,6 +334,13 @@ class ServerConfig:
             )
         if self.ledger == "jsonl" and not self.ledger_dir:
             raise SpecError("ledger = 'jsonl' needs a 'ledger_dir'")
+        if self.cluster is not None and not isinstance(self.cluster, ClusterConfig):
+            if not isinstance(self.cluster, Mapping):
+                raise SpecError(
+                    "'cluster' must be a mapping of cluster options, "
+                    f"got {type(self.cluster).__name__}"
+                )
+            object.__setattr__(self, "cluster", ClusterConfig(**self.cluster))
 
     # -------------------------------------------------------- serialization
 
@@ -262,6 +358,8 @@ class ServerConfig:
         }
         if self.ledger_dir is not None:
             out["server"]["ledger_dir"] = self.ledger_dir
+        if self.cluster is not None:
+            out["cluster"] = self.cluster.to_dict()
         return out
 
     @classmethod
@@ -270,14 +368,14 @@ class ServerConfig:
             raise SpecError(
                 f"server config must be a mapping, got {type(data).__name__}"
             )
-        unknown = sorted(set(data) - {"server", "datasets"})
+        unknown = sorted(set(data) - {"server", "datasets", "cluster"})
         if unknown:
             raise SpecError(
                 f"unknown server config section(s) {unknown}; "
-                "known: ['datasets', 'server']"
+                "known: ['cluster', 'datasets', 'server']"
             )
         server = dict(data.get("server", {}))
-        known = {f.name for f in fields(cls)} - {"datasets"}
+        known = {f.name for f in fields(cls)} - {"datasets", "cluster"}
         bad = sorted(set(server) - known)
         if bad:
             raise SpecError(
@@ -286,7 +384,23 @@ class ServerConfig:
         datasets = data.get("datasets", {})
         if not isinstance(datasets, Mapping):
             raise SpecError("'datasets' must map names to dataset configs")
-        return cls(datasets=datasets, **server)
+        if not datasets:
+            raise SpecError("server config hosts no datasets")
+        cluster = data.get("cluster")
+        if cluster is not None:
+            if not isinstance(cluster, Mapping):
+                raise SpecError(
+                    "'cluster' must be a mapping of cluster options, "
+                    f"got {type(cluster).__name__}"
+                )
+            bad = sorted(set(cluster) - {f.name for f in fields(ClusterConfig)})
+            if bad:
+                raise SpecError(
+                    f"unknown [cluster] field(s) {bad}; known: "
+                    f"{sorted(f.name for f in fields(ClusterConfig))}"
+                )
+            cluster = ClusterConfig(**cluster)
+        return cls(datasets=datasets, cluster=cluster, **server)
 
     @classmethod
     def from_file(cls, path: Union[str, Path]) -> "ServerConfig":

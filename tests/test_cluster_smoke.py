@@ -1,0 +1,202 @@
+"""End-to-end sharded-serve smoke: router + worker subprocesses, a real
+SIGKILL, a real respawn, and a budget that survives the crash.
+
+``pcor serve --workers 2`` is exercised exactly as deployed: the CLI
+subprocess spawns real worker subprocesses through the
+``LocalProcessManager``; we kill one with SIGKILL (no drain, no goodbye
+heartbeat), wait for the supervisor to respawn it, and verify the
+respawned worker replayed its shard's ledgers before taking traffic — an
+exhausted tenant is still rejected with 402.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError, ServerError
+from repro.server import PCORClient
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+SPEC = {
+    "detector": "zscore",
+    "detector_kwargs": {"z_threshold": 2.5, "min_population": 8},
+    "sampler": "uniform",
+    "epsilon": 0.1,
+    "n_samples": 3,
+}
+
+#: A verified matching record of salary_reduced(records=300, seed=3).
+OUTLIER_RECORD = 207
+
+
+def write_config(tmp_path: Path) -> Path:
+    config = tmp_path / "cluster.json"
+    config.write_text(
+        json.dumps(
+            {
+                "server": {
+                    "port": 0,
+                    "ledger": "jsonl",
+                    "ledger_dir": str(tmp_path / "ledgers"),
+                },
+                "datasets": {
+                    "salary": {
+                        "source": "salary_reduced",
+                        "records": 300,
+                        "seed": 3,
+                        "budget": 5.0,
+                        "tenant_budget": 0.25,
+                    },
+                    "other": {
+                        "source": "salary_reduced",
+                        "records": 200,
+                        "seed": 9,
+                    },
+                },
+                "cluster": {
+                    "workers": 2,
+                    "heartbeat_interval_s": 0.3,
+                    "heartbeat_timeout_s": 1.2,
+                },
+            }
+        )
+    )
+    return config
+
+
+def spawn_router(config: Path) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--config", str(config)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    assert "router listening on" in line, f"unexpected banner: {line!r}"
+    url = next(tok for tok in line.split() if tok.startswith("http://"))
+    return process, url
+
+
+def wait_for_shards(client: PCORClient, predicate, timeout=45.0):
+    """Poll /healthz until ``predicate(shards)`` holds (503s tolerated)."""
+    deadline = time.monotonic() + timeout
+    shards = None
+    while time.monotonic() < deadline:
+        try:
+            shards = client.health()["shards"]
+            if predicate(shards):
+                return shards
+        except ServerError:
+            pass
+        time.sleep(0.25)
+    raise AssertionError(f"fleet never reached the expected state: {shards}")
+
+
+def test_cluster_serve_crash_respawn_and_budget_durability(tmp_path):
+    config = write_config(tmp_path)
+    process, url = spawn_router(config)
+    try:
+        client = PCORClient(url, tenant="smoke")
+        shards = wait_for_shards(
+            client, lambda s: all(x["status"] == "ok" for x in s)
+        )
+        owned = {d for s in shards for d in s["datasets"]}
+        assert owned == {"salary", "other"}
+
+        # Releases through the router work; exhaust the tenant (quota
+        # 0.25, epsilon 0.1 → two land, the third is 402).
+        response = client.release(
+            "salary", record_id=OUTLIER_RECORD, spec=SPEC, seed=42
+        )
+        assert response["result"]["record_id"] == OUTLIER_RECORD
+        client.release("salary", record_id=OUTLIER_RECORD, spec=SPEC, seed=43)
+        with pytest.raises(PrivacyBudgetError, match="tenant 'smoke'"):
+            client.release(
+                "salary", record_id=OUTLIER_RECORD, spec=SPEC, seed=44
+            )
+
+        # SIGKILL the worker owning 'salary' — a real crash: no drain, no
+        # goodbye heartbeat, just a vanished process.
+        victim = next(s for s in shards if "salary" in s["datasets"])
+        os.kill(victim["pid"], signal.SIGKILL)
+
+        shards = wait_for_shards(
+            client,
+            lambda s: (
+                s[victim["shard"]]["respawns"] >= 1
+                and s[victim["shard"]]["status"] == "ok"
+            ),
+        )
+        respawned = shards[victim["shard"]]
+        assert respawned["pid"] != victim["pid"]
+        assert respawned["worker_id"] != victim["worker_id"]
+
+        # The respawned worker replayed the shard's WAL before accepting
+        # traffic: the exhausted tenant is still 402, and the recorded
+        # spend is intact.
+        with pytest.raises(PrivacyBudgetError, match="tenant 'smoke'"):
+            client.release(
+                "salary", record_id=OUTLIER_RECORD, spec=SPEC, seed=45
+            )
+        budget = client.budget(dataset="salary")["datasets"]["salary"]
+        assert budget["spent"] == pytest.approx(0.2)
+        assert budget["remaining"] == pytest.approx(0.05)
+
+        # A fresh tenant is served by the replacement, and the router's
+        # metrics recorded the respawn.
+        fresh = PCORClient(url, tenant="fresh")
+        fresh.release("salary", record_id=OUTLIER_RECORD, spec=SPEC, seed=46)
+        metrics = client.metrics()
+        router_shard = metrics["router"]["shards"][victim["shard"]]
+        assert router_shard["respawns"] >= 1
+        assert router_shard["requests"] >= 1
+    finally:
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=60)
+    assert process.returncode == 0, out
+    assert "router stopped; fleet terminated" in out
+
+
+def test_serve_workers_flag_overrides_config(tmp_path):
+    """``--workers 0`` forces single-process serving even with a
+    [cluster] section in the config — the banner says which mode won."""
+    config = write_config(tmp_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--config",
+            str(config),
+            "--workers",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        line = process.stdout.readline()
+        assert "pcor server listening on" in line, f"banner: {line!r}"
+        url = next(tok for tok in line.split() if tok.startswith("http://"))
+        body = PCORClient(url, tenant="x").health()
+        assert body["status"] == "ok"
+        assert "shards" not in body
+    finally:
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=60)
+    assert process.returncode == 0, out

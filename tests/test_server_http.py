@@ -317,3 +317,116 @@ class TestRestartDurability:
         )
         assert served["context"]["bits"] == direct.context.bits
         engine.close()
+
+
+class TestDrainWindow:
+    """Shutdown drain semantics: typed 503s with Retry-After for guarded
+    routes, while /healthz keeps answering — reporting "draining" — so
+    probes (and the cluster router's heartbeats) can tell a deliberately
+    stopping server from a dead one."""
+
+    def test_guarded_routes_get_typed_503_with_retry_after(self):
+        with PCORServer(server_config()) as server:
+            client = PCORClient(server.url, tenant="drain", retry_503=0)
+            assert client.health()["status"] == "ok"
+            server.drain.drain(timeout=0.5)  # stop admitting, like SIGTERM
+
+            # /healthz still answers, now reporting the drain.
+            assert client.health()["status"] == "draining"
+
+            # Guarded routes: typed JSON error payload, 503, Retry-After.
+            request = urllib.request.Request(
+                server.url + "/v1/datasets", headers={"X-PCOR-Tenant": "drain"}
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] is not None
+            payload = json.loads(excinfo.value.read())
+            assert payload["error"]["type"] == "ServerError"
+            assert payload["error"]["status"] == 503
+            assert "shutting down" in payload["error"]["message"]
+
+            # The client resurrects it as the public exception class.
+            with pytest.raises(ServerError, match="shutting down"):
+                client.datasets()
+
+
+class _FlakyHandler(__import__("http.server", fromlist=["BaseHTTPRequestHandler"]).BaseHTTPRequestHandler):
+    """Stub server: 503 + Retry-After on the first N requests per method,
+    then 200 — the shape a draining server or a respawning shard presents."""
+
+    def _serve(self, method):
+        counts = self.server.counts  # type: ignore[attr-defined]
+        counts[method] = counts.get(method, 0) + 1
+        if counts[method] <= self.server.fail_first:  # type: ignore[attr-defined]
+            body = (
+                b'{"error": {"type": "ServerError", '
+                b'"message": "try later", "status": 503}}'
+            )
+            self.send_response(503)
+            self.send_header("Retry-After", "0")
+        else:
+            body = b'{"datasets": {}, "result": {}}'
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):  # noqa: N802
+        self._serve("GET")
+
+    def do_POST(self):  # noqa: N802
+        length = int(self.headers.get("Content-Length") or 0)
+        self.rfile.read(length)
+        self._serve("POST")
+
+    def log_message(self, *args):  # noqa: A002
+        pass
+
+
+@pytest.fixture()
+def flaky_server():
+    import http.server
+    import threading
+
+    httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+    httpd.counts = {}
+    httpd.fail_first = 1
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+class TestClientRetryAfter:
+    def test_idempotent_get_rides_out_503(self, flaky_server):
+        """A GET answered 503-with-Retry-After is retried (capped wait) —
+        reads are idempotent, and router shards 503 transiently while a
+        crashed worker respawns."""
+        url = f"http://127.0.0.1:{flaky_server.server_address[1]}"
+        client = PCORClient(url, tenant="x", retry_503=2)
+        assert client.datasets() == {}
+        assert flaky_server.counts["GET"] == 2  # one 503, one success
+
+    def test_get_gives_up_after_retry_budget(self, flaky_server):
+        flaky_server.fail_first = 10
+        url = f"http://127.0.0.1:{flaky_server.server_address[1]}"
+        client = PCORClient(url, tenant="x", retry_503=2, max_retry_after_s=0.01)
+        with pytest.raises(ServerError, match="try later"):
+            client.datasets()
+        assert flaky_server.counts["GET"] == 3  # initial + 2 retries
+
+    def test_release_post_is_never_blindly_resent(self, flaky_server):
+        """The server may have admitted — and fsync'd — the charge before
+        the 503 raced the drain; resending would double-spend epsilon.  The
+        client must surface the 503 after exactly one attempt."""
+        url = f"http://127.0.0.1:{flaky_server.server_address[1]}"
+        client = PCORClient(url, tenant="x", retry_503=5)
+        with pytest.raises(ServerError, match="try later"):
+            client.release("salary", record_id=1, spec=SPEC, seed=1)
+        assert flaky_server.counts["POST"] == 1
