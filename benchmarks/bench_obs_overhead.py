@@ -1,0 +1,161 @@
+"""Serving-path cost of the observability layer (``src/repro/obs/``).
+
+Workload: the standard ``salary_reduced`` release set (LOF k=10, BFS at
+``n_samples=50``), identical seeds on both sides:
+
+* **baseline** — a single :class:`PCORServer` with ``[observability]
+  enabled = false``: no traces minted, no spans recorded, no per-request
+  structured log events (the PR7-equivalent serving path).
+* **instrumented** — the same server with the default observability
+  config: every request minted a trace (``sample_rate = 1.0``), the full
+  span timeline recorded and returned in the payload, latency histograms
+  observed.
+
+Gate: **instrumented p50 latency within 3% of baseline p50** — tracing
+must stay a few monotonic reads per request, never a second workload.
+Releases are asserted bit-identical across the two paths first (tracing
+draws no randomness, so the release content cannot move).
+
+In-memory ledgers on both sides: this measures instrumentation, not
+fsync.
+"""
+
+import time
+from statistics import median
+
+from repro.data.generators import salary_reduced
+from repro.experiments.tables import DETECTOR_KWARGS
+from repro.server import PCORClient, PCORServer, ServerConfig
+from repro.service import PipelineSpec, ReleaseEngine
+
+ROUNDS = 5
+N_RECORDS = 2_000
+OVERHEAD_GATE = 0.03
+
+SPEC_BODY = dict(
+    detector="lof",
+    detector_kwargs=DETECTOR_KWARGS["lof"],
+    sampler="bfs",
+    n_samples=50,
+    epsilon=0.2,
+)
+
+DATASET_BODY = {"source": "salary_reduced", "records": N_RECORDS, "seed": 7}
+
+
+def _config(enabled: bool) -> ServerConfig:
+    return ServerConfig.from_dict(
+        {
+            "server": {"port": 0},
+            "datasets": {"salary": DATASET_BODY},
+            "observability": {"enabled": enabled},
+        }
+    )
+
+
+def _record_ids(scale) -> list:
+    n_releases = 6 if scale.name == "smoke" else 16
+    dataset = salary_reduced(n_records=N_RECORDS, seed=7)
+    spec = PipelineSpec(**SPEC_BODY)
+    engine = ReleaseEngine(dataset)
+    verifier = engine.verifier_for(spec.build_detector())
+    record_ids = []
+    for rid in map(int, dataset.ids):
+        if verifier.is_matching(dataset.record_bits(rid), rid):
+            record_ids.append(rid)
+        if len(record_ids) == n_releases:
+            break
+    engine.close()
+    assert len(record_ids) == n_releases, "too few exact-context outliers"
+    return record_ids
+
+
+def _paired_latencies(plain_url: str, traced_url: str, record_ids: list):
+    """Per-release latencies, measured in adjacent pairs.
+
+    Each (round, record) issues the same release against both servers
+    back to back, alternating which goes first — slow drift (thermal,
+    scheduler, allocator state) lands on both sides of every pair instead
+    of on whichever server ran its round later.
+    """
+    plain_client = PCORClient(plain_url, tenant="bench")
+    traced_client = PCORClient(traced_url, tenant="bench")
+    plain_lat, traced_lat = [], []
+    try:
+        k = 0
+        for _ in range(ROUNDS):
+            for i, rid in enumerate(record_ids):
+                pair = [(plain_client, plain_lat), (traced_client, traced_lat)]
+                if k % 2:
+                    pair.reverse()
+                for client, sink in pair:
+                    t0 = time.perf_counter()
+                    client.release(
+                        "salary", record_id=rid, spec=SPEC_BODY, seed=100 + i
+                    )
+                    sink.append(time.perf_counter() - t0)
+                k += 1
+    finally:
+        plain_client.close()
+        traced_client.close()
+    return plain_lat, traced_lat
+
+
+def _strip_timing(result: dict) -> dict:
+    out = dict(result)
+    out.pop("wall_time_s", None)
+    return out
+
+
+def test_observability_overhead(emit, scale):
+    record_ids = _record_ids(scale)
+
+    with PCORServer(_config(False)) as plain, PCORServer(_config(True)) as traced:
+        # Correctness before speed: tracing must not move a single bit of
+        # the release (same seed, same result, wall clock excluded) —
+        # and the instrumented payload must actually carry the timeline.
+        for i, rid in enumerate(record_ids[:3]):
+            plain_out = PCORClient(plain.url, tenant=f"id-{i}").release(
+                "salary", record_id=rid, spec=SPEC_BODY, seed=100 + i
+            )
+            traced_out = PCORClient(traced.url, tenant=f"id-{i}").release(
+                "salary", record_id=rid, spec=SPEC_BODY, seed=100 + i
+            )
+            assert _strip_timing(traced_out["result"]) == _strip_timing(
+                plain_out["result"]
+            )
+            assert "trace" not in plain_out
+            assert traced_out["trace"]["spans"]
+
+        # Both engines are now warm; measure in adjacent alternating
+        # pairs so drift hits both paths equally.
+        plain_lat, traced_lat = _paired_latencies(
+            plain.url, traced.url, record_ids
+        )
+
+    p50_plain = median(plain_lat)
+    p50_traced = median(traced_lat)
+    # The estimator is the median *paired* difference: each pair ran back
+    # to back, so per-pair deltas are immune to the slow drift that
+    # dominates independent p50s at millisecond latencies.
+    cost_ms = (
+        median(t - p for p, t in zip(plain_lat, traced_lat)) * 1000.0
+    )
+    overhead = cost_ms / (p50_plain * 1000.0)
+
+    emit(
+        "bench_obs_overhead",
+        "instrumented vs untraced serving "
+        f"(salary_reduced n={N_RECORDS}, {len(record_ids)} records x "
+        f"{ROUNDS} rounds, LOF k=10, BFS n_samples=50, single server, "
+        "warmed)\n"
+        f"  baseline p50 latency    : {p50_plain * 1000:8.2f} ms\n"
+        f"  instrumented p50 latency: {p50_traced * 1000:8.2f} ms\n"
+        f"  tracing cost            : {cost_ms:+8.2f} ms\n"
+        f"  p50 overhead            : {overhead * 100:+8.2f}%  "
+        f"(gate: < {OVERHEAD_GATE * 100:.0f}%)",
+    )
+    assert overhead < OVERHEAD_GATE, (
+        f"observability adds {overhead * 100:.2f}% p50 latency "
+        f"(gate: < {OVERHEAD_GATE * 100:.0f}%)"
+    )

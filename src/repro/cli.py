@@ -46,6 +46,7 @@ from repro.experiments.harness import DATASET_FACTORIES, Workbench
 from repro.experiments.locality import locality_experiment, locality_table
 from repro.experiments.privacy_ratio import privacy_ratio_experiment
 from repro.experiments.tables import DETECTOR_KWARGS, TABLE_RUNNERS
+from repro.obs.logs import LOG_FORMATS
 from repro.outliers.base import available_detectors, make_detector
 from repro.runtime import available_backends
 from repro.server import PCORServer, ServerConfig
@@ -149,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded serving: run a router plus N release workers "
         "(overrides [cluster] workers; 0 forces single-process)",
     )
+    p_srv.add_argument(
+        "--log-format",
+        choices=sorted(LOG_FORMATS),
+        default=None,
+        help="structured log format (overrides [observability] log_format; "
+        "'json' emits one JSON line per request/flush/heartbeat event)",
+    )
 
     p_wrk = sub.add_parser(
         "worker",
@@ -159,6 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_wrk.add_argument("--shard", required=True, type=int)
     p_wrk.add_argument("--router", required=True, metavar="URL")
     p_wrk.add_argument("--worker-id", required=True)
+    p_wrk.add_argument(
+        "--log-format", choices=sorted(LOG_FORMATS), default=None
+    )
 
     sub.add_parser(
         "specs", help="list registered detectors, samplers and utilities"
@@ -370,6 +381,40 @@ def _run_release_without_reference(args, dataset, spec: PipelineSpec) -> int:
     return 0
 
 
+def _apply_observability(config, log_format):
+    """Resolve the effective ``[observability]`` section (a ``--log-format``
+    override wins over the file) and configure this process's structured
+    logging to match.  Returns the possibly-rewritten config — cluster
+    callers must re-serialize it for workers when it changed."""
+    import dataclasses
+
+    from repro.obs.logs import configure_logging
+    from repro.server import ObservabilityConfig
+
+    obs = config.observability or ObservabilityConfig()
+    if log_format is not None and log_format != obs.log_format:
+        obs = dataclasses.replace(obs, log_format=log_format)
+        config = dataclasses.replace(config, observability=obs)
+    configure_logging(obs.log_format)
+    return config
+
+
+def _announce(config, message: str, event: str, **fields) -> None:
+    """Serve-lifecycle banners: a human line in text mode, a structured
+    event in json mode — piped stdout stays one parseable object per
+    line either way."""
+    import logging
+
+    from repro.obs.logs import log_event
+    from repro.server import ObservabilityConfig
+
+    obs = config.observability or ObservabilityConfig()
+    if obs.log_format == "json":
+        log_event(logging.getLogger("repro.cli"), event, **fields)
+    else:
+        print(message, flush=True)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """Host the release service until SIGINT/SIGTERM — single-process, or
     (with ``--workers N`` / ``[cluster] workers``) a router + worker fleet."""
@@ -394,6 +439,11 @@ def _run_serve(args: argparse.Namespace) -> int:
             cluster = None
         config = dataclasses.replace(config, cluster=cluster)
         config_path = None
+    config = _apply_observability(config, args.log_format)
+    if args.log_format is not None:
+        # The effective config no longer matches the file; workers must
+        # inherit the rewritten [observability] via a serialized copy.
+        config_path = None
 
     if config.cluster is not None and config.cluster.workers >= 1:
         return _serve_cluster(args, config, config_path)
@@ -403,11 +453,15 @@ def _run_serve(args: argparse.Namespace) -> int:
         raise KeyboardInterrupt
 
     signal.signal(signal.SIGTERM, _stop)
-    print(
+    _announce(
+        config,
         f"pcor server listening on {server.url} "
         f"(datasets: {', '.join(server.registry.names())}; "
         f"ledger: {config.ledger})",
-        flush=True,
+        "serve_start",
+        url=server.url,
+        datasets=server.registry.names(),
+        ledger=config.ledger,
     )
     try:
         server.serve_forever()
@@ -415,7 +469,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.shutdown()
-        print("pcor server stopped; ledgers closed", flush=True)
+        _announce(
+            config, "pcor server stopped; ledgers closed", "serve_stop"
+        )
     return 0
 
 
@@ -433,12 +489,18 @@ def _serve_cluster(args: argparse.Namespace, config, config_path) -> int:
         raise KeyboardInterrupt
 
     signal.signal(signal.SIGTERM, _stop)
-    print(
+    _announce(
+        config,
         f"pcor router listening on {router.url} "
         f"(workers: {config.cluster.workers}, manager: {config.cluster.manager}; "
         f"datasets: {', '.join(sorted(config.datasets))}; "
         f"ledger: {config.ledger})",
-        flush=True,
+        "serve_start",
+        url=router.url,
+        workers=config.cluster.workers,
+        manager=config.cluster.manager,
+        datasets=sorted(config.datasets),
+        ledger=config.ledger,
     )
     try:
         router.serve_forever()
@@ -446,7 +508,9 @@ def _serve_cluster(args: argparse.Namespace, config, config_path) -> int:
         pass
     finally:
         router.shutdown()
-        print("pcor router stopped; fleet terminated", flush=True)
+        _announce(
+            config, "pcor router stopped; fleet terminated", "serve_stop"
+        )
     return 0
 
 
@@ -455,6 +519,7 @@ def _run_worker(args: argparse.Namespace) -> int:
     from repro.cluster import ReleaseWorker
 
     config = ServerConfig.from_file(args.config)
+    config = _apply_observability(config, args.log_format)
     worker = ReleaseWorker(
         config,
         shard=args.shard,

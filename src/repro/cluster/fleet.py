@@ -21,6 +21,7 @@ import time
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.exceptions import ServerError
+from repro.obs.logs import log_event
 from repro.server.config import ServerConfig
 from repro.cluster.hashing import ConsistentHashRing
 from repro.cluster.manager import WorkerHandle, WorkerManager, WorkerSpec
@@ -108,8 +109,13 @@ class WorkerFleet:
         state.handle = self.manager.spawn(spec)
         if state.pid is None:  # registration may have landed already
             state.pid = state.handle.pid
-        logger.info(
-            "fleet: spawned worker %s (pid %s)", spec.worker_id, state.pid
+        log_event(
+            logger,
+            "spawn",
+            shard=state.shard,
+            worker_id=spec.worker_id,
+            generation=state.generation,
+            pid=state.pid,
         )
 
     def wait_ready(self, timeout: float = 30.0) -> None:
@@ -169,12 +175,14 @@ class WorkerFleet:
             state.status = str(payload.get("status", "ok"))
             state.last_beat = time.monotonic()
             self._changed.notify_all()
-            logger.info(
-                "fleet: shard %d registered as %s at %s (%s)",
-                state.shard,
-                worker_id,
-                state.url,
-                ", ".join(datasets) or "no datasets",
+            log_event(
+                logger,
+                "register",
+                shard=state.shard,
+                worker_id=worker_id,
+                url=state.url,
+                pid=state.pid,
+                datasets=datasets,
             )
             return {"ok": True}
 
@@ -195,6 +203,14 @@ class WorkerFleet:
             state.last_beat = time.monotonic()
             state.status = str(payload.get("status", "ok"))
             self._changed.notify_all()
+            log_event(
+                logger,
+                "heartbeat",
+                level=logging.DEBUG,
+                shard=state.shard,
+                worker_id=worker_id,
+                status=state.status,
+            )
             return {"ok": True}
 
     def _state_for(self, payload: Mapping[str, Any]) -> Optional[ShardState]:
@@ -228,6 +244,15 @@ class WorkerFleet:
                         if self.cluster.respawn:
                             state.generation += 1
                             state.respawns += 1
+                            log_event(
+                                logger,
+                                "respawn",
+                                level=logging.WARNING,
+                                shard=state.shard,
+                                worker_id=state.expected_id,
+                                generation=state.generation,
+                                respawns=state.respawns,
+                            )
                             self._spawn_locked_free(state)
                 self._changed.notify_all()
 
@@ -243,12 +268,14 @@ class WorkerFleet:
         return age is not None and age > timeout
 
     def _declare_dead(self, state: ShardState) -> None:
-        logger.warning(
-            "fleet: shard %d worker %s is dead (pid %s); %s",
-            state.shard,
-            state.expected_id,
-            state.pid,
-            "respawning" if self.cluster.respawn else "respawn disabled",
+        log_event(
+            logger,
+            "worker_dead",
+            level=logging.WARNING,
+            shard=state.shard,
+            worker_id=state.expected_id,
+            pid=state.pid,
+            respawn=self.cluster.respawn,
         )
         if state.handle is not None:
             try:

@@ -15,6 +15,16 @@ and proxies the existing ``/v1/*`` JSON API unchanged:
   ``/v1/budget`` without a dataset) fan out to every live shard and merge
   the per-dataset maps; shards with no live worker are reported in
   ``unavailable_shards`` rather than silently omitted.
+  ``/v1/metrics/prometheus`` does the same for the text exposition,
+  stamping every worker sample with a ``shard`` label and appending the
+  router's own registry (proxy counters, per-shard latency histograms,
+  the ``pcor_unavailable_shards`` gauge).
+
+Every proxied request carries a trace: the router adopts the client's
+``X-PCOR-Trace`` header or mints one, forwards it to the worker, and —
+for sampled release responses — splices its own ``router.proxy`` span
+into the ``trace`` block of the response JSON, so one trace id covers
+the proxy hop, queue wait, admission, and engine execution.
 * **Control routes** (``/control/v1/register``, ``/control/v1/heartbeat``)
   are the workers' loopback-only channel into the fleet.
 
@@ -40,7 +50,10 @@ from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
 from repro.exceptions import ServerError, ShardUnavailableError
-from repro.server.config import ServerConfig
+from repro.obs.export import merged_exposition
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from repro.obs.trace import TRACE_HEADER, process_rss_bytes, trace_for_request
+from repro.server.config import ObservabilityConfig, ServerConfig
 from repro.server.http import (
     HEALTH_PATH,
     TENANT_HEADER,
@@ -71,6 +84,12 @@ class _RouterHandler(JsonRequestHandler):
             self._respond(200, app.list_datasets())
         elif url.path == "/v1/metrics":
             self._respond(200, app.metrics())
+        elif url.path == "/v1/metrics/prometheus":
+            self._respond_raw(
+                200,
+                app.prometheus_metrics().encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
         elif url.path == "/v1/budget":
             dataset = parse_qs(url.query).get("dataset", [None])[0]
             if dataset is None:
@@ -110,9 +129,17 @@ class _RouterHandler(JsonRequestHandler):
         body: Optional[bytes] = None,
     ) -> None:
         tenant = (self.headers.get(TENANT_HEADER) or "").strip()
+        trace = app.trace_for(self.headers)
         status, data, retry_after = app.proxy(
-            dataset, method, path, body=body, tenant=tenant
+            dataset, method, path, body=body, tenant=tenant, trace=trace
         )
+        if (
+            trace is not None
+            and trace.sampled
+            and method == "POST"
+            and status == 200
+        ):
+            data = app.inject_trace(data, trace)
         headers = {"Retry-After": retry_after} if retry_after else None
         self._respond_raw(status, data, headers=headers)
 
@@ -178,14 +205,42 @@ class PCORRouter:
         self._httpd.app = self  # type: ignore[attr-defined]
         self.drain = DrainState()
         self._thread: Optional[threading.Thread] = None
-        self._lock = threading.Lock()
-        self._responses_by_status: Dict[str, int] = {}
-        # Per-shard proxy counters (requests routed, time spent proxying,
-        # transport errors) — the router's own observability.
-        self._proxy_stats: Dict[int, Dict[str, float]] = {
-            shard: {"requests": 0, "errors": 0, "proxy_ms_total": 0.0}
-            for shard in range(cluster.workers)
-        }
+        self._started = time.monotonic()
+        self.obs = config.observability or ObservabilityConfig()
+        # Router-side observability: registry-backed counters replace the
+        # old hand-rolled dicts; the JSON ``/v1/metrics`` shapes are
+        # derived views over these same children.
+        self.metrics_registry = MetricsRegistry()
+        self._responses = self.metrics_registry.counter(
+            "pcor_router_http_responses_total",
+            "Router HTTP responses by status class.",
+            labelnames=("status",),
+        )
+        self._proxy_requests = self.metrics_registry.counter(
+            "pcor_proxy_requests_total",
+            "Requests proxied to each shard.",
+            labelnames=("shard",),
+        )
+        self._proxy_errors = self.metrics_registry.counter(
+            "pcor_proxy_errors_total",
+            "Proxy transport failures (no live worker, dropped connection).",
+            labelnames=("shard",),
+        )
+        self._proxy_seconds = self.metrics_registry.counter(
+            "pcor_proxy_seconds_total",
+            "Wall seconds spent proxying to each shard.",
+            labelnames=("shard",),
+        )
+        self._proxy_latency = self.metrics_registry.histogram(
+            "pcor_router_proxy_latency_seconds",
+            "Router-to-worker proxy latency per shard.",
+            labelnames=("shard",),
+        )
+        self._unavailable = self.metrics_registry.gauge(
+            "pcor_unavailable_shards",
+            "Shards with no live worker at the last aggregation.",
+        )
+        self._unavailable.set(0.0)
         # Workers dial back over loopback even if the public bind is
         # wildcard — the fleet stays a single-host unit for now.
         self.control_url = f"http://127.0.0.1:{self.port}"
@@ -261,11 +316,12 @@ class PCORRouter:
         self.shutdown()
 
     def _count(self, status: int) -> None:
-        key = f"{status // 100}xx"
-        with self._lock:
-            self._responses_by_status[key] = (
-                self._responses_by_status.get(key, 0) + 1
-            )
+        self._responses.inc(labels=(f"{status // 100}xx",))
+
+    def trace_for(self, headers: Mapping[str, str]):
+        """Adopt the client's ``X-PCOR-Trace`` or mint one (None when
+        observability is disabled)."""
+        return trace_for_request(headers.get(TRACE_HEADER), self.obs)
 
     # ---------------------------------------------------------------- proxy
 
@@ -276,21 +332,27 @@ class PCORRouter:
         path: str,
         body: Optional[bytes] = None,
         tenant: str = "",
+        trace=None,
     ) -> Tuple[int, bytes, Optional[str]]:
         """Forward one request to the shard owning ``dataset``.
 
         Returns ``(status, response_bytes, retry_after_header)`` for
         verbatim passthrough.  GETs may retry once on a fresh connection;
-        POSTs never (see module docstring — double-spend).
+        POSTs never (see module docstring — double-spend).  A ``trace``
+        is forwarded as the ``X-PCOR-Trace`` header so the worker joins
+        the same trace, and the proxy hop is recorded as a
+        ``router.proxy`` span on success.
         """
         shard = self.fleet.shard_for(dataset)
         worker_url = self.fleet.url_for_shard(shard)
         if worker_url is None:
             self._note_proxy(shard, 0.0, error=True)
-            raise self._unavailable(shard)
+            raise self._shard_unavailable(shard)
         headers = {}
         if tenant:
             headers[TENANT_HEADER] = tenant
+        if trace is not None and trace.sampled:
+            headers[TRACE_HEADER] = trace.header_value()
         started = time.monotonic()
         attempts = 2 if method == "GET" else 1
         for attempt in range(attempts):
@@ -300,9 +362,17 @@ class PCORRouter:
                 response = conn.getresponse()
                 data = response.read()
                 retry_after = response.getheader("Retry-After")
-                self._note_proxy(
-                    shard, (time.monotonic() - started) * 1000.0
-                )
+                ended = time.monotonic()
+                self._note_proxy(shard, (ended - started) * 1000.0)
+                if trace is not None:
+                    trace.add_span(
+                        "router.proxy",
+                        started,
+                        ended,
+                        shard=shard,
+                        method=method,
+                        status=response.status,
+                    )
                 return response.status, data, retry_after
             except (OSError, http.client.HTTPException):
                 self._drop_connection(worker_url)
@@ -312,10 +382,38 @@ class PCORRouter:
                         (time.monotonic() - started) * 1000.0,
                         error=True,
                     )
-                    raise self._unavailable(shard) from None
+                    raise self._shard_unavailable(shard) from None
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _unavailable(self, shard: int) -> ShardUnavailableError:
+    def inject_trace(self, data: bytes, trace) -> bytes:
+        """Splice the router's own spans into the worker's ``trace`` block.
+
+        The release response already carries the worker-side span timeline
+        for the same trace id; this appends the proxy hop so the payload
+        the client sees is the full end-to-end timeline.  Only the
+        ``trace`` block is touched — the JSON round-trip preserves the
+        ``result`` values exactly (both sides serialize with
+        :func:`json.dumps`).  Anything unexpected returns the bytes
+        untouched.
+        """
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            block = payload.get("trace")
+            if (
+                not isinstance(block, dict)
+                or block.get("trace_id") != trace.trace_id
+                or not isinstance(block.get("spans"), list)
+            ):
+                return data
+            block["spans"].extend(trace.spans())
+            block["spans"].sort(
+                key=lambda s: (s.get("start_ms", 0.0), s.get("name", ""))
+            )
+            return json.dumps(payload).encode("utf-8")
+        except (ValueError, AttributeError, TypeError):
+            return data
+
+    def _shard_unavailable(self, shard: int) -> ShardUnavailableError:
         exc = ShardUnavailableError(
             f"shard {shard} has no live worker; the supervisor "
             f"{'is respawning it' if self.cluster.respawn else 'will not respawn it'} "
@@ -347,12 +445,12 @@ class PCORRouter:
                 pass
 
     def _note_proxy(self, shard: int, ms: float, error: bool = False) -> None:
-        with self._lock:
-            stats = self._proxy_stats[shard]
-            stats["requests"] += 1
-            stats["proxy_ms_total"] += ms
-            if error:
-                stats["errors"] += 1
+        labels = (str(shard),)
+        self._proxy_requests.inc(labels=labels)
+        self._proxy_seconds.inc(ms / 1000.0, labels=labels)
+        self._proxy_latency.observe(ms / 1000.0, labels=labels)
+        if error:
+            self._proxy_errors.inc(labels=labels)
 
     def _shard_json(self, shard: int, url: str, path: str, tenant: str = ""):
         """One aggregation fan-out call (returns None on a dead shard)."""
@@ -383,6 +481,14 @@ class PCORRouter:
             "workers": self.cluster.workers,
             "datasets": sorted(self.config.datasets),
             "shards": self.fleet.snapshot(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "rss_bytes": process_rss_bytes(),
+            "observability": {
+                "enabled": self.obs.enabled,
+                "sample_rate": self.obs.sample_rate,
+                "slow_request_ms": self.obs.slow_request_ms,
+                "log_format": self.obs.log_format,
+            },
         }
 
     def _aggregate(
@@ -417,22 +523,26 @@ class PCORRouter:
 
     def metrics(self) -> Dict[str, Any]:
         """Fleet-wide monotonic counters plus the router's own shard view
-        (request counts, proxy latency, heartbeat age, respawns)."""
+        (request counts, proxy latency, heartbeat age, respawns).
+
+        The ``router`` section and ``unavailable_shards`` are always
+        present (an empty list when every shard is live) so dashboards
+        never have to treat a missing key as "healthy".
+        """
         merged, failed = self._aggregate("/v1/metrics")
-        with self._lock:
-            responses = dict(self._responses_by_status)
-            stats = {s: dict(v) for s, v in self._proxy_stats.items()}
+        self._unavailable.set(float(len(failed)))
+        responses = {key[0]: int(value) for key, value in self._responses.items()}
         shards = []
         for row in self.fleet.snapshot():
-            shard_stats = stats.get(row["shard"], {})
-            requests = int(shard_stats.get("requests", 0))
-            total_ms = float(shard_stats.get("proxy_ms_total", 0.0))
+            labels = (str(row["shard"]),)
+            requests = int(self._proxy_requests.value(labels))
+            total_ms = self._proxy_seconds.value(labels) * 1000.0
             shards.append(
                 {
                     "shard": row["shard"],
                     "status": row["status"],
                     "requests": requests,
-                    "proxy_errors": int(shard_stats.get("errors", 0)),
+                    "proxy_errors": int(self._proxy_errors.value(labels)),
                     "proxy_ms_mean": (
                         round(total_ms / requests, 3) if requests else None
                     ),
@@ -440,14 +550,49 @@ class PCORRouter:
                     "respawns": row["respawns"],
                 }
             )
-        out: Dict[str, Any] = {
+        return {
             "server": {"responses_by_status": responses},
             "router": {"workers": self.cluster.workers, "shards": shards},
             "datasets": merged,
+            "unavailable_shards": failed,
         }
-        if failed:
-            out["unavailable_shards"] = failed
-        return out
+
+    def prometheus_metrics(self) -> str:
+        """The fleet-wide text exposition: every live shard's own
+        ``/v1/metrics/prometheus`` body with a ``shard`` label stamped on
+        each sample, plus the router's registry (proxy counters, latency
+        histograms, ``pcor_unavailable_shards``)."""
+        live = self.fleet.live_urls()
+        failed = set(range(self.cluster.workers)) - set(live)
+        shard_texts = []
+        for shard, url in sorted(live.items()):
+            text = self._shard_text(shard, url)
+            if text is None:
+                failed.add(shard)
+                continue
+            shard_texts.append((shard, text))
+        self._unavailable.set(float(len(failed)))
+        return merged_exposition(
+            shard_texts, extra_families=self.metrics_registry.collect()
+        )
+
+    def _shard_text(self, shard: int, url: str) -> Optional[str]:
+        """One shard's Prometheus exposition (None on a dead shard)."""
+        parsed = urlparse(url)
+        conn = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=30.0
+        )
+        try:
+            conn.request("GET", "/v1/metrics/prometheus")
+            response = conn.getresponse()
+            data = response.read()
+            if response.status != 200:
+                return None
+            return data.decode("utf-8")
+        except (OSError, http.client.HTTPException):
+            return None
+        finally:
+            conn.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

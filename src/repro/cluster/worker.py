@@ -76,6 +76,10 @@ def shard_config(config: ServerConfig, shard: int) -> ServerConfig:
         ledger=config.ledger,
         ledger_dir=config.ledger_dir,
         fsync=config.fsync,
+        # Observability settings (sampling, slow-request threshold, log
+        # format) apply fleet-wide: a trace minted at the router must
+        # find the same sampling policy on every shard.
+        observability=config.observability,
     )
 
 

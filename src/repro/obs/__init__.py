@@ -1,0 +1,70 @@
+"""Observability for the PCOR serving stack — zero dependencies.
+
+Three primitives, wired through every layer (engine, runtime backends,
+HTTP server + coalescer, sharded router/fleet):
+
+* :mod:`repro.obs.trace` — per-request trace contexts with span
+  timelines, propagated via the ``X-PCOR-Trace`` header and the release
+  request itself (including into subprocess workers).
+* :mod:`repro.obs.metrics` — lock-cheap counters/gauges/histograms and
+  the Prometheus text exposition; :mod:`repro.obs.export` maps the
+  byte-compatible ``/v1/metrics`` JSON into labelled families and
+  merges worker expositions at the router.
+* :mod:`repro.obs.logs` — structured event logging (JSON or text lines)
+  behind ``pcor serve --log-format``.
+
+Configured through the ``[observability]`` section of the server config
+(:class:`repro.server.ObservabilityConfig`).
+"""
+
+from repro.obs.logs import (
+    REQUIRED_KEYS,
+    JsonEventFormatter,
+    TextEventFormatter,
+    configure_logging,
+    log_event,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    counter_family,
+    gauge_family,
+    render_text,
+)
+from repro.obs.export import dataset_families, merge_expositions, merged_exposition
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Trace,
+    process_rss_bytes,
+    sampled_for,
+    trace_for_request,
+)
+
+__all__ = [
+    "TRACE_HEADER",
+    "Trace",
+    "trace_for_request",
+    "sampled_for",
+    "process_rss_bytes",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "DEFAULT_LATENCY_BUCKETS",
+    "counter_family",
+    "gauge_family",
+    "render_text",
+    "dataset_families",
+    "merge_expositions",
+    "merged_exposition",
+    "configure_logging",
+    "log_event",
+    "JsonEventFormatter",
+    "TextEventFormatter",
+    "REQUIRED_KEYS",
+]

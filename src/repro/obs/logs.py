@@ -1,0 +1,106 @@
+"""Structured logging: one JSON (or ``key=value`` text) line per event.
+
+Serving events — request, flush, heartbeat, register, respawn, drain —
+are emitted through :func:`log_event`, which attaches the event name and
+a flat field dict to the log record.  The two formatters render the same
+records either as JSON lines (``--log-format json``; one parseable
+object per line with ``ts``/``level``/``logger``/``event`` always
+present) or as terse text (``--log-format text``, the default).
+
+Emission cost when logging is not configured is one ``isEnabledFor``
+check (the root logger defaults to WARNING, so INFO events
+short-circuit) — the serving hot path pays nothing unless someone is
+listening.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Optional, TextIO
+
+EVENT_ATTR = "pcor_event"
+FIELDS_ATTR = "pcor_fields"
+
+#: Keys every JSON log line carries (validated by the log-schema test).
+REQUIRED_KEYS = ("ts", "level", "logger", "event")
+
+LOG_FORMATS = ("text", "json")
+
+
+def log_event(
+    logger: logging.Logger, event: str, level: int = logging.INFO, **fields
+) -> None:
+    """Emit one structured event line on ``logger``.
+
+    ``fields`` must be JSON-serialisable scalars/lists/dicts (anything
+    else is stringified by the formatter).  No-op below the logger's
+    effective level.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    logger.log(
+        level, "%s", event, extra={EVENT_ATTR: event, FIELDS_ATTR: fields}
+    )
+
+
+class JsonEventFormatter(logging.Formatter):
+    """One JSON object per line; plain (non-event) records keep their
+    rendered message as the ``event`` value so every line parses."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        body = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": getattr(record, EVENT_ATTR, None) or record.getMessage(),
+        }
+        fields = getattr(record, FIELDS_ATTR, None)
+        if fields:
+            for key, value in fields.items():
+                if key not in body:
+                    body[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            body["exception"] = record.exc_info[0].__name__
+        return json.dumps(body, default=str)
+
+
+class TextEventFormatter(logging.Formatter):
+    """``level logger event k=v ...`` — greppable, no JSON tooling needed."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        event = getattr(record, EVENT_ATTR, None)
+        prefix = f"{record.levelname.lower()} {record.name}"
+        if event is None:
+            return f"{prefix} {record.getMessage()}"
+        fields = getattr(record, FIELDS_ATTR, None) or {}
+        tail = " ".join(f"{k}={v}" for k, v in fields.items())
+        return f"{prefix} {event}" + (f" {tail}" if tail else "")
+
+
+def configure_logging(
+    fmt: str = "text",
+    level: int = logging.INFO,
+    stream: Optional[TextIO] = None,
+) -> logging.Handler:
+    """Install a handler + formatter on the ``repro`` logger tree.
+
+    Idempotent: a previous handler installed by this function is
+    replaced, not stacked.  Returns the handler (tests capture its
+    stream).
+    """
+    if fmt not in LOG_FORMATS:
+        raise ValueError(f"log format must be one of {LOG_FORMATS}, got {fmt!r}")
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        JsonEventFormatter() if fmt == "json" else TextEventFormatter()
+    )
+    handler._pcor_obs = True  # type: ignore[attr-defined]
+    logger.handlers = [
+        h for h in logger.handlers if not getattr(h, "_pcor_obs", False)
+    ]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return handler

@@ -284,15 +284,28 @@ class ProcessBackend(ExecutionBackend):
             starting_bits = (
                 None if start is None else int(getattr(start, "bits", start))
             )
+            trace = getattr(request, "trace", None)
             payloads.append(
                 {
                     "record_id": request.record_id,
                     "spec": self._shippable_spec(request.spec),
                     "starting_bits": starting_bits,
                     "seed": token,
+                    # Sampled traces ship id + clock origin so worker spans
+                    # land on the parent's timeline (CLOCK_MONOTONIC is
+                    # system-wide); unsampled requests ship nothing.
+                    "trace": (
+                        {"trace_id": trace.trace_id, "t0": trace.t0}
+                        if trace is not None and trace.sampled
+                        else None
+                    ),
                 }
             )
         results = self._map(pool, worker_mod.run_release_task, payloads)
+        for request, result in zip(requests, results):
+            trace = getattr(request, "trace", None)
+            if trace is not None:
+                trace.extend(getattr(result, "trace_spans", None))
         self._count(releases=len(results), wall=time.perf_counter() - t0)
         return results
 

@@ -202,17 +202,36 @@ def rebuild_spec(payload: Dict[str, Any]):
 
 
 def run_release_task(payload: Dict[str, Any]):
-    """One whole release, end to end, against the worker's engine."""
+    """One whole release, end to end, against the worker's engine.
+
+    A sampled trace ships as ``{"trace_id", "t0"}``: the worker rebuilds
+    a local :class:`~repro.obs.trace.Trace` on the parent's clock origin,
+    records its spans, and rides them back on the (pickled) result as a
+    ``trace_spans`` instance attribute — :class:`~repro.core.result.PCORResult`
+    is frozen, but instance attributes set via ``object.__setattr__``
+    live in ``__dict__``, survive pickling, and leave ``to_dict()`` and
+    equality untouched.
+    """
     from repro.service.engine import ReleaseRequest
 
     engine = _engine()
     spec = rebuild_spec(payload["spec"])
+    trace = None
+    trace_ref = payload.get("trace")
+    if trace_ref is not None:
+        from repro.obs.trace import Trace
+
+        trace = Trace(trace_ref["trace_id"], sampled=True, t0=trace_ref["t0"])
     request = ReleaseRequest(
         record_id=payload["record_id"],
         spec=spec,
         starting_context=payload["starting_bits"],
+        trace=trace,
     )
-    return engine._execute(request, rng_from_token(payload["seed"]))
+    result = engine._execute(request, rng_from_token(payload["seed"]))
+    if trace is not None:
+        object.__setattr__(result, "trace_spans", trace.spans())
+    return result
 
 
 def run_profile_task(payload: Dict[str, Any]):

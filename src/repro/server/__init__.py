@@ -37,7 +37,12 @@ queries — made concrete, stdlib-only:
 from repro.server.app import PCORServer, TENANT_HEADER
 from repro.server.batching import CoalescerClosed, ReleaseCoalescer
 from repro.server.client import PCORClient
-from repro.server.config import ClusterConfig, DatasetConfig, ServerConfig
+from repro.server.config import (
+    ClusterConfig,
+    DatasetConfig,
+    ObservabilityConfig,
+    ServerConfig,
+)
 from repro.server.ledger import (
     InMemoryLedgerStore,
     JsonlLedgerStore,
@@ -52,6 +57,7 @@ __all__ = [
     "ServerConfig",
     "ClusterConfig",
     "DatasetConfig",
+    "ObservabilityConfig",
     "DatasetRegistry",
     "DatasetEntry",
     "TenantBudgets",

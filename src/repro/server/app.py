@@ -20,9 +20,14 @@ GET      ``/v1/budget``                       caller's budgets (tenant header;
                                               optional ``?dataset=NAME``)
 GET      ``/v1/metrics``                      monotonic counters per dataset,
                                               incl. per-tenant spend breakdown
+GET      ``/v1/metrics/prometheus``           the same counters (plus request
+                                              latency histograms) in the
+                                              Prometheus text exposition
 POST     ``/v1/datasets/{name}/release``      ``{"record_id", "spec", "seed"?,
                                               "starting_context"?}`` →
-                                              ``PCORResult.to_dict()``
+                                              ``PCORResult.to_dict()`` (plus a
+                                              ``trace`` span timeline for
+                                              sampled requests)
 =======  ===================================  =====================================
 
 Analysts authenticate with the ``X-PCOR-Tenant`` header (required on
@@ -40,13 +45,27 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from typing import Any, Dict, Mapping, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
 from repro.exceptions import ServerError
+from repro.obs.logs import log_event
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    render_text,
+)
+from repro.obs.export import dataset_families
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Trace,
+    process_rss_bytes,
+    trace_for_request,
+)
 from repro.server.batching import CoalescerClosed, ReleaseCoalescer
-from repro.server.config import ServerConfig
+from repro.server.config import ObservabilityConfig, ServerConfig
 from repro.server.http import (
     TENANT_HEADER,
     DrainState,
@@ -60,7 +79,7 @@ from repro.service.spec import PipelineSpec
 
 logger = logging.getLogger("repro.server")
 
-__all__ = ["PCORServer", "TENANT_HEADER"]
+__all__ = ["PCORServer", "TENANT_HEADER", "TRACE_HEADER"]
 
 
 class _Handler(JsonRequestHandler):
@@ -80,6 +99,12 @@ class _Handler(JsonRequestHandler):
             )
         elif url.path == "/v1/metrics":
             self._respond(200, self._app().metrics())
+        elif url.path == "/v1/metrics/prometheus":
+            self._respond_raw(
+                200,
+                self._app().prometheus_metrics().encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
         else:
             raise ServerError(f"no such route: GET {url.path}")
 
@@ -88,7 +113,10 @@ class _Handler(JsonRequestHandler):
         parts = url.path.strip("/").split("/")
         if len(parts) == 4 and parts[:2] == ["v1", "datasets"] and parts[3] == "release":
             body = self._parse_json(raw)
-            payload = self._app().release(parts[2], self._tenant(), body)
+            trace = self._app().trace_for(self.headers)
+            payload = self._app().release(
+                parts[2], self._tenant(), body, trace=trace
+            )
             self._respond(200, payload)
         else:
             raise ServerError(f"no such route: POST {url.path}")
@@ -138,7 +166,21 @@ class PCORServer:
         self._httpd.app = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
-        self._responses_by_status: Dict[str, int] = {}
+        self._started = time.monotonic()
+        self.obs = server_config.observability or ObservabilityConfig()
+        # The typed registry behind both /v1/metrics JSON (derived view)
+        # and the /v1/metrics/prometheus exposition.
+        self.metrics_registry = MetricsRegistry()
+        self._responses = self.metrics_registry.counter(
+            "pcor_http_responses_total",
+            "HTTP responses by status class.",
+            labelnames=("status",),
+        )
+        self._release_latency = self.metrics_registry.histogram(
+            "pcor_release_latency_seconds",
+            "End-to-end release latency as served (admission + execution).",
+            labelnames=("dataset",),
+        )
         # Shutdown drain: handler threads are daemonic and NOT joined by
         # server_close(), so the ledger must not close until every request
         # that entered a release path has left it.
@@ -247,11 +289,13 @@ class PCORServer:
         self.shutdown()
 
     def _count(self, status: int) -> None:
-        key = f"{status // 100}xx"
-        with self._lock:
-            self._responses_by_status[key] = (
-                self._responses_by_status.get(key, 0) + 1
-            )
+        self._responses.inc(labels=(f"{status // 100}xx",))
+
+    def trace_for(self, headers: Mapping[str, str]) -> Optional[Trace]:
+        """The trace context for one incoming request: adopt the
+        ``X-PCOR-Trace`` header (router-minted) or mint fresh at this
+        edge; ``None`` when tracing is disabled."""
+        return trace_for_request(headers.get(TRACE_HEADER), self.obs)
 
     # ------------------------------------------------------------ endpoints
 
@@ -264,6 +308,14 @@ class PCORServer:
             "status": "draining" if self.drain.draining else "ok",
             "version": __version__,
             "datasets": self.registry.names(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "rss_bytes": process_rss_bytes(),
+            "observability": {
+                "enabled": self.obs.enabled,
+                "sample_rate": self.obs.sample_rate,
+                "slow_request_ms": self.obs.slow_request_ms,
+                "log_format": self.obs.log_format,
+            },
         }
 
     def list_datasets(self) -> Dict[str, Any]:
@@ -325,51 +377,136 @@ class PCORServer:
                 # contract as EngineMetrics documents).
                 body.update(coalescer.snapshot())
             datasets[name] = body
-        with self._lock:
-            responses = dict(self._responses_by_status)
+        responses = {key[0]: int(value) for key, value in self._responses.items()}
         return {"server": {"responses_by_status": responses}, "datasets": datasets}
 
+    def prometheus_metrics(self) -> str:
+        """The Prometheus text exposition: the registry's own families
+        (HTTP responses, release latency histograms) plus a scrape-time
+        derived view of the per-dataset JSON counters."""
+        families = self.metrics_registry.collect()
+        families.extend(dataset_families(self.metrics()["datasets"]))
+        return render_text(families)
+
     def release(
-        self, dataset: str, tenant: str, body: Mapping[str, Any]
+        self,
+        dataset: str,
+        tenant: str,
+        body: Mapping[str, Any],
+        trace: Optional[Trace] = None,
     ) -> Dict[str, Any]:
         """Admit (both ledgers, atomically) then execute one release.
 
         Datasets configured with ``max_batch > 1`` route through their
         :class:`~repro.server.batching.ReleaseCoalescer`: the handler
         thread parks on a future while the flusher admits and executes a
-        whole batch at once.  The response payload is bit-identical either
-        way — coalescing only changes *when* the work runs, never what a
-        given ``(record_id, spec, seed)`` releases.
+        whole batch at once.  The ``result`` payload is bit-identical
+        either way — coalescing only changes *when* the work runs, never
+        what a given ``(record_id, spec, seed)`` releases.
+
+        With a sampled ``trace``, the request carries it through every
+        layer and the response gains a top-level ``trace`` key — the span
+        timeline — *next to* ``result``, so the release result itself
+        stays bit-identical with tracing on or off.  Every release also
+        emits one structured ``request`` log event; releases slower than
+        ``observability.slow_request_ms`` dump their spans as a
+        ``slow_request`` warning.
         """
-        entry = self.registry.get(dataset)  # unknown name -> 404
-        request = self._parse_release(body)
-        label = (
-            f"release(tenant={tenant}, record={request.record_id}, "
-            f"sampler={request.spec.sampler}, epsilon={request.spec.epsilon:g})"
+        started = time.monotonic()
+        status = "ok"
+        epsilon: Optional[float] = None
+        try:
+            entry = self.registry.get(dataset)  # unknown name -> 404
+            request = self._parse_release(body, trace=trace)
+            epsilon = request.spec.epsilon
+            label = (
+                f"release(tenant={tenant}, record={request.record_id}, "
+                f"sampler={request.spec.sampler}, epsilon={epsilon:g})"
+            )
+            result = None
+            coalescer = self._coalescers.get(dataset)
+            if coalescer is not None:
+                try:
+                    future = coalescer.submit(tenant, label, request)
+                except CoalescerClosed:
+                    # Racing shutdown: the direct path below still answers
+                    # correctly (admission + execution, no queue involved).
+                    pass
+                else:
+                    result = future.result()  # raises what the direct path would
+            if result is None:
+                # Admission happens before the engine (and hence the
+                # dataset and detector) is even built: an over-budget
+                # tenant is rejected with 402 before a single f_M
+                # evaluation, restart or not.
+                if trace is not None and trace.sampled:
+                    with trace.span("admission", batch=1):
+                        entry.tenants.admit(tenant, label, epsilon)
+                else:
+                    entry.tenants.admit(tenant, label, epsilon)
+                result = entry.engine.execute(request)
+            payload = {
+                "result": result.to_dict(),
+                "budget": entry.tenants.describe(tenant),
+            }
+        except Exception as exc:
+            status = type(exc).__name__
+            raise
+        finally:
+            ended = time.monotonic()
+            self._release_latency.observe(ended - started, labels=(dataset,))
+            if trace is not None and trace.sampled:
+                trace.add_span(
+                    "server.handle",
+                    started,
+                    ended,
+                    dataset=dataset,
+                    tenant=tenant,
+                    status=status,
+                )
+            self._log_release(
+                trace, tenant, dataset, epsilon, status, ended - started
+            )
+        if trace is not None and trace.sampled:
+            payload["trace"] = trace.to_dict()
+        return payload
+
+    def _log_release(
+        self,
+        trace: Optional[Trace],
+        tenant: str,
+        dataset: str,
+        epsilon: Optional[float],
+        status: str,
+        duration_s: float,
+    ) -> None:
+        duration_ms = round(duration_s * 1000.0, 3)
+        log_event(
+            logger,
+            "request",
+            trace_id=trace.trace_id if trace is not None else None,
+            tenant=tenant,
+            dataset=dataset,
+            epsilon=epsilon,
+            status=status,
+            duration_ms=duration_ms,
         )
-        coalescer = self._coalescers.get(dataset)
-        if coalescer is not None:
-            try:
-                future = coalescer.submit(tenant, label, request)
-            except CoalescerClosed:
-                # Racing shutdown: the direct path below still answers
-                # correctly (admission + execution, no queue involved).
-                pass
-            else:
-                result = future.result()  # raises what the direct path would
-                return {
-                    "result": result.to_dict(),
-                    "budget": entry.tenants.describe(tenant),
-                }
-        # Admission happens before the engine (and hence the dataset and
-        # detector) is even built: an over-budget tenant is rejected with
-        # 402 before a single f_M evaluation, restart or not.
-        entry.tenants.admit(tenant, label, request.spec.epsilon)
-        result = entry.engine.execute(request)
-        return {
-            "result": result.to_dict(),
-            "budget": entry.tenants.describe(tenant),
-        }
+        if (
+            trace is not None
+            and trace.sampled
+            and duration_ms > self.obs.slow_request_ms
+        ):
+            log_event(
+                logger,
+                "slow_request",
+                level=logging.WARNING,
+                trace_id=trace.trace_id,
+                tenant=tenant,
+                dataset=dataset,
+                status=status,
+                duration_ms=duration_ms,
+                spans=trace.spans(),
+            )
 
     # -------------------------------------------------------------- parsing
 
@@ -390,7 +527,9 @@ class PCORServer:
                 self._spec_cache[key] = spec
         return spec
 
-    def _parse_release(self, body: Mapping[str, Any]) -> ReleaseRequest:
+    def _parse_release(
+        self, body: Mapping[str, Any], trace: Optional[Trace] = None
+    ) -> ReleaseRequest:
         unknown = sorted(
             set(body) - {"record_id", "spec", "seed", "starting_context"}
         )
@@ -432,6 +571,7 @@ class PCORServer:
             spec=spec,
             starting_context=starting,
             seed=seed,
+            trace=trace,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -60,6 +60,7 @@ from statistics import median
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.exceptions import ReproError, ServerError
+from repro.obs.logs import log_event
 from repro.server.tenants import TenantBudgets
 from repro.service.engine import ReleaseEngine, ReleaseRequest
 
@@ -243,17 +244,37 @@ class ReleaseCoalescer:
     def _flush(self, batch: List[_Pending]) -> None:
         """Admit the batch (per-request all-or-nothing), execute the
         admitted set in one ``execute_many`` call, complete every future."""
+        t_pop = time.monotonic()
+        for item in batch:
+            trace = item.request.trace
+            if trace is not None:
+                trace.add_span(
+                    "queue.wait", item.enqueued_at, t_pop, dataset=self.name
+                )
         try:
             errors = self.tenants.admit_many(
                 [(item.tenant, item.label, item.request.spec.epsilon) for item in batch]
             )
+            t_admit = time.monotonic()
             admitted: List[_Pending] = []
             for item, error in zip(batch, errors):
                 if error is not None:
                     item.future.set_exception(error)
                 else:
                     admitted.append(item)
+                trace = item.request.trace
+                if trace is not None:
+                    # admit_many group-commits the WAL, so this span covers
+                    # ledger admission *including* the fsync.
+                    trace.add_span(
+                        "admission",
+                        t_pop,
+                        t_admit,
+                        batch=len(batch),
+                        rejected=error is not None,
+                    )
             if not admitted:
+                self._log_flush(batch, 0, t_pop)
                 return
             outcomes = self.engine_for().execute_many(
                 [item.request for item in admitted], return_exceptions=True
@@ -263,11 +284,35 @@ class ReleaseCoalescer:
                     item.future.set_exception(outcome)
                 else:
                     item.future.set_result(outcome)
+            self._log_flush(batch, len(admitted), t_pop)
         except BaseException as exc:  # noqa: BLE001 — no future left pending
             for item in batch:
                 if not item.future.done():
                     item.future.set_exception(exc)
             raise
+
+    def _log_flush(self, batch: List[_Pending], admitted: int, started: float) -> None:
+        if not logger.isEnabledFor(logging.INFO):
+            return
+        trace_ids = sorted(
+            {
+                item.request.trace.trace_id
+                for item in batch
+                if item.request.trace is not None
+            }
+        )
+        log_event(
+            logger,
+            "flush",
+            dataset=self.name,
+            batch=len(batch),
+            admitted=admitted,
+            epsilon=round(
+                sum(item.request.spec.epsilon for item in batch), 9
+            ),
+            duration_ms=round((time.monotonic() - started) * 1000.0, 3),
+            trace_ids=trace_ids,
+        )
 
     # ----------------------------------------------------------- test seam
 

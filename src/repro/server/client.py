@@ -93,6 +93,20 @@ class PCORClient:
     def health(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         return self._request("GET", "/healthz", timeout=timeout)
 
+    def healthz(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The full ``/healthz`` body: status, version, hosted datasets,
+        ``uptime_s``, ``rss_bytes``, and the active trace-sampling config
+        under ``observability``.  Errors surface as their original typed
+        exception classes exactly like every other endpoint (a *draining*
+        server still answers 200 with ``"status": "draining"``; only an
+        unreachable one raises :class:`~repro.exceptions.ServerError`)."""
+        return self._request("GET", "/healthz", timeout=timeout)
+
+    def prometheus_metrics(self, timeout: Optional[float] = None) -> str:
+        """The Prometheus text exposition served by
+        ``/v1/metrics/prometheus`` (raw text, not JSON)."""
+        return self._request_text("GET", "/v1/metrics/prometheus", timeout=timeout)
+
     def datasets(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Hosted datasets with their global-budget summaries."""
         return self._request("GET", "/v1/datasets", timeout=timeout)["datasets"]
@@ -263,13 +277,21 @@ class PCORClient:
         self._conn = conn
         return conn
 
+    def _request_text(
+        self, method: str, path: str, timeout: Optional[float] = None
+    ) -> str:
+        """A request whose success body is plain text, not JSON (the
+        Prometheus exposition); errors still carry JSON typed payloads."""
+        return self._request(method, path, timeout=timeout, parse_json=False)
+
     def _request(
         self,
         method: str,
         path: str,
         body: Optional[Mapping[str, Any]] = None,
         timeout: Optional[float] = None,
-    ) -> Dict[str, Any]:
+        parse_json: bool = True,
+    ) -> Any:
         effective = self.timeout if timeout is None else float(timeout)
         data = None
         headers = {TENANT_HEADER: self.tenant, "Accept": "application/json"}
@@ -323,6 +345,8 @@ class PCORClient:
             break
         if status >= 400:
             raise _error_from(status, raw)
+        if not parse_json:
+            return raw.decode("utf-8")
         try:
             payload = json.loads(raw.decode("utf-8"))
         except json.JSONDecodeError:

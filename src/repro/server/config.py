@@ -289,6 +289,74 @@ class ClusterConfig:
         return out
 
 
+#: Structured-log output formats the config may name.
+LOG_FORMATS = ("text", "json")
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """The ``[observability]`` section: tracing, logging, slow-request dumps.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch for trace contexts.  ``False`` removes every
+        per-request tracing branch from the hot path (the metrics
+        registry and ``/v1/metrics`` stay on — they are load-bearing).
+    sample_rate:
+        Fraction of traces that record spans, decided deterministically
+        from the trace id so router and workers always agree.  Unsampled
+        requests keep a trace id for log correlation but skip all span
+        timing.  ``1.0`` traces everything (the default — the overhead
+        benchmark gates it at <3% p50).
+    slow_request_ms:
+        Releases slower than this dump their full span timeline to the
+        log at WARNING as a ``slow_request`` event.
+    log_format:
+        ``"text"`` (terse ``key=value`` lines) or ``"json"`` (one
+        parseable object per line); ``pcor serve --log-format``
+        overrides it.
+    """
+
+    enabled: bool = True
+    sample_rate: float = 1.0
+    slow_request_ms: float = 1000.0
+    log_format: str = "text"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "enabled", bool(self.enabled))
+        object.__setattr__(self, "sample_rate", float(self.sample_rate))
+        object.__setattr__(self, "slow_request_ms", float(self.slow_request_ms))
+        object.__setattr__(self, "log_format", str(self.log_format).lower())
+        if not (0.0 <= self.sample_rate <= 1.0):
+            raise SpecError(
+                f"observability sample_rate must be in [0, 1], "
+                f"got {self.sample_rate}"
+            )
+        if not (self.slow_request_ms >= 0.0 and math.isfinite(self.slow_request_ms)):
+            raise SpecError(
+                "observability slow_request_ms must be finite and >= 0, "
+                f"got {self.slow_request_ms}"
+            )
+        if self.log_format not in LOG_FORMATS:
+            raise SpecError(
+                f"unknown log_format {self.log_format!r}; "
+                f"use one of {LOG_FORMATS}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if not self.enabled:
+            out["enabled"] = False
+        if self.sample_rate != 1.0:
+            out["sample_rate"] = self.sample_rate
+        if self.slow_request_ms != 1000.0:
+            out["slow_request_ms"] = self.slow_request_ms
+        if self.log_format != "text":
+            out["log_format"] = self.log_format
+        return out
+
+
 @dataclass(frozen=True)
 class ServerConfig:
     """Everything one ``pcor serve`` process hosts.
@@ -306,6 +374,7 @@ class ServerConfig:
     ledger_dir: Optional[str] = None
     fsync: bool = True
     cluster: Optional[ClusterConfig] = None
+    observability: Optional[ObservabilityConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "host", str(self.host))
@@ -341,6 +410,17 @@ class ServerConfig:
                     f"got {type(self.cluster).__name__}"
                 )
             object.__setattr__(self, "cluster", ClusterConfig(**self.cluster))
+        if self.observability is not None and not isinstance(
+            self.observability, ObservabilityConfig
+        ):
+            if not isinstance(self.observability, Mapping):
+                raise SpecError(
+                    "'observability' must be a mapping of observability "
+                    f"options, got {type(self.observability).__name__}"
+                )
+            object.__setattr__(
+                self, "observability", ObservabilityConfig(**self.observability)
+            )
 
     # -------------------------------------------------------- serialization
 
@@ -360,6 +440,8 @@ class ServerConfig:
             out["server"]["ledger_dir"] = self.ledger_dir
         if self.cluster is not None:
             out["cluster"] = self.cluster.to_dict()
+        if self.observability is not None:
+            out["observability"] = self.observability.to_dict()
         return out
 
     @classmethod
@@ -368,14 +450,14 @@ class ServerConfig:
             raise SpecError(
                 f"server config must be a mapping, got {type(data).__name__}"
             )
-        unknown = sorted(set(data) - {"server", "datasets", "cluster"})
+        unknown = sorted(set(data) - {"server", "datasets", "cluster", "observability"})
         if unknown:
             raise SpecError(
                 f"unknown server config section(s) {unknown}; "
-                "known: ['cluster', 'datasets', 'server']"
+                "known: ['cluster', 'datasets', 'observability', 'server']"
             )
         server = dict(data.get("server", {}))
-        known = {f.name for f in fields(cls)} - {"datasets", "cluster"}
+        known = {f.name for f in fields(cls)} - {"datasets", "cluster", "observability"}
         bad = sorted(set(server) - known)
         if bad:
             raise SpecError(
@@ -400,7 +482,28 @@ class ServerConfig:
                     f"{sorted(f.name for f in fields(ClusterConfig))}"
                 )
             cluster = ClusterConfig(**cluster)
-        return cls(datasets=datasets, cluster=cluster, **server)
+        observability = data.get("observability")
+        if observability is not None:
+            if not isinstance(observability, Mapping):
+                raise SpecError(
+                    "'observability' must be a mapping of observability "
+                    f"options, got {type(observability).__name__}"
+                )
+            bad = sorted(
+                set(observability) - {f.name for f in fields(ObservabilityConfig)}
+            )
+            if bad:
+                raise SpecError(
+                    f"unknown [observability] field(s) {bad}; known: "
+                    f"{sorted(f.name for f in fields(ObservabilityConfig))}"
+                )
+            observability = ObservabilityConfig(**observability)
+        return cls(
+            datasets=datasets,
+            cluster=cluster,
+            observability=observability,
+            **server,
+        )
 
     @classmethod
     def from_file(cls, path: Union[str, Path]) -> "ServerConfig":

@@ -31,6 +31,7 @@ from typing import Any, Dict, Mapping, Optional
 from urllib.parse import urlparse
 
 from repro import __version__
+from repro.obs.logs import log_event
 from repro.exceptions import (
     PrivacyBudgetError,
     ReproError,
@@ -125,6 +126,7 @@ class DrainState:
         deadline = time.monotonic() + timeout
         with self._cond:
             self._draining = True
+            log_event(logger, "drain", active=self._active)
             while self._active > 0:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -247,10 +249,12 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         status: int,
         data: bytes,
         headers: Optional[Mapping[str, str]] = None,
+        content_type: str = "application/json",
     ) -> None:
-        """Send pre-encoded JSON verbatim (the router's proxy pass-through)."""
+        """Send a pre-encoded body verbatim (the router's proxy
+        pass-through; the Prometheus exposition overrides the type)."""
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)

@@ -33,10 +33,11 @@ result log.  Identical seeds release identical contexts through every path.
 from __future__ import annotations
 
 import math
+import os
 import threading
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -89,12 +90,19 @@ class ReleaseRequest:
         generator (in request order), so one seed still reproduces a whole
         batch — bit-identically on every execution backend at any worker
         count.
+    trace:
+        Optional :class:`~repro.obs.trace.Trace` context this release
+        belongs to.  Excluded from equality/hash/repr: two requests with
+        the same query are the same request regardless of who is
+        watching.  Tracing never touches the RNG stream, so a traced
+        release is bit-identical to an untraced one.
     """
 
     record_id: int
     spec: Union[PipelineSpec, Mapping]
     starting_context: Union[None, int, Context] = None
     seed: RngLike = None
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "record_id", int(self.record_id))
@@ -114,21 +122,61 @@ class EngineMetrics:
     The ledger breakdown (``epsilon_budget`` / ``epsilon_remaining`` /
     ``ledger_charges``) mirrors the engine's accountant; ``spend_by_tenant``
     is filled by a tenant-layered caller (the HTTP server) — the engine
-    itself does not know analysts.  All counters and spends are
-    *monotonic* across requests (an engine never un-spends budget or
-    un-counts a request), so two snapshots can safely be differenced for
-    rates; only gauges (``profiles_cached``, ``epsilon_remaining``) move
-    both ways.
-
-    Batching counters (``batch_*``) describe a request coalescer layered in
-    front of the engine (the HTTP server's
-    :class:`~repro.server.batching.ReleaseCoalescer`); like
+    itself does not know analysts.  Batching counters (``batch_*``)
+    describe a request coalescer layered in front of the engine (the HTTP
+    server's :class:`~repro.server.batching.ReleaseCoalescer`); like
     ``spend_by_tenant`` they are filled by that caller — the engine itself
-    does not queue.  ``batch_flushes`` / ``batch_requests`` /
-    ``batch_queue_wait_s`` are monotonic; ``batch_queue_depth`` is a gauge;
-    ``batch_size_max`` only grows and ``batch_size_min`` only shrinks, while
-    ``batch_size_p50`` is the median over a recent window of flushes and
-    moves both ways.
+    does not queue.
+
+    **Monotonicity.**  This table is the single source of truth for which
+    fields are counters (monotonically non-decreasing within one server
+    process — two snapshots can safely be differenced for rates; they
+    reset only on restart) and which are gauges (free to move both ways).
+    The README metrics table and the Prometheus exposition
+    (:mod:`repro.obs.export`) follow it: counters export with a
+    ``_total`` suffix (durations as ``_seconds_total``), gauges export
+    unsuffixed.
+
+    ========================== ========= =======================================
+    field                      kind      notes
+    ========================== ========= =======================================
+    ``requests_submitted``     counter   accepted for execution
+    ``releases_completed``     counter   can double-count a replayed
+                                         failure group (``execute_many``
+                                         with ``return_exceptions=True``)
+    ``requests_rejected``      counter   budget-rejected admissions
+    ``epsilon_spent``          counter   budget never un-spends
+    ``epsilon_budget``         gauge     configured; constant per process
+    ``epsilon_remaining``      gauge     shrinks with spend
+    ``ledger_charges``         counter   ledger is append-only
+    ``spend_by_tenant``        counters  one monotone spend per tenant
+    ``tenant_rejections``      counters  (server-added key) one monotone
+                                         rejection count per tenant
+    ``profile_hits``           counter
+    ``profile_misses``         counter
+    ``profile_evictions``      counter
+    ``profiles_cached``        gauge     LRU occupancy
+    ``fm_evaluations``         counter   detector runs (the paper's cost
+                                         unit)
+    ``fm_queries``             counter   batched detector calls
+    ``n_verifiers``            gauge     distinct detector configs alive
+    ``wall_time_s``            counter   seconds; exported as
+                                         ``pcor_engine_wall_seconds_total``
+    ``release_tasks``          counter   backend fan-out
+    ``profile_tasks``          counter   backend fan-out
+    ``phase_wall_s``           counters  seconds per phase
+    ``phase_tasks``            counters  tasks per phase
+    ``batch_flushes``          counter
+    ``batch_requests``         counter
+    ``batch_queue_depth``      gauge     current queue length
+    ``batch_queue_wait_s``     counter   seconds (unit suffix!); exported
+                                         as
+                                         ``pcor_batch_queue_wait_seconds_total``
+    ``batch_size_min``         gauge     over a recent window of flushes
+    ``batch_size_p50``         gauge     over a recent window of flushes
+    ``batch_size_max``         gauge     over a recent window of flushes
+    ``backend`` / ``backend_workers``    informational, not a metric
+    ========================== ========= =======================================
     """
 
     requests_submitted: int = 0
@@ -715,6 +763,13 @@ class ReleaseEngine:
         record_id = request.record_id
         if gen is None:
             gen = ensure_rng(request.seed)
+        # Tracing draws no randomness and branches only on a local bool:
+        # a traced release is bit-identical to an untraced one, and an
+        # unsampled trace costs one attribute read.
+        trace = request.trace
+        tracing = trace is not None and trace.sampled
+        if tracing:
+            mark_exec = mark = time.monotonic()
         t0 = time.perf_counter()
 
         verifier = self.verifier_for(spec.build_detector())
@@ -727,6 +782,10 @@ class ReleaseEngine:
             verifier, sampler, spec, record_id, request.starting_context, gen
         )
         utility = spec.build_utility(verifier, record_id, starting_bits)
+        if tracing:
+            now = time.monotonic()
+            trace.add_span("engine.starting_context", mark, now)
+            mark = now
 
         eps1 = epsilon_one_for(
             sampler.accounting_name, spec.epsilon, sampler.n_samples
@@ -740,6 +799,12 @@ class ReleaseEngine:
         run = sampler.sample(
             verifier, utility, record_id, starting_bits, mechanism, gen
         )
+        if tracing:
+            now = time.monotonic()
+            trace.add_span(
+                "engine.sample", mark, now, n_candidates=len(run.candidates)
+            )
+            mark = now
         if not run.candidates:
             raise SamplingError(
                 f"sampler {sampler.name!r} collected no candidates for "
@@ -768,6 +833,17 @@ class ReleaseEngine:
             fm_evaluations=verifier.local_fm_evaluations - fm_before,
             wall_time_s=time.perf_counter() - t0,
         )
+        if tracing:
+            now = time.monotonic()
+            trace.add_span("engine.select", mark, now)
+            trace.add_span(
+                "engine.execute",
+                mark_exec,
+                now,
+                record_id=record_id,
+                fm_evaluations=result.fm_evaluations,
+                pid=os.getpid(),
+            )
         with self._lock:
             self.releases_completed += 1
             self.wall_time_s += result.wall_time_s

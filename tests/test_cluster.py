@@ -6,6 +6,9 @@ threads, full HTTP in between) — fast and deterministic, with worker
 subprocess deployment path is covered by ``tests/test_cluster_smoke.py``.
 """
 
+import http.client
+import json
+import os
 import time
 import urllib.error
 import urllib.request
@@ -374,3 +377,131 @@ class TestCrashRespawn:
             assert "salary" not in survivors
             metrics = client.metrics()
             assert metrics["unavailable_shards"] == [shard]
+
+
+class TestTracePropagation:
+    """One trace id observed at the router edge, the worker handler, the
+    coalescer flush, and the process-backend task — and surviving a
+    worker SIGKILL→respawn (fresh spans, same trace semantics)."""
+
+    TRACE_ID = "c0ffeec0ffeec0ff"
+
+    @staticmethod
+    def _coalescing_config() -> ServerConfig:
+        return ServerConfig.from_dict(
+            {
+                "server": {"port": 0},
+                "datasets": {
+                    "salary": {
+                        "source": "salary_reduced",
+                        "records": RECORDS,
+                        "seed": SEED,
+                        "budget": 100.0,
+                        "tenant_budget": 5.0,
+                        "max_batch": 4,
+                        "max_delay_ms": 5,
+                    },
+                },
+                "cluster": {
+                    "workers": 2,
+                    "manager": "thread",
+                    "heartbeat_interval_s": 0.2,
+                    "heartbeat_timeout_s": 0.8,
+                },
+            }
+        )
+
+    def _release_with_trace(self, router, seed, trace_id) -> dict:
+        """One release through the router carrying an explicit trace id."""
+        body = json.dumps(
+            {"record_id": OUTLIER_RECORD, "spec": SPEC, "seed": seed}
+        ).encode("utf-8")
+        conn = http.client.HTTPConnection(router.host, router.port)
+        try:
+            conn.request(
+                "POST",
+                "/v1/datasets/salary/release",
+                body=body,
+                headers={
+                    "X-PCOR-Tenant": "tracer",
+                    "X-PCOR-Trace": trace_id,
+                },
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            assert response.status == 200, raw
+            return json.loads(raw.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def test_one_trace_covers_proxy_queue_admission_engine(self):
+        with PCORRouter(self._coalescing_config()) as router:
+            payload = self._release_with_trace(router, 1, self.TRACE_ID)
+            trace = payload["trace"]
+            assert trace["trace_id"] == self.TRACE_ID
+            names = [s["name"] for s in trace["spans"]]
+            for want in (
+                "router.proxy",
+                "server.handle",
+                "queue.wait",
+                "admission",
+                "engine.execute",
+            ):
+                assert want in names, names
+            # The proxy hop brackets the worker's handling: same monotonic
+            # origin (t0 travels in the header), so offsets are comparable.
+            proxy = next(s for s in trace["spans"] if s["name"] == "router.proxy")
+            handle = next(
+                s for s in trace["spans"] if s["name"] == "server.handle"
+            )
+            assert proxy["start_ms"] <= handle["start_ms"]
+            assert proxy["duration_ms"] >= handle["duration_ms"]
+
+    def test_trace_survives_worker_kill_and_respawn(self, tmp_path):
+        with PCORRouter(cluster_config(tmp_path)) as router:
+            before = self._release_with_trace(router, 2, self.TRACE_ID)
+            assert before["trace"]["trace_id"] == self.TRACE_ID
+
+            shard = router.fleet.shard_for("salary")
+            router.fleet._shards[shard].handle.kill()
+            assert wait_for(
+                lambda: router.fleet.snapshot()[shard]["respawns"] == 1
+                and router.fleet.snapshot()[shard]["status"] == "ok"
+            ), "worker was not respawned"
+
+            after = self._release_with_trace(router, 3, self.TRACE_ID)
+            trace = after["trace"]
+            assert trace["trace_id"] == self.TRACE_ID
+            names = [s["name"] for s in trace["spans"]]
+            assert "router.proxy" in names
+            assert "engine.execute" in names
+            # Fresh spans from the respawned worker, not replays.
+            assert all(s["duration_ms"] >= 0 for s in trace["spans"])
+
+    def test_process_backend_task_joins_the_trace(self):
+        """A sampled trace rides the task payload into the worker process
+        and its spans ride the pickled result back (pid proves the hop)."""
+        from repro.data.generators import salary_reduced
+        from repro.obs.trace import Trace
+        from repro.service import PipelineSpec, ReleaseEngine, ReleaseRequest
+
+        dataset = salary_reduced(n_records=RECORDS, seed=SEED)
+        engine = ReleaseEngine(dataset, backend="process", workers=1)
+        try:
+            spec = PipelineSpec(**SPEC)
+            traces = [Trace.mint() for _ in range(2)]
+            requests = [
+                ReleaseRequest(
+                    record_id=OUTLIER_RECORD, spec=spec, seed=5 + i, trace=t
+                )
+                for i, t in enumerate(traces)
+            ]
+            engine.submit_many(requests)
+            for trace in traces:
+                spans = trace.spans()
+                exec_span = next(
+                    s for s in spans if s["name"] == "engine.execute"
+                )
+                assert exec_span["pid"] != os.getpid(), spans
+        finally:
+            engine.close()
