@@ -1,8 +1,106 @@
-"""Helpers shared by the benchmark modules."""
+"""Helpers shared by the benchmark modules.
+
+Besides ``run_once``, this is where the serving benches keep their common
+boilerplate — one workload definition (spec body, dataset body, record
+picking), one timing-hygiene toolkit (``strip_timing``,
+``median_paired_diff_ms``) — so the obs/router/throughput benches measure
+the *same* workload and can't drift apart spec by spec.
+"""
 
 from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+from statistics import median
+from typing import List, Optional, Sequence
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+#: Records in the shared serving dataset.
+SERVING_N_RECORDS = 2_000
+
+#: The paper-default serving release: LOF k=10, BFS at n_samples=50.
+#: Built lazily (repro imports are heavy) and copied per caller.
+
+
+def serving_spec_body() -> dict:
+    from repro.experiments.tables import DETECTOR_KWARGS
+
+    return dict(
+        detector="lof",
+        detector_kwargs=DETECTOR_KWARGS["lof"],
+        sampler="bfs",
+        n_samples=50,
+        epsilon=0.2,
+    )
+
+
+def serving_dataset_body() -> dict:
+    return {"source": "salary_reduced", "records": SERVING_N_RECORDS, "seed": 7}
+
+
+def serving_record_ids(n_releases: int) -> List[int]:
+    """The first ``n_releases`` exact-context outliers of the shared
+    serving dataset (seed 7), found with a scratch engine."""
+    from repro.data.generators import salary_reduced
+    from repro.service import PipelineSpec, ReleaseEngine
+
+    dataset = salary_reduced(n_records=SERVING_N_RECORDS, seed=7)
+    spec = PipelineSpec(**serving_spec_body())
+    engine = ReleaseEngine(dataset)
+    verifier = engine.verifier_for(spec.build_detector())
+    record_ids: List[int] = []
+    for rid in map(int, dataset.ids):
+        if verifier.is_matching(dataset.record_bits(rid), rid):
+            record_ids.append(rid)
+        if len(record_ids) == n_releases:
+            break
+    engine.close()
+    assert len(record_ids) == n_releases, "too few exact-context outliers"
+    return record_ids
+
+
+def strip_timing(result: dict) -> dict:
+    """A release result minus its wall-clock field — the bit-identity
+    comparisons every serving bench runs before trusting any timing."""
+    out = dict(result)
+    out.pop("wall_time_s", None)
+    return out
+
+
+def median_paired_diff_ms(
+    baseline: Sequence[float], treatment: Sequence[float]
+) -> float:
+    """Median of per-pair latency deltas (treatment - baseline), in ms.
+
+    Each pair ran back to back, so per-pair deltas are immune to the slow
+    drift (thermal, scheduler, allocator state) that dominates
+    independent p50s at millisecond latencies.
+    """
+    return median(t - b for b, t in zip(baseline, treatment)) * 1000.0
 
 
 def run_once(benchmark, fn):
     """Run a whole-experiment function exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def load_harness():
+    """The telemetry harness (``benchmarks/harness.py``), by file location.
+
+    ``benchmarks/`` is not a package: under pytest a plain ``import
+    harness`` works (rootdir insertion), but the CLI and the test suite
+    load this module from arbitrary CWDs — one spec-based loader keeps a
+    single cached instance everywhere.
+    """
+    name = "pcor_bench_harness"
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(
+        name, _BENCH_DIR / "harness.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module

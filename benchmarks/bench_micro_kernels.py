@@ -16,6 +16,8 @@ import time
 import numpy as np
 import pytest
 
+from _helpers import load_harness
+
 from repro.context import ContextSpace
 from repro.core.pcor import PCOR
 from repro.core.sampling import BFSSampler
@@ -94,12 +96,23 @@ def test_population_sizes_batch_vs_scalar(benchmark, emit):
     assert list(batched) == scalar
     assert np.array_equal(batched, batch_again)
     speedup = t_scalar / t_batch
+    harness = load_harness()
     emit(
         "bench_batch_population_sizes",
         "population_sizes batch kernel (n=20000 records, batch=1024 contexts)\n"
         f"  scalar loop : {t_scalar * 1000:8.1f} ms\n"
         f"  batch kernel: {t_batch * 1000:8.1f} ms\n"
         f"  speedup     : {speedup:8.1f}x",
+        metrics=[
+            harness.metric(
+                "batch_kernel_ms", t_batch * 1000.0, "ms",
+                direction="lower", tolerance=0.5,
+            ),
+            harness.metric("scalar_loop_ms", t_scalar * 1000.0, "ms"),
+            harness.metric(
+                "batch_speedup", speedup, "x", direction="higher", tolerance=0.5
+            ),
+        ],
     )
     assert speedup >= 5.0, f"batch kernel only {speedup:.1f}x faster than scalar"
 
@@ -140,6 +153,7 @@ def test_release_many_amortisation(emit):
         fresh_total += fresh.verifier.fm_evaluations
     t_fresh = time.perf_counter() - t0
 
+    harness = load_harness()
     emit(
         "bench_release_many_amortisation",
         "release_many vs fresh PCOR instances (n=2000, 20 records, BFS n_samples=25)\n"
@@ -147,6 +161,18 @@ def test_release_many_amortisation(emit):
         f"  release_many    : {amortised:6d} uncached detector runs, {t_many:6.2f} s\n"
         f"  detector runs saved: {fresh_total - amortised} "
         f"({100.0 * (fresh_total - amortised) / max(1, fresh_total):.0f}%)",
+        metrics=[
+            # Deterministic seeded counters: zero machine noise, so the
+            # tolerance can be tight — any move is a code change.
+            harness.metric(
+                "amortised_fm_evaluations", amortised, "count",
+                direction="lower", tolerance=0.01,
+            ),
+            harness.metric(
+                "fresh_fm_evaluations", fresh_total, "count",
+                direction="lower", tolerance=0.01,
+            ),
+        ],
     )
     assert amortised < fresh_total
 

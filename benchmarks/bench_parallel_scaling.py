@@ -18,6 +18,7 @@ import time
 
 import pytest
 
+from _helpers import load_harness
 from repro.core.sampling import BFSSampler
 from repro.data.generators import salary_reduced
 from repro.data.masks import PredicateMaskIndex
@@ -103,6 +104,7 @@ def test_release_many_parallel_scaling(emit):
     speedup = t_serial / t_process
     cores = os.cpu_count() or 1
     gated = cores >= WORKERS
+    harness = load_harness()
     emit(
         "bench_parallel_scaling",
         f"release_many parallel scaling (salary_reduced n={n_records}, "
@@ -115,6 +117,16 @@ def test_release_many_parallel_scaling(emit):
         f"this machine: {cores} core{'s' if cores != 1 else ''}, "
         f"gate {'ARMED' if gated else 'skipped'})\n"
         f"  bit-identical        : yes ({len(record_ids)} releases compared)",
+        metrics=[
+            harness.metric(
+                "serial_ms", t_serial * 1000.0, "ms",
+                direction="lower", tolerance=0.5,
+            ),
+            harness.metric("process_ms", t_process * 1000.0, "ms"),
+            # Speedup on a small box is cores-bound, not code-bound; the
+            # env fingerprint (cpus) is what makes this row comparable.
+            harness.metric("parallel_speedup", speedup, "x"),
+        ],
     )
     if gated:
         assert speedup >= SPEEDUP_GATE, (

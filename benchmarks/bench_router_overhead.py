@@ -21,42 +21,21 @@ In-memory ledgers on both sides: this measures proxying, not fsync.
 import time
 from statistics import median
 
+from _helpers import (
+    SERVING_N_RECORDS,
+    load_harness,
+    serving_dataset_body,
+    serving_record_ids,
+    serving_spec_body,
+    strip_timing,
+)
 from repro.cluster import PCORRouter
-from repro.data.generators import salary_reduced
-from repro.experiments.tables import DETECTOR_KWARGS
 from repro.server import PCORClient, PCORServer, ServerConfig
-from repro.service import PipelineSpec, ReleaseEngine
 
 ROUNDS = 5
-N_RECORDS = 2_000
 OVERHEAD_GATE = 0.15
 
-SPEC_BODY = dict(
-    detector="lof",
-    detector_kwargs=DETECTOR_KWARGS["lof"],
-    sampler="bfs",
-    n_samples=50,
-    epsilon=0.2,
-)
-
-DATASET_BODY = {"source": "salary_reduced", "records": N_RECORDS, "seed": 7}
-
-
-def _record_ids(scale) -> list:
-    n_releases = 6 if scale.name == "smoke" else 16
-    dataset = salary_reduced(n_records=N_RECORDS, seed=7)
-    spec = PipelineSpec(**SPEC_BODY)
-    engine = ReleaseEngine(dataset)
-    verifier = engine.verifier_for(spec.build_detector())
-    record_ids = []
-    for rid in map(int, dataset.ids):
-        if verifier.is_matching(dataset.record_bits(rid), rid):
-            record_ids.append(rid)
-        if len(record_ids) == n_releases:
-            break
-    engine.close()
-    assert len(record_ids) == n_releases, "too few exact-context outliers"
-    return record_ids
+SPEC_BODY = serving_spec_body()
 
 
 def _run(url: str, record_ids: list) -> list:
@@ -73,22 +52,16 @@ def _run(url: str, record_ids: list) -> list:
     return latencies
 
 
-def _strip_timing(result: dict) -> dict:
-    out = dict(result)
-    out.pop("wall_time_s", None)
-    return out
-
-
 def test_router_proxy_overhead(emit, scale):
-    record_ids = _record_ids(scale)
+    record_ids = serving_record_ids(6 if scale.name == "smoke" else 16)
 
     direct_config = ServerConfig.from_dict(
-        {"server": {"port": 0}, "datasets": {"salary": DATASET_BODY}}
+        {"server": {"port": 0}, "datasets": {"salary": serving_dataset_body()}}
     )
     routed_config = ServerConfig.from_dict(
         {
             "server": {"port": 0},
-            "datasets": {"salary": DATASET_BODY},
+            "datasets": {"salary": serving_dataset_body()},
             "cluster": {
                 "workers": 2,
                 "manager": "thread",
@@ -108,7 +81,7 @@ def test_router_proxy_overhead(emit, scale):
             routed_result = PCORClient(router.url, tenant=f"id-{i}").release(
                 "salary", record_id=rid, spec=SPEC_BODY, seed=100 + i
             )["result"]
-            assert _strip_timing(routed_result) == _strip_timing(direct_result)
+            assert strip_timing(routed_result) == strip_timing(direct_result)
 
         # Both engines are now warm; interleave rounds so drift (thermal,
         # scheduler) hits both paths equally.
@@ -122,10 +95,11 @@ def test_router_proxy_overhead(emit, scale):
     overhead = p50_routed / p50_direct - 1.0
     hop_ms = (p50_routed - p50_direct) * 1000.0
 
+    harness = load_harness()
     emit(
         "bench_router_overhead",
         "router proxy vs direct serving "
-        f"(salary_reduced n={N_RECORDS}, {len(record_ids)} records x "
+        f"(salary_reduced n={SERVING_N_RECORDS}, {len(record_ids)} records x "
         f"{ROUNDS} rounds, LOF k=10, BFS n_samples=50, 2-worker thread "
         "fleet, warmed)\n"
         f"  direct p50 latency  : {p50_direct * 1000:8.2f} ms\n"
@@ -133,6 +107,18 @@ def test_router_proxy_overhead(emit, scale):
         f"  proxy hop           : {hop_ms:+8.2f} ms\n"
         f"  p50 overhead        : {overhead * 100:+8.2f}%  "
         f"(gate: < {OVERHEAD_GATE * 100:.0f}%)",
+        metrics=[
+            harness.metric(
+                "direct_p50_ms", p50_direct * 1000.0, "ms",
+                direction="lower", tolerance=0.5,
+            ),
+            harness.metric(
+                "routed_p50_ms", p50_routed * 1000.0, "ms",
+                direction="lower", tolerance=0.5,
+            ),
+            harness.metric("proxy_hop_ms", hop_ms, "ms"),
+            harness.metric("p50_overhead_frac", overhead, "fraction"),
+        ],
     )
     assert overhead < OVERHEAD_GATE, (
         f"router adds {overhead * 100:.2f}% p50 latency over direct serving "

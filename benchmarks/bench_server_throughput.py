@@ -33,6 +33,7 @@ from statistics import quantiles
 
 import pytest
 
+from _helpers import load_harness
 from repro.data.generators import salary_reduced
 from repro.experiments.tables import DETECTOR_KWARGS
 from repro.server import PCORClient, PCORServer, ServerConfig
@@ -139,6 +140,7 @@ def test_server_throughput(emit, scale):
 
     n_total = len(all_latencies)
     p50, p95 = quantiles(all_latencies, n=100)[49], quantiles(all_latencies, n=100)[94]
+    harness = load_harness()
     emit(
         "bench_server_throughput",
         "PCOR HTTP service vs direct engine.submit "
@@ -150,6 +152,22 @@ def test_server_throughput(emit, scale):
         f"  {N_CLIENTS} concurrent clients: {n_total} releases in {wall:.2f} s "
         f"= {n_total / wall:6.1f} req/s\n"
         f"  latency p50 / p95   : {p50 * 1000:7.1f} / {p95 * 1000:7.1f} ms",
+        metrics=[
+            harness.metric(
+                "direct_loop_ms", t_direct * 1000.0, "ms",
+                direction="lower", tolerance=0.5,
+            ),
+            harness.metric(
+                "served_loop_ms", t_served * 1000.0, "ms",
+                direction="lower", tolerance=0.5,
+            ),
+            harness.metric("serving_overhead_frac", overhead, "fraction"),
+            harness.metric(
+                "concurrent_rps", n_total / wall, "req/s",
+                direction="higher", tolerance=0.5,
+            ),
+            harness.metric("concurrent_p95_ms", p95 * 1000.0, "ms"),
+        ],
     )
     assert overhead < 0.15, (
         f"HTTP serving adds {overhead * 100:.2f}% over direct engine.submit "
@@ -279,6 +297,7 @@ def test_coalesced_vs_unbatched_throughput(emit):
             f"{s['p99'] * 1000:6.1f} ms | mean flush {s['mean_flush']:5.2f}"
         )
 
+    harness = load_harness()
     emit(
         "bench_server_coalescing",
         f"coalesced vs unbatched serving ({n_clients} concurrent clients x "
@@ -293,6 +312,20 @@ def test_coalesced_vs_unbatched_throughput(emit):
         f"(gate: >= {COALESCE_GATE:.1f}x on >= {COALESCE_WORKERS} cores; "
         f"this machine: {cores} core{'s' if cores != 1 else ''}, "
         f"gate {'ARMED' if gated else 'skipped'})",
+        metrics=[
+            harness.metric(
+                "unbatched_rps", stats["unbatched"]["rps"], "req/s",
+                direction="higher", tolerance=0.5,
+            ),
+            harness.metric(
+                "coalesced_rps", stats["coalesced"]["rps"], "req/s",
+                direction="higher", tolerance=0.5,
+            ),
+            harness.metric("coalescing_speedup", ratio, "x"),
+            harness.metric(
+                "mean_flush_size", stats["coalesced"]["mean_flush"], "requests"
+            ),
+        ],
     )
     assert stats["coalesced"]["mean_flush"] > 1.0, (
         "coalescing server never batched anything "

@@ -14,6 +14,7 @@ dispatch overhead rather than detector work or runner noise.
 
 import time
 
+from _helpers import load_harness
 from repro.core.pcor import PCOR
 from repro.core.sampling import BFSSampler
 from repro.data.generators import salary_reduced
@@ -74,6 +75,7 @@ def test_engine_submit_overhead(emit):
     t_engine = min(engine_times)
     overhead = t_engine / t_facade - 1.0
 
+    harness = load_harness()
     emit(
         "bench_service_overhead",
         "ReleaseEngine.submit vs PCOR.release "
@@ -81,6 +83,17 @@ def test_engine_submit_overhead(emit):
         f"  PCOR.release loop   : {t_facade * 1000:8.1f} ms (best of {ROUNDS})\n"
         f"  engine.submit loop  : {t_engine * 1000:8.1f} ms (best of {ROUNDS})\n"
         f"  service overhead    : {overhead * 100:+8.2f}%",
+        metrics=[
+            harness.metric(
+                "facade_loop_ms", t_facade * 1000.0, "ms",
+                direction="lower", tolerance=0.5,
+            ),
+            harness.metric(
+                "engine_loop_ms", t_engine * 1000.0, "ms",
+                direction="lower", tolerance=0.5,
+            ),
+            harness.metric("submit_overhead_frac", overhead, "fraction"),
+        ],
     )
     assert overhead < 0.05, (
         f"ReleaseEngine.submit adds {overhead * 100:.2f}% over PCOR.release "

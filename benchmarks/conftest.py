@@ -35,13 +35,23 @@ def results_dir() -> Path:
 
 @pytest.fixture()
 def emit(capsys, results_dir):
-    """Print an artefact to the real terminal and archive it."""
+    """Print an artefact to the real terminal and archive it.
 
-    def _emit(name: str, text: str) -> None:
+    With ``metrics=`` (a list of ``harness.metric(...)`` rows) the bench
+    additionally writes the normalized ``BENCH_<name>.json`` telemetry
+    document that ``pcor bench`` validates and compares against the
+    committed baselines.
+    """
+
+    def _emit(name: str, text: str, metrics=None) -> None:
         with capsys.disabled():
             print()
             print(text)
         (results_dir / f"{name}.txt").write_text(text + "\n")
+        if metrics:
+            from _helpers import load_harness
+
+            load_harness().write_bench_json(results_dir, name, metrics)
 
     return _emit
 

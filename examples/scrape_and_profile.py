@@ -1,0 +1,136 @@
+"""Debug a live PCOR fleet: scrape its events and take a flamegraph profile.
+
+The operator loop the debug endpoints exist for: something looks slow, so
+
+1. start a sharded deployment (router + 2 in-process workers — the same
+   topology ``pcor serve --config server.toml --workers 2`` gives you),
+2. put release load on it from a background analyst thread,
+3. ``GET /v1/debug/events`` — the last structured events of every shard,
+   merged and source-stamped, without grepping any stdout,
+4. ``GET /v1/debug/profile`` — a merged cross-fleet sampling profile whose
+   collapsed stacks attribute time to engine phases (``[engine.sample]``,
+   ``[engine.select]``), written to ``profile.folded`` for flamegraph.pl
+   or speedscope.
+
+Run:  python examples/scrape_and_profile.py
+Against a running deployment you don't own, the same two calls are plain
+HTTP: ``curl 'http://host:port/v1/debug/profile?seconds=5&hz=99'``.
+"""
+
+import threading
+
+from repro import PCORClient, PCORRouter, ServerConfig
+
+SPEC = {
+    "detector": "lof",
+    "detector_kwargs": {"k": 10},
+    "sampler": "bfs",
+    "n_samples": 25,
+    "epsilon": 0.1,
+}
+
+CONFIG = {
+    "server": {"port": 0},
+    "datasets": {
+        "salary": {
+            "source": "salary_reduced",
+            "records": 2000,
+            "seed": 7,
+            "budget": 1000.0,
+        },
+        "housing": {
+            "source": "salary_reduced",
+            "records": 1500,
+            "seed": 9,
+            "budget": 1000.0,
+        },
+    },
+    # In-process worker fleet: real HTTP on both hops, no subprocesses —
+    # swap manager for "process" (the default) in a real deployment.
+    "cluster": {"workers": 2, "manager": "thread"},
+}
+
+
+def find_outlier(client: PCORClient, dataset: str) -> int:
+    """First record the detector flags in its own exact context."""
+    for record_id in range(0, 2000, 7):
+        try:
+            result = client.release(
+                dataset, record_id=record_id, spec=SPEC, seed=record_id
+            )
+            return result["result"]["record_id"]
+        except Exception:
+            continue
+    raise RuntimeError(f"no contextual outlier found in {dataset}")
+
+
+def main() -> None:
+    config = ServerConfig.from_dict(CONFIG)
+    with PCORRouter(config) as router:
+        print(f"fleet up at {router.url} (router + 2 workers)")
+        analyst = PCORClient(router.url, tenant="analyst")
+        record_id = find_outlier(analyst, "salary")
+
+        # Background load, so the profile has engine work to attribute.
+        stop = threading.Event()
+
+        def hammer() -> None:
+            seed = 0
+            while not stop.is_set():
+                seed += 1
+                analyst.release(
+                    "salary", record_id=record_id, spec=SPEC, seed=seed
+                )
+
+        load = threading.Thread(target=hammer, daemon=True)
+        load.start()
+
+        operator = PCORClient(router.url, tenant="operator")
+        try:
+            # --- the last structured events, fleet-wide -----------------
+            events = operator.debug_events(n=10)
+            print(f"\nlast {len(events['events'])} events "
+                  f"(sources: {', '.join(sorted(events['sources']))}):")
+            for event in events["events"]:
+                print(f"  [{event['source']:<7s}] {event['event']:<12s} "
+                      + " ".join(
+                          f"{k}={event[k]}"
+                          for k in ("dataset", "tenant", "status")
+                          if k in event
+                      ))
+
+            # --- a 3-second cross-fleet profile -------------------------
+            print("\nprofiling the fleet for 3s at 99 Hz ...")
+            profile = operator.debug_profile(seconds=3, hz=99)
+        finally:
+            stop.set()
+            load.join(timeout=30.0)
+
+        print(f"  {profile['samples']} samples over "
+              f"{len(profile['sources'])} sources; "
+              f"unavailable shards: {profile['unavailable_shards']}")
+        phases = sorted(
+            {
+                part
+                for stack in profile["folded"]
+                for part in stack.split(";")
+                if part.startswith("[engine.")
+            }
+        )
+        print(f"  engine phases attributed: {', '.join(phases) or '(none)'}")
+        top = sorted(
+            profile["folded"].items(), key=lambda kv: -kv[1]
+        )[:5]
+        print("  hottest stacks:")
+        for stack, count in top:
+            leaf = stack.rsplit(";", 1)[-1]
+            print(f"    {count:5d}  {stack.split(';', 1)[0]} ... {leaf}")
+
+        with open("profile.folded", "w") as fh:
+            fh.write(profile["folded_text"])
+        print("\nwrote profile.folded — feed it to flamegraph.pl or "
+              "speedscope (https://speedscope.app, 'folded' format)")
+
+
+if __name__ == "__main__":
+    main()

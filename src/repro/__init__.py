@@ -121,6 +121,7 @@ from repro.server import (  # noqa: E402
     ServerConfig,
     TenantBudgets,
 )
+from repro.cluster import PCORRouter  # noqa: E402  (imports repro.server)
 
 __all__ = [
     # schema
@@ -170,6 +171,7 @@ __all__ = [
     # server (multi-tenant HTTP release service)
     "PCORServer",
     "PCORClient",
+    "PCORRouter",
     "ServerConfig",
     "DatasetConfig",
     "DatasetRegistry",

@@ -13,6 +13,9 @@ Subcommands
 * ``worker``        — internal: one cluster release worker, spawned by
   the ``serve`` supervisor.
 * ``specs``         — list the registered detectors, samplers and utilities.
+* ``bench``         — run the registered benchmarks (``benchmarks/``) and
+  emit normalized JSON telemetry (``BENCH_*.json`` + ``trajectory.jsonl``),
+  compared against the committed baselines.
 * ``table N``       — regenerate paper Table N (2-13).
 * ``figure N``      — regenerate paper Figure N (1-5) as ASCII histograms.
 * ``privacy-ratio`` — the Section 6.7 (ii) empirical privacy measurement.
@@ -175,6 +178,41 @@ def build_parser() -> argparse.ArgumentParser:
         "specs", help="list registered detectors, samplers and utilities"
     )
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="run benchmarks and emit normalized JSON telemetry "
+        "(benchmarks/results/BENCH_*.json, compared against "
+        "benchmarks/baselines/)",
+    )
+    p_bench.add_argument(
+        "benches",
+        nargs="*",
+        metavar="BENCH",
+        help="benchmark names to run (default: all; see --list)",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the per-commit CI subset (the cheap benches)",
+    )
+    p_bench.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on baseline regressions too, not just on "
+        "failed runs / malformed telemetry",
+    )
+    p_bench.add_argument(
+        "--bench-scale",
+        choices=("smoke", "small", "medium", "paper"),
+        default=None,
+        dest="bench_scale",
+        help="workload scale passed to the bench scripts as "
+        "PCOR_BENCH_SCALE (default: inherit the environment)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="list registered benchmarks and exit"
+    )
+
     p_gen = sub.add_parser("generate-data", help="write a synthetic dataset to CSV")
     p_gen.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
     p_gen.add_argument("--records", type=int, default=10_000)
@@ -258,6 +296,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "specs":
         return _run_specs()
+
+    if args.command == "bench":
+        return _run_bench(args)
 
     if args.command == "generate-data":
         dataset = DATASET_FACTORIES[args.dataset](n_records=args.records, seed=args.seed)
@@ -527,6 +568,76 @@ def _run_worker(args: argparse.Namespace) -> int:
         worker_id=args.worker_id,
     )
     return worker.run()
+
+
+def load_bench_harness():
+    """Load ``benchmarks/harness.py`` by file location.
+
+    ``benchmarks/`` is deliberately not a package (the scripts are pytest
+    files), so the harness is imported from its path relative to the
+    installed ``repro`` tree — works from a checkout without any
+    install-time data files.
+    """
+    import importlib.util
+
+    from pathlib import Path
+
+    import repro
+
+    path = Path(repro.__file__).resolve().parents[2] / "benchmarks" / "harness.py"
+    if not path.is_file():
+        raise ReproError(
+            f"benchmark harness not found at {path} — 'pcor bench' needs a "
+            "source checkout with the benchmarks/ directory"
+        )
+    cached = sys.modules.get("pcor_bench_harness")
+    if cached is not None and getattr(cached, "__file__", None) == str(path):
+        return cached
+    spec = importlib.util.spec_from_file_location("pcor_bench_harness", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["pcor_bench_harness"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """Registry-driven benchmark runner with JSON telemetry (``pcor bench``)."""
+    harness = load_bench_harness()
+
+    if args.list:
+        for name in sorted(harness.BENCHES):
+            spec = harness.BENCHES[name]
+            tier = "quick" if spec.get("quick") else "full "
+            print(f"  {name:<20s} [{tier}] emits: {', '.join(spec['emits'])}")
+        return 0
+
+    try:
+        report = harness.run_benchmarks(
+            names=args.benches or None,
+            quick=args.quick,
+            scale=args.bench_scale,
+        )
+    except ValueError as exc:  # unknown bench name
+        raise ReproError(str(exc)) from None
+    print(harness.render_report(report))
+    if report["documents"]:
+        trajectory = harness.append_trajectory(report["documents"].values())
+        print(
+            f"  telemetry: {len(report['documents'])} document(s) in "
+            f"{harness.RESULTS_DIR}, trajectory appended to {trajectory}"
+        )
+
+    failed_runs = [r["bench"] for r in report["runs"] if r["returncode"] != 0]
+    if failed_runs:
+        print(f"error: benchmark run(s) failed: {', '.join(failed_runs)}", file=sys.stderr)
+        return 1
+    if report["problems"]:
+        print("error: malformed/missing benchmark telemetry", file=sys.stderr)
+        return 1
+    if args.strict and report["regressions"]:
+        print("error: baseline regressions under --strict", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_specs() -> int:

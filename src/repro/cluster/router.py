@@ -51,7 +51,20 @@ from urllib.parse import parse_qs, urlparse
 from repro import __version__
 from repro.exceptions import ServerError, ShardUnavailableError
 from repro.obs.export import merged_exposition
+from repro.obs.events import (
+    EventBufferHandler,
+    install_event_buffer,
+    uninstall_event_buffer,
+)
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from repro.obs.profiler import (
+    ProfileSessions,
+    ProfilerDisarmed,
+    merge_folded,
+    profiler_supported,
+    render_folded,
+    validate_profile_args,
+)
 from repro.obs.trace import TRACE_HEADER, process_rss_bytes, trace_for_request
 from repro.server.config import ObservabilityConfig, ServerConfig
 from repro.server.http import (
@@ -60,6 +73,9 @@ from repro.server.http import (
     DrainState,
     JsonRequestHandler,
     ThreadingJsonServer,
+    _BadRequest,
+    _Draining,
+    query_number,
 )
 from repro.cluster.fleet import WorkerFleet
 from repro.cluster.manager import WorkerManager, make_worker_manager
@@ -90,6 +106,18 @@ class _RouterHandler(JsonRequestHandler):
                 app.prometheus_metrics().encode("utf-8"),
                 content_type=PROMETHEUS_CONTENT_TYPE,
             )
+        elif url.path == "/v1/debug/profile":
+            query = parse_qs(url.query)
+            self._respond(
+                200,
+                app.debug_profile(
+                    seconds=query_number(query, "seconds"),
+                    hz=query_number(query, "hz"),
+                ),
+            )
+        elif url.path == "/v1/debug/events":
+            query = parse_qs(url.query)
+            self._respond(200, app.debug_events(n=query_number(query, "n")))
         elif url.path == "/v1/budget":
             dataset = parse_qs(url.query).get("dataset", [None])[0]
             if dataset is None:
@@ -207,6 +235,16 @@ class PCORRouter:
         self._thread: Optional[threading.Thread] = None
         self._started = time.monotonic()
         self.obs = config.observability or ObservabilityConfig()
+        # Debug introspection mirrors the worker tier: the router samples
+        # its own stacks under the "router" prefix while fanning the
+        # profile out to every live shard, and keeps its own event ring
+        # (heartbeats, respawns, drains happen router-side only).
+        self._profiles = ProfileSessions()
+        self._events_handler: Optional[EventBufferHandler] = (
+            install_event_buffer(self.obs.events_buffer)
+            if self.obs.events_buffer > 0
+            else None
+        )
         # Router-side observability: registry-backed counters replace the
         # old hand-rolled dicts; the JSON ``/v1/metrics`` shapes are
         # derived views over these same children.
@@ -302,12 +340,18 @@ class PCORRouter:
         """Drain in-flight proxies, stop the fleet, close the listener."""
         if self._thread is not None and self._thread.is_alive():
             self._httpd.shutdown()
+        # Before the drain barrier: an in-flight fleet profile would park
+        # its handler in the drain window for the full sampling period.
+        self._profiles.disarm()
         self.drain.drain()
         self.fleet.stop()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
+        if self._events_handler is not None:
+            uninstall_event_buffer(self._events_handler)
+            self._events_handler = None
 
     def __enter__(self) -> "PCORRouter":
         return self.start()
@@ -452,12 +496,19 @@ class PCORRouter:
         if error:
             self._proxy_errors.inc(labels=labels)
 
-    def _shard_json(self, shard: int, url: str, path: str, tenant: str = ""):
+    def _shard_json(
+        self,
+        shard: int,
+        url: str,
+        path: str,
+        tenant: str = "",
+        timeout: float = 30.0,
+    ):
         """One aggregation fan-out call (returns None on a dead shard)."""
         headers = {TENANT_HEADER: tenant} if tenant else {}
         parsed = urlparse(url)
         conn = http.client.HTTPConnection(
-            parsed.hostname, parsed.port, timeout=30.0
+            parsed.hostname, parsed.port, timeout=timeout
         )
         try:
             conn.request("GET", path, headers=headers)
@@ -575,6 +626,129 @@ class PCORRouter:
         return merged_exposition(
             shard_texts, extra_families=self.metrics_registry.collect()
         )
+
+    def debug_profile(
+        self, seconds: Optional[float] = None, hz: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One merged flamegraph for the whole fleet.
+
+        Fans ``/v1/debug/profile`` out to every live shard on parallel
+        threads while the router samples *itself* on the handler thread,
+        then merges the folded stacks under ``router;`` / ``shard<N>;``
+        roots.  Shards that die mid-scrape land in ``unavailable_shards``
+        — a partial profile renders rather than a 500.  Router shutdown
+        disarms the local session, so a fleet profile never stalls the
+        drain barrier.
+        """
+        try:
+            seconds, hz = validate_profile_args(seconds, hz)
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        live = self.fleet.live_urls()
+        failed = set(range(self.cluster.workers)) - set(live)
+        path = f"/v1/debug/profile?seconds={seconds:g}&hz={hz:g}"
+        results: Dict[int, Optional[Dict[str, Any]]] = {}
+
+        def fetch(shard: int, url: str) -> None:
+            # The worker blocks for the full sampling window before it
+            # responds, so the fan-out timeout must exceed it.
+            results[shard] = self._shard_json(
+                shard, url, path, timeout=seconds + 30.0
+            )
+
+        threads = [
+            threading.Thread(
+                target=fetch,
+                args=(shard, url),
+                name=f"pcor-profile-shard{shard}",
+                daemon=True,
+            )
+            for shard, url in sorted(live.items())
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            own = self._profiles.run(seconds=seconds, hz=hz)
+        except ProfilerDisarmed as exc:
+            raise _Draining(str(exc)) from None
+        for thread in threads:
+            thread.join(timeout=seconds + 60.0)
+
+        sources: Dict[str, Dict[str, Any]] = {}
+        profiles = [("router", own.get("folded") or {})]
+        for shard in sorted(live):
+            body = results.get(shard)
+            if body is None:
+                failed.add(shard)
+                continue
+            label = f"shard{shard}"
+            profiles.append((label, body.get("folded") or {}))
+            sources[label] = {
+                key: body.get(key)
+                for key in ("samples", "threads", "duration_s", "disarmed")
+            }
+        sources["router"] = {
+            key: own.get(key)
+            for key in ("samples", "threads", "duration_s", "disarmed")
+        }
+        folded = merge_folded(profiles)
+        return {
+            "supported": profiler_supported(),
+            "seconds": seconds,
+            "hz": hz,
+            "samples": sum(s.get("samples") or 0 for s in sources.values()),
+            "disarmed": any(s.get("disarmed") for s in sources.values()),
+            "sources": sources,
+            "folded": folded,
+            "folded_text": render_folded(folded),
+            "unavailable_shards": sorted(failed),
+        }
+
+    def debug_events(self, n: Optional[float] = None) -> Dict[str, Any]:
+        """The fleet's recent structured events, merged and time-sorted.
+
+        Each event is stamped with its ``source`` (``router`` or
+        ``shard<N>``); per-source ring counters land under ``sources`` so
+        an operator can tell when a window is incomplete.  Dead shards go
+        to ``unavailable_shards``.
+        """
+        if n is not None and n < 0:
+            raise _BadRequest(f"n must be >= 0, got {n:g}")
+        limit = int(n) if n is not None else None
+        live = self.fleet.live_urls()
+        failed = set(range(self.cluster.workers)) - set(live)
+        sources: Dict[str, Dict[str, Any]] = {}
+        events: list = []
+        if self._events_handler is not None:
+            snap = self._events_handler.buffer.snapshot(limit)
+            for event in snap.pop("events"):
+                event["source"] = "router"
+                events.append(event)
+            sources["router"] = snap
+        path = "/v1/debug/events" + (
+            f"?n={limit}" if limit is not None else ""
+        )
+        for shard, url in sorted(live.items()):
+            body = self._shard_json(shard, url, path)
+            if body is None:
+                failed.add(shard)
+                continue
+            label = f"shard{shard}"
+            for event in body.get("events", []):
+                event["source"] = label
+                events.append(event)
+            sources[label] = {
+                key: body.get(key)
+                for key in ("capacity", "buffered", "total", "dropped")
+            }
+        events.sort(key=lambda e: (e.get("ts") or 0.0, str(e.get("source"))))
+        if limit is not None and len(events) > limit:
+            events = events[-limit:]
+        return {
+            "events": events,
+            "sources": sources,
+            "unavailable_shards": sorted(failed),
+        }
 
     def _shard_text(self, shard: int, url: str) -> Optional[str]:
         """One shard's Prometheus exposition (None on a dead shard)."""

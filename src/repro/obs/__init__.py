@@ -13,6 +13,14 @@ HTTP server + coalescer, sharded router/fleet):
 * :mod:`repro.obs.logs` — structured event logging (JSON or text lines)
   behind ``pcor serve --log-format``.
 
+Two debug-introspection primitives ride on top of them:
+
+* :mod:`repro.obs.profiler` — a sampling wall-clock profiler producing
+  collapsed-stack ("folded flamegraph") output with engine-phase frame
+  annotations, behind ``GET /v1/debug/profile``.
+* :mod:`repro.obs.events` — a bounded ring of recent structured events
+  tee'd off :func:`log_event`, behind ``GET /v1/debug/events``.
+
 Configured through the ``[observability]`` section of the server config
 (:class:`repro.server.ObservabilityConfig`).
 """
@@ -35,7 +43,29 @@ from repro.obs.metrics import (
     gauge_family,
     render_text,
 )
-from repro.obs.export import dataset_families, merge_expositions, merged_exposition
+from repro.obs.export import (
+    dataset_families,
+    merge_expositions,
+    merged_exposition,
+    validate_exposition,
+)
+from repro.obs.events import (
+    EventBuffer,
+    EventBufferHandler,
+    install_event_buffer,
+    uninstall_event_buffer,
+)
+from repro.obs.profiler import (
+    ProfileSessions,
+    ProfilerDisarmed,
+    SamplingProfiler,
+    collect_profile,
+    merge_folded,
+    profiler_supported,
+    profiling_active,
+    render_folded,
+    set_engine_phase,
+)
 from repro.obs.trace import (
     TRACE_HEADER,
     Trace,
@@ -62,6 +92,20 @@ __all__ = [
     "dataset_families",
     "merge_expositions",
     "merged_exposition",
+    "validate_exposition",
+    "EventBuffer",
+    "EventBufferHandler",
+    "install_event_buffer",
+    "uninstall_event_buffer",
+    "ProfileSessions",
+    "ProfilerDisarmed",
+    "SamplingProfiler",
+    "collect_profile",
+    "merge_folded",
+    "profiler_supported",
+    "profiling_active",
+    "render_folded",
+    "set_engine_phase",
     "configure_logging",
     "log_event",
     "JsonEventFormatter",

@@ -1,0 +1,168 @@
+"""A bounded in-memory ring of recent structured events.
+
+Every serving event already flows through :func:`repro.obs.logs.log_event`
+— request, flush, heartbeat, register, respawn, worker death, drain.
+This module tees those records into a bounded :class:`EventBuffer` via a
+plain :class:`logging.Handler`, so ``GET /v1/debug/events?n=K`` can show
+an operator the last K events of a live worker without scraping stdout.
+
+The tee is a logging handler (not a patch of ``log_event``) so it
+captures every emitter on the ``repro`` logger tree for free and
+composes with :func:`~repro.obs.logs.configure_logging` — the stream
+formatter and the ring see the same records.  Installation raises the
+``repro`` logger to INFO if it was effectively quieter, because
+``log_event`` short-circuits below the logger's effective level; with
+``propagate`` left alone, stdlib's last-resort handler still only prints
+WARNING and above, so installing the ring does not spam stderr.
+
+One buffer sees the whole process: in production one process hosts one
+server (or one router), so the ring *is* that server's event history.
+In-process test fleets (``manager = "thread"``) share a process, so each
+server's ring also sees its siblings' events — a documented degeneracy
+of the in-process manager, not of the production topology.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.obs.logs import EVENT_ATTR, FIELDS_ATTR
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "MAX_TAIL",
+    "EventBuffer",
+    "EventBufferHandler",
+    "install_event_buffer",
+    "uninstall_event_buffer",
+]
+
+DEFAULT_CAPACITY = 512
+
+#: Upper bound on ``?n=`` (the ring itself is the real cap).
+MAX_TAIL = 10_000
+
+
+def _jsonable(value: Any) -> Any:
+    """Event fields must survive ``json.dumps`` without a default hook
+    (the HTTP layer serialises payloads strictly)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    try:
+        return json.loads(json.dumps(value, default=str))
+    except (TypeError, ValueError):  # pragma: no cover - exotic reprs
+        return str(value)
+
+
+class EventBuffer:
+    """Thread-safe bounded ring of event dicts with a running sequence.
+
+    ``total`` counts every event ever appended; ``total - len(ring)`` is
+    how many the ring has dropped — surfaced by the debug endpoint so an
+    operator knows when the window is incomplete.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._total = 0
+
+    def append(self, body: Dict[str, Any]) -> None:
+        with self._lock:
+            self._total += 1
+            body["seq"] = self._total
+            self._ring.append(body)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def tail(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent ``n`` events, oldest first."""
+        if n is None:
+            n = self.capacity
+        n = max(0, min(int(n), MAX_TAIL))
+        if n == 0:
+            return []  # events[-0:] would be the whole ring
+        with self._lock:
+            events = list(self._ring)
+        return [dict(e) for e in events[-n:]]
+
+    def snapshot(self, n: Optional[int] = None) -> Dict[str, Any]:
+        """The ``/v1/debug/events`` payload body."""
+        events = self.tail(n)
+        with self._lock:
+            total = self._total
+            buffered = len(self._ring)
+        return {
+            "events": events,
+            "capacity": self.capacity,
+            "buffered": buffered,
+            "total": total,
+            "dropped": total - buffered,
+        }
+
+
+class EventBufferHandler(logging.Handler):
+    """Tee structured ``log_event`` records into an :class:`EventBuffer`.
+
+    Plain (non-event) records are ignored — the ring is an event history,
+    not a log mirror.
+    """
+
+    def __init__(self, buffer: EventBuffer):
+        super().__init__(level=logging.DEBUG)
+        self.buffer = buffer
+        self._pcor_events = True  # marker for introspection/tests
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            event = getattr(record, EVENT_ATTR, None)
+            if event is None:
+                return
+            body: Dict[str, Any] = {
+                "ts": round(record.created, 6),
+                "level": record.levelname,
+                "logger": record.name,
+                "event": str(event),
+            }
+            for key, value in (getattr(record, FIELDS_ATTR, None) or {}).items():
+                if key not in body:
+                    body[key] = _jsonable(value)
+            self.buffer.append(body)
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+
+def install_event_buffer(
+    capacity: int = DEFAULT_CAPACITY, logger_name: str = "repro"
+) -> EventBufferHandler:
+    """Attach a fresh ring to the ``repro`` logger tree.
+
+    Returns the handler (``handler.buffer`` is the ring).  Each caller
+    gets its own ring — handlers stack rather than replace, so a server
+    and a router in one process each keep their own history.  The logger
+    is raised to INFO if it was effectively quieter, otherwise
+    ``log_event`` would never reach any handler.
+    """
+    logger = logging.getLogger(logger_name)
+    handler = EventBufferHandler(EventBuffer(capacity))
+    logger.addHandler(handler)
+    if logger.getEffectiveLevel() > logging.INFO:
+        logger.setLevel(logging.INFO)
+    return handler
+
+
+def uninstall_event_buffer(
+    handler: EventBufferHandler, logger_name: str = "repro"
+) -> None:
+    """Detach a handler installed by :func:`install_event_buffer`."""
+    logging.getLogger(logger_name).removeHandler(handler)

@@ -21,6 +21,7 @@ durations are ``_seconds`` — which is where the JSON key
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Iterable, List, Tuple
 
 from repro.obs.metrics import MetricFamily, render_text
@@ -210,3 +211,83 @@ def merged_exposition(
     if extra.strip():
         lines.append(extra.rstrip("\n"))
     return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------------ linting
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\",?)*)\})?"
+    r" (?P<value>\S+)$"
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parses_as_float(value: str) -> bool:
+    if value in ("+Inf", "-Inf", "NaN"):
+        return True
+    try:
+        float(value)
+        return True
+    except ValueError:
+        return False
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Lint a text-format-0.0.4 exposition; returns problem strings.
+
+    Checks what a strict scraper would choke on: malformed ``# HELP`` /
+    ``# TYPE`` headers, unknown metric types, duplicate ``# TYPE`` lines
+    for one family (invalid after merging), sample lines that do not
+    parse as ``name{labels} value``, samples whose name matches no
+    declared family, and values that are not valid floats.  An empty
+    list means the exposition is clean.  Used by the CI telemetry lint
+    and the debug-endpoint tests.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    declared: set = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _METRIC_NAME.match(parts[2]):
+                problems.append(f"line {lineno}: malformed header: {line!r}")
+                continue
+            kind, name = parts[1], parts[2]
+            declared.add(name)
+            if kind == "TYPE":
+                if parts[3] not in _TYPES:
+                    problems.append(
+                        f"line {lineno}: unknown metric type {parts[3]!r}"
+                    )
+                if name in typed:
+                    problems.append(
+                        f"line {lineno}: duplicate # TYPE for {name!r}"
+                    )
+                typed[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment: legal, ignored
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        base = name
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                base = name[: -len(suffix)]
+                break
+        if base not in declared:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no # HELP/# TYPE header"
+            )
+        if not _parses_as_float(match.group("value")):
+            problems.append(
+                f"line {lineno}: value {match.group('value')!r} is not a float"
+            )
+    return problems

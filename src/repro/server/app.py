@@ -23,6 +23,12 @@ GET      ``/v1/metrics``                      monotonic counters per dataset,
 GET      ``/v1/metrics/prometheus``           the same counters (plus request
                                               latency histograms) in the
                                               Prometheus text exposition
+GET      ``/v1/debug/profile``                sample this process's stacks for
+                                              ``?seconds=N`` at ``?hz=M`` and
+                                              return collapsed ("folded") stacks
+                                              with engine-phase annotations
+GET      ``/v1/debug/events``                 the last ``?n=K`` structured
+                                              events from the in-memory ring
 POST     ``/v1/datasets/{name}/release``      ``{"record_id", "spec", "seed"?,
                                               "starting_context"?}`` →
                                               ``PCORResult.to_dict()`` (plus a
@@ -58,6 +64,12 @@ from repro.obs.metrics import (
     render_text,
 )
 from repro.obs.export import dataset_families
+from repro.obs.events import (
+    EventBufferHandler,
+    install_event_buffer,
+    uninstall_event_buffer,
+)
+from repro.obs.profiler import ProfileSessions, ProfilerDisarmed
 from repro.obs.trace import (
     TRACE_HEADER,
     Trace,
@@ -72,6 +84,8 @@ from repro.server.http import (
     JsonRequestHandler,
     ThreadingJsonServer,
     _BadRequest,
+    _Draining,
+    query_number,
 )
 from repro.server.registry import DatasetRegistry
 from repro.service.engine import ReleaseRequest
@@ -104,6 +118,20 @@ class _Handler(JsonRequestHandler):
                 200,
                 self._app().prometheus_metrics().encode("utf-8"),
                 content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        elif url.path == "/v1/debug/profile":
+            query = parse_qs(url.query)
+            self._respond(
+                200,
+                self._app().debug_profile(
+                    seconds=query_number(query, "seconds"),
+                    hz=query_number(query, "hz"),
+                ),
+            )
+        elif url.path == "/v1/debug/events":
+            query = parse_qs(url.query)
+            self._respond(
+                200, self._app().debug_events(n=query_number(query, "n"))
             )
         else:
             raise ServerError(f"no such route: GET {url.path}")
@@ -185,6 +213,15 @@ class PCORServer:
         # server_close(), so the ledger must not close until every request
         # that entered a release path has left it.
         self.drain = DrainState()
+        # Debug introspection: in-flight /v1/debug/profile sessions (so
+        # shutdown can disarm them before the drain barrier waits) and the
+        # bounded ring of recent structured events behind /v1/debug/events.
+        self._profiles = ProfileSessions()
+        self._events_handler: Optional[EventBufferHandler] = (
+            install_event_buffer(self.obs.events_buffer)
+            if self.obs.events_buffer > 0
+            else None
+        )
         # One coalescer per dataset that opted in (max_batch > 1); the
         # engine_for thunk keeps dataset construction lazy.
         self._coalescers: Dict[str, ReleaseCoalescer] = {}
@@ -256,6 +293,10 @@ class PCORServer:
         # an app used in-process via PCORServer.release() without start().
         if self._thread is not None and self._thread.is_alive():
             self._httpd.shutdown()
+        # Disarm BEFORE the drain barrier waits: an in-flight profile
+        # session would otherwise park its handler inside the drain window
+        # for up to MAX_SECONDS and stall (then time out) the drain.
+        self._profiles.disarm()
         self.drain.drain()
         for coalescer in self._coalescers.values():
             coalescer.close()
@@ -264,6 +305,7 @@ class PCORServer:
             self._thread.join(timeout=10.0)
             self._thread = None
         self.registry.close()
+        self._uninstall_events()
 
     def abort(self) -> None:
         """Tear the server down *without* draining (crash simulation).
@@ -276,11 +318,20 @@ class PCORServer:
         """
         if self._thread is not None and self._thread.is_alive():
             self._httpd.shutdown()
+        self._profiles.disarm()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
         self.registry.close()
+        self._uninstall_events()
+
+    def _uninstall_events(self) -> None:
+        """Detach this server's event ring from the logger tree (idempotent)
+        so long-lived processes creating many servers don't leak handlers."""
+        if self._events_handler is not None:
+            uninstall_event_buffer(self._events_handler)
+            self._events_handler = None
 
     def __enter__(self) -> "PCORServer":
         return self.start()
@@ -387,6 +438,37 @@ class PCORServer:
         families = self.metrics_registry.collect()
         families.extend(dataset_families(self.metrics()["datasets"]))
         return render_text(families)
+
+    def debug_profile(
+        self, seconds: Optional[float] = None, hz: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Sample this process for ``seconds`` and return folded stacks.
+
+        Blocks the calling handler thread for the sampling window (the
+        server keeps serving on its other threads).  A shutdown arriving
+        mid-session disarms it: the session returns early with whatever
+        samples it gathered, flagged ``"disarmed": true``, and later
+        attempts get the same typed 503 + ``Retry-After`` as any other
+        drain-refused request.
+        """
+        try:
+            return self._profiles.run(seconds=seconds, hz=hz)
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        except ProfilerDisarmed as exc:
+            raise _Draining(str(exc)) from None
+
+    def debug_events(self, n: Optional[float] = None) -> Dict[str, Any]:
+        """The last ``n`` structured events from the in-memory ring."""
+        if self._events_handler is None:
+            raise ServerError(
+                "event ring is disabled (observability events_buffer = 0)"
+            )
+        if n is not None and n < 0:
+            raise _BadRequest(f"n must be >= 0, got {n:g}")
+        return self._events_handler.buffer.snapshot(
+            int(n) if n is not None else None
+        )
 
     def release(
         self,

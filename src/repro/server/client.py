@@ -123,6 +123,41 @@ class PCORClient:
     def metrics(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         return self._request("GET", "/v1/metrics", timeout=timeout)
 
+    def debug_profile(
+        self,
+        seconds: Optional[float] = None,
+        hz: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Sample the server for ``seconds`` and return folded stacks.
+
+        ``GET /v1/debug/profile`` — idempotent (sampling is read-only), so
+        it inherits the transport-retry and 503/``Retry-After`` policies
+        of every other GET.  The server blocks for the whole sampling
+        window before responding; when ``timeout`` is not given, the
+        socket timeout is widened to cover ``seconds`` so a long profile
+        doesn't trip the client-wide default.  Against a router the
+        profile covers the whole fleet (``router;``/``shard<N>;`` roots
+        and a pre-rendered ``folded_text``).
+        """
+        params = []
+        if seconds is not None:
+            params.append(f"seconds={float(seconds):g}")
+        if hz is not None:
+            params.append(f"hz={float(hz):g}")
+        path = "/v1/debug/profile" + ("?" + "&".join(params) if params else "")
+        if timeout is None:
+            timeout = self.timeout + (float(seconds) if seconds else 60.0)
+        return self._request("GET", path, timeout=timeout)
+
+    def debug_events(
+        self, n: Optional[int] = None, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The server's last ``n`` structured events
+        (``GET /v1/debug/events``; fleet-merged when aimed at a router)."""
+        path = "/v1/debug/events" + (f"?n={int(n)}" if n is not None else "")
+        return self._request("GET", path, timeout=timeout)
+
     def release(
         self,
         dataset: str,

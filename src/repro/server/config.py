@@ -316,18 +316,24 @@ class ObservabilityConfig:
         ``"text"`` (terse ``key=value`` lines) or ``"json"`` (one
         parseable object per line); ``pcor serve --log-format``
         overrides it.
+    events_buffer:
+        Capacity of the in-memory ring of recent structured events
+        behind ``GET /v1/debug/events``.  ``0`` disables the ring (the
+        endpoint then 404s); the default keeps the last 512 events.
     """
 
     enabled: bool = True
     sample_rate: float = 1.0
     slow_request_ms: float = 1000.0
     log_format: str = "text"
+    events_buffer: int = 512
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "enabled", bool(self.enabled))
         object.__setattr__(self, "sample_rate", float(self.sample_rate))
         object.__setattr__(self, "slow_request_ms", float(self.slow_request_ms))
         object.__setattr__(self, "log_format", str(self.log_format).lower())
+        object.__setattr__(self, "events_buffer", int(self.events_buffer))
         if not (0.0 <= self.sample_rate <= 1.0):
             raise SpecError(
                 f"observability sample_rate must be in [0, 1], "
@@ -343,6 +349,11 @@ class ObservabilityConfig:
                 f"unknown log_format {self.log_format!r}; "
                 f"use one of {LOG_FORMATS}"
             )
+        if self.events_buffer < 0:
+            raise SpecError(
+                "observability events_buffer must be >= 0 (0 disables the "
+                f"event ring), got {self.events_buffer}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {}
@@ -354,6 +365,8 @@ class ObservabilityConfig:
             out["slow_request_ms"] = self.slow_request_ms
         if self.log_format != "text":
             out["log_format"] = self.log_format
+        if self.events_buffer != 512:
+            out["events_buffer"] = self.events_buffer
         return out
 
 

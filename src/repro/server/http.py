@@ -85,6 +85,23 @@ def status_for(exc: Exception) -> int:
     return 500
 
 
+def query_number(query: Mapping[str, Any], key: str) -> Optional[float]:
+    """One numeric query parameter (last occurrence wins), or ``None``.
+
+    Shared by the server's and the router's debug routes; a non-numeric
+    value is the caller's typo and maps to a typed 400.
+    """
+    values = query.get(key)
+    if not values:
+        return None
+    try:
+        return float(values[-1])
+    except (TypeError, ValueError):
+        raise _BadRequest(
+            f"query parameter {key!r} must be a number, got {values[-1]!r}"
+        ) from None
+
+
 class DrainState:
     """The graceful-shutdown drain barrier, shared by server and router.
 

@@ -58,6 +58,7 @@ from repro.exceptions import (
 )
 from repro.mechanisms.accounting import PrivacyAccountant, epsilon_one_for
 from repro.mechanisms.exponential import ExponentialMechanism
+from repro.obs.profiler import set_engine_phase
 from repro.rng import RngLike, ensure_rng
 from repro.runtime import (
     ExecutionBackend,
@@ -772,67 +773,77 @@ class ReleaseEngine:
             mark_exec = mark = time.monotonic()
         t0 = time.perf_counter()
 
-        verifier = self.verifier_for(spec.build_detector())
-        sampler = spec.build_sampler()
-        # Thread-local so concurrent releases on one verifier (thread
-        # backend) don't attribute each other's detector runs.
-        fm_before = verifier.local_fm_evaluations
+        # Engine phases double as profiler frame annotations: while a
+        # sampling profiler is live (GET /v1/debug/profile), stacks from
+        # this thread carry the current phase as a synthetic frame.  Like
+        # tracing, this draws no randomness; idle cost is one global read.
+        try:
+            set_engine_phase("engine.starting_context")
+            verifier = self.verifier_for(spec.build_detector())
+            sampler = spec.build_sampler()
+            # Thread-local so concurrent releases on one verifier (thread
+            # backend) don't attribute each other's detector runs.
+            fm_before = verifier.local_fm_evaluations
 
-        starting_bits = self._resolve_starting_bits(
-            verifier, sampler, spec, record_id, request.starting_context, gen
-        )
-        utility = spec.build_utility(verifier, record_id, starting_bits)
-        if tracing:
-            now = time.monotonic()
-            trace.add_span("engine.starting_context", mark, now)
-            mark = now
-
-        eps1 = epsilon_one_for(
-            sampler.accounting_name, spec.epsilon, sampler.n_samples
-        )
-        mechanism = ExponentialMechanism(
-            eps1,
-            sensitivity=utility.sensitivity or 1.0,
-            half_sensitivity=spec.half_sensitivity,
-        )
-
-        run = sampler.sample(
-            verifier, utility, record_id, starting_bits, mechanism, gen
-        )
-        if tracing:
-            now = time.monotonic()
-            trace.add_span(
-                "engine.sample", mark, now, n_candidates=len(run.candidates)
+            starting_bits = self._resolve_starting_bits(
+                verifier, sampler, spec, record_id, request.starting_context, gen
             )
-            mark = now
-        if not run.candidates:
-            raise SamplingError(
-                f"sampler {sampler.name!r} collected no candidates for "
-                f"record {record_id}"
+            utility = spec.build_utility(verifier, record_id, starting_bits)
+            if tracing:
+                now = time.monotonic()
+                trace.add_span("engine.starting_context", mark, now)
+                mark = now
+
+            eps1 = epsilon_one_for(
+                sampler.accounting_name, spec.epsilon, sampler.n_samples
+            )
+            mechanism = ExponentialMechanism(
+                eps1,
+                sensitivity=utility.sensitivity or 1.0,
+                half_sensitivity=spec.half_sensitivity,
             )
 
-        scores = utility.scores(run.candidates)
-        run.stats.mechanism_invocations += 1
-        chosen, _ = mechanism.select(run.candidates, scores, gen)
+            set_engine_phase("engine.sample")
+            run = sampler.sample(
+                verifier, utility, record_id, starting_bits, mechanism, gen
+            )
+            if tracing:
+                now = time.monotonic()
+                trace.add_span(
+                    "engine.sample", mark, now, n_candidates=len(run.candidates)
+                )
+                mark = now
+            if not run.candidates:
+                raise SamplingError(
+                    f"sampler {sampler.name!r} collected no candidates for "
+                    f"record {record_id}"
+                )
 
-        result = PCORResult(
-            context=Context(verifier.schema, chosen),
-            record_id=record_id,
-            utility_value=float(utility.score(chosen)),
-            utility_name=utility.name,
-            epsilon_total=spec.epsilon,
-            epsilon_one=eps1,
-            algorithm=sampler.name,
-            n_candidates=len(run.candidates),
-            starting_context=(
-                Context(verifier.schema, starting_bits)
-                if starting_bits is not None
-                else None
-            ),
-            stats=run.stats,
-            fm_evaluations=verifier.local_fm_evaluations - fm_before,
-            wall_time_s=time.perf_counter() - t0,
-        )
+            set_engine_phase("engine.select")
+            scores = utility.scores(run.candidates)
+            run.stats.mechanism_invocations += 1
+            chosen, _ = mechanism.select(run.candidates, scores, gen)
+
+            result = PCORResult(
+                context=Context(verifier.schema, chosen),
+                record_id=record_id,
+                utility_value=float(utility.score(chosen)),
+                utility_name=utility.name,
+                epsilon_total=spec.epsilon,
+                epsilon_one=eps1,
+                algorithm=sampler.name,
+                n_candidates=len(run.candidates),
+                starting_context=(
+                    Context(verifier.schema, starting_bits)
+                    if starting_bits is not None
+                    else None
+                ),
+                stats=run.stats,
+                fm_evaluations=verifier.local_fm_evaluations - fm_before,
+                wall_time_s=time.perf_counter() - t0,
+            )
+        finally:
+            set_engine_phase(None)
         if tracing:
             now = time.monotonic()
             trace.add_span("engine.select", mark, now)

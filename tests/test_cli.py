@@ -201,3 +201,26 @@ class TestReleaseWithoutReference:
         out = capsys.readouterr().out
         assert "without a reference file" in out
         assert "released context" in out
+
+
+class TestBenchCommand:
+    def test_list_shows_registry(self, capsys):
+        rc = main(["bench", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("service_overhead", "obs_overhead", "router_overhead"):
+            assert name in out
+            assert "[quick]" in out
+
+    def test_unknown_bench_fails_cleanly(self, capsys):
+        rc = main(["bench", "no_such_bench"])
+        assert rc == 1
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_parser_accepts_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--strict", "--bench-scale", "smoke"]
+        )
+        assert args.quick and args.strict
+        assert args.bench_scale == "smoke"
+        assert args.benches == []

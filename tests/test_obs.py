@@ -313,6 +313,46 @@ class TestExport:
         assert 'pcor_x_total{shard="1"} 5' in lines
         assert 'pcor_y{shard="0"} 2' in lines
 
+    def test_validate_exposition_accepts_real_output(self):
+        from repro.obs import validate_exposition
+
+        text = render_text(dataset_families({"salary": {"epsilon_spent": 0.5}}))
+        assert validate_exposition(text) == []
+        # Merged fleet output stays clean too (dedup'd headers).
+        merged = "\n".join(merge_expositions([(0, text), (1, text)])) + "\n"
+        assert validate_exposition(merged) == []
+
+    def test_validate_exposition_flags_scraper_breakers(self):
+        from repro.obs import validate_exposition
+
+        cases = {
+            "malformed header": "# TYPE pcor_x\npcor_x 1\n",
+            "unknown metric type": "# TYPE pcor_x speedometer\npcor_x 1\n",
+            "duplicate # TYPE": (
+                "# TYPE pcor_x counter\n# TYPE pcor_x counter\npcor_x 1\n"
+            ),
+            "unparseable sample": "# TYPE pcor_x counter\n{oops} 1\n",
+            "is not a float": "# TYPE pcor_x counter\npcor_x one\n",
+            "has no # HELP/# TYPE header": "pcor_mystery 1\n",
+        }
+        for expected, text in cases.items():
+            problems = validate_exposition(text)
+            assert problems, expected
+            assert any(expected in p for p in problems), (expected, problems)
+
+    def test_validate_exposition_allows_histogram_suffixes(self):
+        from repro.obs import validate_exposition
+
+        text = (
+            "# HELP pcor_lat_seconds latency\n"
+            "# TYPE pcor_lat_seconds histogram\n"
+            'pcor_lat_seconds_bucket{le="0.1"} 3\n'
+            'pcor_lat_seconds_bucket{le="+Inf"} 5\n'
+            "pcor_lat_seconds_sum 0.42\n"
+            "pcor_lat_seconds_count 5\n"
+        )
+        assert validate_exposition(text) == []
+
 
 # -------------------------------------------------------------------- config
 

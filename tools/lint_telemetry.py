@@ -1,0 +1,120 @@
+"""CI telemetry lint: expositions and benchmark JSON must parse cleanly.
+
+Pure python, no third-party scraper or schema library:
+
+* boots a minimal in-process :class:`PCORServer` (and a thread-manager
+  router fleet) and runs :func:`repro.obs.validate_exposition` over their
+  ``/v1/metrics/prometheus`` bodies — a malformed sample line would
+  otherwise only surface when a real Prometheus scrape breaks in prod;
+* validates every ``BENCH_*.json`` under ``benchmarks/results/`` and
+  ``benchmarks/baselines/`` against the ``pcor-bench/1`` schema, and every
+  line of ``trajectory.jsonl`` as parseable JSON.
+
+Exit status is the number of problems (0 = clean), each printed on its
+own line.  Run from the repo root:  PYTHONPATH=src python tools/lint_telemetry.py
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs import validate_exposition  # noqa: E402
+from repro.server import PCORServer, ServerConfig  # noqa: E402
+
+LINT_DATASET = {
+    "source": "salary_reduced",
+    "records": 300,
+    "seed": 3,
+    "budget": 10.0,
+}
+
+
+def load_harness():
+    spec = importlib.util.spec_from_file_location(
+        "pcor_bench_harness", REPO / "benchmarks" / "harness.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def lint_expositions() -> list:
+    """Server and router-fleet Prometheus bodies through the linter."""
+    problems = []
+
+    config = ServerConfig.from_dict(
+        {"server": {"port": 0}, "datasets": {"salary": LINT_DATASET}}
+    )
+    server = PCORServer(config)
+    try:
+        for issue in validate_exposition(server.prometheus_metrics()):
+            problems.append(f"server exposition: {issue}")
+    finally:
+        server.shutdown()
+
+    from repro.cluster import PCORRouter
+
+    cluster = ServerConfig.from_dict(
+        {
+            "server": {"port": 0},
+            "datasets": {
+                "salary": LINT_DATASET,
+                "other": {**LINT_DATASET, "seed": 9},
+            },
+            "cluster": {"workers": 2, "manager": "thread"},
+        }
+    )
+    with PCORRouter(cluster) as router:
+        for issue in validate_exposition(router.prometheus_metrics()):
+            problems.append(f"router exposition: {issue}")
+    return problems
+
+
+def lint_bench_json() -> list:
+    harness = load_harness()
+    problems = []
+    for directory in (harness.RESULTS_DIR, harness.BASELINES_DIR):
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.glob("BENCH_*.json")):
+            rel = path.relative_to(REPO)
+            try:
+                doc = json.loads(path.read_text())
+            except ValueError as exc:
+                problems.append(f"{rel}: invalid JSON: {exc}")
+                continue
+            problems.extend(f"{rel}: {p}" for p in harness.validate_bench(doc))
+    trajectory = harness.TRAJECTORY
+    if trajectory.is_file():
+        for lineno, line in enumerate(
+            trajectory.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                json.loads(line)
+            except ValueError as exc:
+                problems.append(
+                    f"{trajectory.relative_to(REPO)}:{lineno}: "
+                    f"invalid JSON line: {exc}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = lint_expositions() + lint_bench_json()
+    for problem in problems:
+        print(f"LINT: {problem}")
+    if problems:
+        print(f"telemetry lint: {len(problems)} problem(s)")
+    else:
+        print("telemetry lint: expositions and bench JSON are clean")
+    return min(len(problems), 99)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
