@@ -67,7 +67,12 @@ BENCHES: Dict[str, Dict[str, Any]] = {
     "micro_kernels": {
         "file": "bench_micro_kernels.py",
         "quick": False,
-        "emits": ["batch_population_sizes", "release_many_amortisation"],
+        "emits": [
+            "batch_population_sizes",
+            "release_many_amortisation",
+            "native_kernels",
+            "append_incremental",
+        ],
     },
     "server_throughput": {
         "file": "bench_server_throughput.py",
@@ -116,6 +121,24 @@ def metric(
     return row
 
 
+def _kernel_backend() -> str:
+    """Which mask-kernel backend the bench process resolves to.
+
+    Lazy and failure-proof: this module must stay importable without
+    ``repro`` on the path, and a fingerprint is never worth crashing a
+    bench run over.  Recorded for comparability only — numbers measured
+    under ``native`` and ``fallback`` describe different code paths, so a
+    baseline diff across backends is an environment change, not a
+    regression.
+    """
+    try:
+        from repro.bitops import kernel_backend_name
+
+        return kernel_backend_name()
+    except Exception:
+        return "unknown"
+
+
 def env_fingerprint() -> Dict[str, Any]:
     """Where this measurement ran — enough to judge comparability."""
     return {
@@ -125,6 +148,7 @@ def env_fingerprint() -> Dict[str, Any]:
         "machine": platform.machine(),
         "cpus": os.cpu_count() or 1,
         "scale": os.environ.get("PCOR_BENCH_SCALE", "small"),
+        "kernel_backend": _kernel_backend(),
     }
 
 

@@ -10,12 +10,23 @@ layout: bit ``i`` lives in word ``i >> 6`` at position ``i & 63``.
 
 Everything here is pure NumPy and allocation-light; the hot batch kernels in
 :mod:`repro.data.masks` are thin loops over these primitives.
+
+A small *kernel registry* at the bottom of this module dispatches the three
+batch hot paths — AND-of-OR population evaluation, row popcounts, and
+packed-row intersection counts — to either these NumPy fallbacks or the
+optional numba-compiled kernels in :mod:`repro.data._kernels`.  Selection
+is automatic (native when numba imports, fallback otherwise) and can be
+pinned with ``PCOR_NATIVE=0`` (force fallback) / ``PCOR_NATIVE=1`` (require
+native; raises if numba is missing).
 """
 
 from __future__ import annotations
 
+import os
 import sys
-from typing import Sequence
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -127,9 +138,18 @@ def ints_to_bool_matrix(bits_seq: Sequence[int], n_bits: int) -> np.ndarray:
     n_rows = len(bits_seq)
     if n_rows == 0 or n_bits == 0:
         return np.zeros((n_rows, n_bits), dtype=bool)
-    n_bytes = (n_bits + 7) >> 3
-    buf = b"".join(int(b).to_bytes(n_bytes, "little") for b in bits_seq)
-    raw = np.frombuffer(buf, dtype=np.uint8).reshape(n_rows, n_bytes)
+    if n_bits <= WORD_BITS:
+        # Word-sized contexts (the common case): one fromiter into a uint64
+        # column, viewed as little-endian bytes — no per-int to_bytes and no
+        # Python-level buffer join.
+        arr = np.fromiter(
+            (int(b) for b in bits_seq), dtype=np.uint64, count=n_rows
+        )
+        raw = arr.view(np.uint8).reshape(n_rows, WORD_BYTES)
+    else:
+        n_bytes = (n_bits + 7) >> 3
+        buf = b"".join(int(b).to_bytes(n_bytes, "little") for b in bits_seq)
+        raw = np.frombuffer(buf, dtype=np.uint8).reshape(n_rows, n_bytes)
     return np.unpackbits(raw, axis=1, bitorder="little")[:, :n_bits].astype(bool)
 
 
@@ -144,8 +164,173 @@ def bool_matrix_to_ints(rows: np.ndarray) -> list[int]:
         return [0] * rows.shape[0]
     packed = np.packbits(rows, axis=1, bitorder="little")
     stride = packed.shape[1]
+    if rows.shape[1] <= WORD_BITS:
+        # Word-sized rows: pad each packed row to 8 bytes and read the whole
+        # batch back as one uint64 column — ``.tolist()`` yields Python ints
+        # without a per-row from_bytes loop.
+        padded = np.zeros((rows.shape[0], WORD_BYTES), dtype=np.uint8)
+        padded[:, :stride] = packed
+        return padded.view(np.uint64).ravel().tolist()
     blob = packed.tobytes()
     return [
         int.from_bytes(blob[k * stride : (k + 1) * stride], "little")
         for k in range(rows.shape[0])
     ]
+
+
+# --------------------------------------------------------- kernel registry
+
+
+def batch_and_of_or_numpy(
+    packed: np.ndarray,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    selection: np.ndarray,
+) -> np.ndarray:
+    """NumPy AND-of-OR population masks (the always-available fallback).
+
+    ``packed`` is the ``(t, n_words)`` predicate matrix, ``offsets`` and
+    ``sizes`` the per-attribute block layout, ``selection`` the ``(B, t)``
+    boolean context matrix.  Returns ``(B, n_words)`` uint64 population
+    masks: per predicate one fancy-indexed OR into the block accumulator,
+    per attribute one AND into the result.  A block with no selected value
+    leaves its accumulator all-zero, zeroing the conjunction — the
+    empty-disjunction-is-unsatisfiable semantics every backend must match.
+    """
+    batch = selection.shape[0]
+    n_words = packed.shape[1]
+    result: Optional[np.ndarray] = None
+    for off, size in zip(offsets, sizes):
+        block_or = np.zeros((batch, n_words), dtype=np.uint64)
+        for j in range(size):
+            rows = selection[:, off + j]
+            if rows.any():
+                block_or[rows] |= packed[off + j]
+        if result is None:
+            result = block_or
+        else:
+            result &= block_or
+    if result is None:  # zero attributes: empty conjunction selects all
+        return np.full((batch, n_words), np.uint64(0xFFFFFFFFFFFFFFFF))
+    return result
+
+
+def _batch_and_of_or_counts_numpy(
+    packed: np.ndarray,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    selection: np.ndarray,
+) -> np.ndarray:
+    return popcount_rows(batch_and_of_or_numpy(packed, offsets, sizes, selection))
+
+
+def _intersect_counts_numpy(matrix: np.ndarray, row: np.ndarray) -> np.ndarray:
+    return popcount_rows(matrix & row)
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One resolved implementation of the three batch hot paths."""
+
+    name: str
+    batch_and_of_or: Callable[..., np.ndarray]
+    batch_and_of_or_counts: Callable[..., np.ndarray]
+    popcount_rows: Callable[[np.ndarray], np.ndarray]
+    intersect_counts: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+_FALLBACK_BACKEND = KernelBackend(
+    name="fallback",
+    batch_and_of_or=batch_and_of_or_numpy,
+    batch_and_of_or_counts=_batch_and_of_or_counts_numpy,
+    popcount_rows=popcount_rows,
+    intersect_counts=_intersect_counts_numpy,
+)
+
+_kernel_lock = threading.Lock()
+_active_backend: Optional[KernelBackend] = None
+
+
+def native_kernels_available() -> bool:
+    """Can the numba-compiled backend be used in this environment?"""
+    from repro.data import _kernels
+
+    return _kernels.NATIVE_AVAILABLE
+
+
+def _native_backend() -> KernelBackend:
+    from repro.data import _kernels
+
+    if not _kernels.NATIVE_AVAILABLE:
+        raise RuntimeError(
+            "native kernels requested (PCOR_NATIVE=1 or "
+            "set_kernel_backend('native')) but numba is not importable"
+        )
+    return KernelBackend(
+        name="native",
+        batch_and_of_or=_kernels.and_of_or,
+        batch_and_of_or_counts=_kernels.and_of_or_counts,
+        popcount_rows=_kernels.popcount_rows,
+        intersect_counts=_kernels.intersect_counts,
+    )
+
+
+def set_kernel_backend(name: str) -> str:
+    """Pin the kernel backend: ``"native"``, ``"fallback"`` or ``"auto"``.
+
+    ``"auto"`` re-runs detection (``PCOR_NATIVE`` override, else native when
+    numba imports, else fallback).  Returns the name of the backend now
+    active.  Requesting ``"native"`` without numba raises ``RuntimeError``.
+    Benches and the equivalence tests use this to time/compare both
+    implementations in one process.
+    """
+    global _active_backend
+    with _kernel_lock:
+        if name == "fallback":
+            _active_backend = _FALLBACK_BACKEND
+        elif name == "native":
+            _active_backend = _native_backend()
+        elif name == "auto":
+            _active_backend = _detect_backend()
+        else:
+            raise ValueError(
+                f"unknown kernel backend {name!r}; "
+                "expected 'native', 'fallback' or 'auto'"
+            )
+        return _active_backend.name
+
+
+def _detect_backend() -> KernelBackend:
+    override = os.environ.get("PCOR_NATIVE")
+    if override is not None and override.strip() != "":
+        if override.strip() == "0":
+            return _FALLBACK_BACKEND
+        if override.strip() == "1":
+            return _native_backend()
+        raise RuntimeError(
+            f"PCOR_NATIVE={override!r} not understood; use 0 (force the "
+            "NumPy fallback) or 1 (require the numba-compiled kernels)"
+        )
+    return _native_backend() if native_kernels_available() else _FALLBACK_BACKEND
+
+
+def active_kernels() -> KernelBackend:
+    """The currently selected :class:`KernelBackend` (detecting lazily).
+
+    Detection is deferred to first use so importing :mod:`repro.bitops`
+    never imports (or requires) numba, and so ``PCOR_NATIVE`` is read after
+    test harnesses have had a chance to set it.
+    """
+    global _active_backend
+    backend = _active_backend
+    if backend is None:
+        with _kernel_lock:
+            if _active_backend is None:
+                _active_backend = _detect_backend()
+            backend = _active_backend
+    return backend
+
+
+def kernel_backend_name() -> str:
+    """Name of the active kernel backend (``"native"`` or ``"fallback"``)."""
+    return active_kernels().name

@@ -139,11 +139,13 @@ class _RouterHandler(JsonRequestHandler):
         if (
             len(parts) == 4
             and parts[:2] == ["v1", "datasets"]
-            and parts[3] == "release"
+            and parts[3] in ("release", "append")
         ):
             # Forward the request bytes verbatim: what the worker parses
             # is exactly what the client sent, so a release through the
-            # router is bit-identical to one served directly.
+            # router is bit-identical to one served directly.  Appends ride
+            # the same per-dataset consistent-hash route, so the shard that
+            # serves a dataset is the one that grows it.
             self._passthrough(app, parts[2], "POST", self.path, body=raw)
         else:
             raise ServerError(f"no such route: POST {url.path}")

@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 import weakref
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +60,9 @@ class ProfileStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0  # profiles dropped by targeted invalidation
+        self.stale_puts = 0  # puts rejected for carrying an old version
+        self._version = 0
 
     # ------------------------------------------------------------------ core
 
@@ -79,14 +82,66 @@ class ProfileStore:
         with self._lock:
             return self._profiles.get(bits)
 
-    def put(self, bits: int, profile: ContextProfile) -> None:
-        """Insert (or refresh) a profile, evicting the LRU entry if full."""
+    def put(
+        self,
+        bits: int,
+        profile: ContextProfile,
+        version: Optional[int] = None,
+    ) -> None:
+        """Insert (or refresh) a profile, evicting the LRU entry if full.
+
+        ``version`` is the dataset version the profile was computed against
+        (see :meth:`invalidate_matching`); a put stamped with a version
+        older than the store's current one is silently dropped — the
+        profile describes a dataset that no longer exists, and caching it
+        would let a release that raced an append poison the store for
+        every later caller.  Unstamped puts (``None``) always land, for
+        callers on immutable datasets.
+        """
         with self._lock:
+            if version is not None and version != self._version:
+                self.stale_puts += 1
+                return
             self._profiles[bits] = profile
             self._profiles.move_to_end(bits)
             while len(self._profiles) > self.capacity:
                 self._profiles.popitem(last=False)
                 self.evictions += 1
+
+    @property
+    def version(self) -> int:
+        """Dataset version this store currently caches for (monotonic)."""
+        with self._lock:
+            return self._version
+
+    def invalidate_matching(
+        self, record_bits_seq: Sequence[int], version: int
+    ) -> int:
+        """Advance the store to ``version``, dropping affected profiles.
+
+        ``record_bits_seq`` holds the exact-context bitmasks of the
+        appended records.  A cached profile is stale iff its context's
+        population could have changed — iff the context *contains* some
+        appended record, i.e. ``(record_bits & key) == record_bits``.
+        Every other profile (and there are typically vastly more) survives
+        the append untouched, which is the point of incremental updates.
+
+        Returns the number of profiles dropped.  Also fences late writers:
+        any in-flight :meth:`put` stamped with the pre-append version is
+        rejected once this returns.
+        """
+        bits_list = [int(b) for b in record_bits_seq]
+        with self._lock:
+            self._version = max(self._version, int(version))
+            stale = [
+                key
+                for key in self._profiles
+                if any((rbits & key) == rbits for rbits in bits_list)
+            ]
+            for key in stale:
+                del self._profiles[key]
+            self.invalidations += len(stale)
+            return len(stale)
 
     # --------------------------------------------------------------- plumbing
 
@@ -107,6 +162,8 @@ class ProfileStore:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.invalidations = 0
+            self.stale_puts = 0
 
     def stats(self) -> Dict[str, int]:
         """Counter snapshot for the harness / reporting."""
@@ -117,6 +174,9 @@ class ProfileStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "stale_puts": self.stale_puts,
+                "version": self._version,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -53,6 +53,11 @@ class PCORResult:
         Uncached detector runs performed during this release.
     wall_time_s:
         Wall-clock duration of the release.
+    dataset_version:
+        Append counter of the dataset snapshot the release ran against
+        (0 for a freshly built dataset).  Releases that race an append may
+        legitimately run against either the old or the new version; this
+        stamp records which one actually answered.
     """
 
     context: Context
@@ -67,6 +72,7 @@ class PCORResult:
     stats: SamplingStats = field(default_factory=SamplingStats)
     fm_evaluations: int = 0
     wall_time_s: float = 0.0
+    dataset_version: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able mapping of the whole result (for wires and logs).
@@ -92,6 +98,7 @@ class PCORResult:
             "stats": asdict(self.stats),
             "fm_evaluations": self.fm_evaluations,
             "wall_time_s": self.wall_time_s,
+            "dataset_version": self.dataset_version,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.bitops import popcount_rows
+from repro.bitops import active_kernels
 from repro.core.memo import gather_batched
 from repro.core.verification import OutlierVerifier
 from repro.exceptions import ContextError
@@ -132,7 +132,16 @@ class OverlapUtility(UtilityFunction):
 
         def compute_many(misses: List[int]) -> List[int]:
             packed = self.verifier.masks.population_masks(misses)
-            return [int(c) for c in popcount_rows(packed & self._starting_packed)]
+            w = self._starting_packed.shape[0]
+            if packed.shape[1] > w:
+                # An append grew the matrix mid-release: records beyond the
+                # starting snapshot cannot be in the starting population, so
+                # the extra words contribute nothing to the intersection.
+                packed = np.ascontiguousarray(packed[:, :w])
+            counts = active_kernels().intersect_counts(
+                packed, self._starting_packed
+            )
+            return [int(c) for c in counts]
 
         sizes = gather_batched(
             [int(b) for b in bits_seq],

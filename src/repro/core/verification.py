@@ -30,7 +30,7 @@ from typing import FrozenSet, List, Optional, Sequence
 
 import numpy as np
 
-from repro.bitops import popcount_rows
+from repro.bitops import active_kernels
 from repro.core.memo import gather_batched
 from repro.core.profiles import ContextProfile, ProfileStore
 from repro.data.masks import PredicateMaskIndex
@@ -94,11 +94,19 @@ class OutlierVerifier:
         Cached contexts are answered from the store; the distinct uncached
         ones share a single batched population-mask pass, then get one
         detector run each over their population's metric values.
+
+        Every store write is stamped with the dataset version captured at
+        batch entry: if an append lands mid-batch, the computed profiles
+        still answer *this* batch correctly (they describe the pre-append
+        snapshot) but the store rejects them, so later callers never read a
+        profile for a dataset that no longer exists.
         """
+        version = self.masks.dataset_version
+        store = self.profile_store
         return gather_batched(
             [int(b) for b in bits_seq],
-            self.profile_store.get,
-            self.profile_store.put,
+            store.get,
+            lambda bits, profile: store.put(bits, profile, version=version),
             self._compute_profiles,
         )
 
@@ -128,18 +136,25 @@ class OutlierVerifier:
 
         No verifier counters and no cache writes happen here (the mask
         index's own evaluation counter is lock-protected), so chunks are
-        safe to run concurrently from backend workers."""
-        packed = self.masks.population_masks(misses)  # one batched pass
-        pops = popcount_rows(packed)
-        ids = self.dataset.ids
-        metric = self.dataset.metric
+        safe to run concurrently from backend workers.  The whole chunk is
+        evaluated against one index snapshot — masks, positions, ids and
+        metric values all describe the same dataset even if an append
+        commits mid-chunk."""
+        snap = self.masks.snapshot()
+        packed = self.masks.population_masks(misses, snapshot=snap)
+        pops = active_kernels().popcount_rows(packed)
+        n_records = len(snap.dataset)
+        ids = snap.dataset.ids
+        metric = snap.dataset.metric
         computed: List[ContextProfile] = []
         for k in range(len(misses)):
             pop = int(pops[k])
             if pop == 0:
                 computed.append((0, frozenset()))
             else:
-                positions = self.masks.positions_from_packed(packed[k])
+                positions = self.masks.positions_from_packed(
+                    packed[k], n_records=n_records
+                )
                 outlier_pos = self.detector.outlier_positions(metric[positions])
                 computed.append(
                     (pop, frozenset(int(ids[positions[p]]) for p in outlier_pos))
@@ -156,8 +171,9 @@ class OutlierVerifier:
         cached = self.profile_store.get(bits)
         if cached is not None:
             return cached
+        version = self.masks.dataset_version
         profile = self._compute_profiles([bits])[0]
-        self.profile_store.put(bits, profile)
+        self.profile_store.put(bits, profile, version=version)
         return profile
 
     def population_size(self, bits: int) -> int:
@@ -211,6 +227,21 @@ class OutlierVerifier:
         return int(record_id) in self.context_profile(bits)[1]
 
     # --------------------------------------------------------------- plumbing
+
+    def rebind(self, dataset: Dataset) -> None:
+        """Point the verifier at the grown dataset after an index append.
+
+        The caller (the release engine) must have already invalidated the
+        profile store via :meth:`ProfileStore.invalidate_matching` with the
+        new version, and ``dataset`` must be the one the shared mask index
+        now serves — this only swaps the reference used for record lookups
+        and containment tests.
+        """
+        if self.masks.dataset is not dataset:
+            raise VerificationError(
+                "rebind target does not match the mask index's dataset"
+            )
+        self.dataset = dataset
 
     def cache_size(self) -> int:
         return len(self.profile_store)

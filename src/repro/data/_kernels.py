@@ -1,0 +1,157 @@
+"""Optional numba-JIT kernels for the hot mask-index loops.
+
+The pure-NumPy kernels in :mod:`repro.bitops` evaluate the AND-of-OR
+population filter as ``t`` fancy-indexed passes over a ``(B, n_words)``
+matrix — one NumPy dispatch per predicate.  The compiled kernels here fuse
+the whole evaluation (selection gather, per-attribute OR, conjunction AND,
+and optionally the popcount) into a single pass with the accumulator held
+in a register, which is where the remaining integer-multiple speedup lives.
+
+This module is *runtime-optional*: importing it never requires numba.
+:data:`NATIVE_AVAILABLE` reports whether the compiled backend can be used;
+the kernel registry in :mod:`repro.bitops` consults it (together with the
+``PCOR_NATIVE`` environment override) and keeps the NumPy implementations
+as the always-tested fallback.  Every kernel here is pinned bit-identical
+to its fallback by the equivalence suite in ``tests/test_kernels.py``.
+
+Bit layout matches :mod:`repro.bitops` exactly: record ``i`` lives in word
+``i >> 6`` at position ``i & 63``, padding bits beyond ``n`` are zero in
+every predicate row, so fused popcounts need no tail masking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NATIVE_AVAILABLE = True
+except ImportError:  # default environments stay numba-free
+    NATIVE_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Decorator stub so the kernel bodies below always parse."""
+
+        def wrap(fn):
+            return fn
+
+        if args and callable(args[0]):
+            return args[0]
+        return wrap
+
+
+# SWAR popcount constants.  Kept as uint64 scalars: numba (like NumPy)
+# promotes uint64-with-int64 arithmetic to float64, which would silently
+# destroy the high bits.
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+_ONE = np.uint64(1)
+_TWO = np.uint64(2)
+_FOUR = np.uint64(4)
+_S56 = np.uint64(56)
+_ZERO = np.uint64(0)
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@njit(cache=True, nogil=True)
+def _popcount64(x):
+    x = x - ((x >> _ONE) & _M1)
+    x = (x & _M2) + ((x >> _TWO) & _M2)
+    x = (x + (x >> _FOUR)) & _M4
+    return (x * _H01) >> _S56
+
+
+@njit(cache=True, nogil=True)
+def popcount_rows(matrix):
+    """Row popcounts of a ``(r, w)`` uint64 matrix, as int64."""
+    r, w = matrix.shape
+    out = np.zeros(r, dtype=np.int64)
+    for i in range(r):
+        acc = np.int64(0)
+        for j in range(w):
+            acc += np.int64(_popcount64(matrix[i, j]))
+        out[i] = acc
+    return out
+
+
+@njit(cache=True, nogil=True)
+def and_of_or(packed, offsets, sizes, selection):
+    """Fused AND-of-OR population masks.
+
+    ``packed`` is the ``(t, n_words)`` predicate matrix, ``offsets``/``sizes``
+    the int64 per-attribute block layout, ``selection`` the ``(B, t)`` boolean
+    context matrix.  Returns the ``(B, n_words)`` packed population masks —
+    one pass per (context, word) with the conjunction held in a register,
+    instead of ``t`` whole-matrix NumPy dispatches.  An attribute block with
+    no selected value zeroes its context's row (empty disjunction is
+    unsatisfiable), exactly like the fallback.
+    """
+    B = selection.shape[0]
+    n_words = packed.shape[1]
+    m = offsets.shape[0]
+    out = np.empty((B, n_words), dtype=np.uint64)
+    for b in range(B):
+        for w in range(n_words):
+            acc = _ONES
+            for a in range(m):
+                off = offsets[a]
+                blk = _ZERO
+                for j in range(sizes[a]):
+                    if selection[b, off + j]:
+                        blk |= packed[off + j, w]
+                acc &= blk
+                if acc == _ZERO:
+                    break
+            out[b, w] = acc
+    return out
+
+
+@njit(cache=True, nogil=True)
+def and_of_or_counts(packed, offsets, sizes, selection):
+    """Fused AND-of-OR *population sizes*: masks are never materialised.
+
+    Same contract as :func:`and_of_or` followed by a row popcount, but the
+    per-word conjunction is popcounted straight out of the register, so the
+    batch never allocates the ``(B, n_words)`` intermediate.
+    """
+    B = selection.shape[0]
+    n_words = packed.shape[1]
+    m = offsets.shape[0]
+    out = np.zeros(B, dtype=np.int64)
+    for b in range(B):
+        total = np.int64(0)
+        for w in range(n_words):
+            acc = _ONES
+            for a in range(m):
+                off = offsets[a]
+                blk = _ZERO
+                for j in range(sizes[a]):
+                    if selection[b, off + j]:
+                        blk |= packed[off + j, w]
+                acc &= blk
+                if acc == _ZERO:
+                    break
+            total += np.int64(_popcount64(acc))
+        out[b] = total
+    return out
+
+
+@njit(cache=True, nogil=True)
+def intersect_counts(matrix, row):
+    """``popcount(matrix[k] & row)`` for every row ``k``, as int64.
+
+    The overlap-utility kernel: intersection sizes of a batch of packed
+    population masks against one fixed packed mask, without materialising
+    the ANDed matrix.
+    """
+    r, w = matrix.shape
+    out = np.zeros(r, dtype=np.int64)
+    for i in range(r):
+        acc = np.int64(0)
+        for j in range(w):
+            acc += np.int64(_popcount64(matrix[i, j] & row[j]))
+        out[i] = acc
+    return out

@@ -10,10 +10,19 @@ The masks are stored *bit-packed*: a ``t x ceil(n/64)`` ``uint64`` matrix
 where row ``b`` holds predicate ``b``'s record mask, 64 records per word.
 The batch kernels :meth:`PredicateMaskIndex.population_masks` and
 :meth:`PredicateMaskIndex.population_sizes` evaluate the AND-of-OR filter
-for a whole array of context bitmasks in a handful of word-wise NumPy
-passes plus one popcount — no per-record boolean arrays on the hot path.
-The scalar APIs are thin wrappers over the batch kernels, so every caller
-exercises the same engine.
+for a whole array of context bitmasks through the kernel registry in
+:mod:`repro.bitops` — the NumPy fallback makes ``t`` word-wise passes, the
+optional numba backend fuses the whole evaluation into one pass — with no
+per-record boolean arrays on the hot path.  The scalar APIs are thin
+wrappers over the batch kernels, so every caller exercises the same engine.
+
+The index is *append-only live*: :meth:`PredicateMaskIndex.append` grows
+the packed matrix by OR-ing in the new records' bits word-by-word (O(k)
+words touched per appended record, no O(t*n) rebuild) and swaps the whole
+``(dataset, matrix, version)`` state atomically, so concurrent readers see
+either the old or the new dataset, never a torn mix.  ``dataset_version``
+increases monotonically with each append; caches keyed off the index use
+it for targeted invalidation.
 
 This is the module every sampler, the enumerator and the verifier funnel
 through, so it also keeps simple counters for the experiment harness.
@@ -22,14 +31,15 @@ through, so it also keeps simple counters for the experiment harness.
 from __future__ import annotations
 
 import threading
-from typing import List, Sequence, Tuple
+from typing import Any, List, Mapping, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
 from repro.bitops import (
+    active_kernels,
+    bool_matrix_to_ints,
     ints_to_bool_matrix,
     pack_bool_matrix,
-    popcount_rows,
     unpack_words,
     words_for,
 )
@@ -37,55 +47,101 @@ from repro.data.table import Dataset
 from repro.exceptions import ContextError
 
 
+class IndexSnapshot(NamedTuple):
+    """One coherent view of the index: dataset, packed matrix, version.
+
+    Everything derived from a population evaluation (row positions, record
+    ids, metric values) must come from the *same* snapshot the masks were
+    evaluated against, or a concurrent append could tear the result.
+    """
+
+    dataset: Dataset
+    packed: np.ndarray
+    version: int
+
+
+class _PendingAppend(NamedTuple):
+    """A fully built append, not yet visible to readers.
+
+    Produced by :meth:`PredicateMaskIndex.prepare_append`, published by
+    :meth:`PredicateMaskIndex.commit_append`.  The two-phase split lets the
+    engine invalidate version-keyed caches *between* building the new state
+    (which validates the records) and making it visible, so no release can
+    cache a stale profile under the new version.
+    """
+
+    base: IndexSnapshot
+    dataset: Dataset
+    packed: np.ndarray
+    version: int
+    record_bits: Tuple[int, ...]
+    record_ids: Tuple[int, ...]
+
+
 class PredicateMaskIndex:
     """Bit-packed per-predicate record masks over one dataset."""
 
     def __init__(self, dataset: Dataset):
-        self.dataset = dataset
         schema = dataset.schema
         self.t = schema.t
         self._offsets = schema.offsets
         self._block_sizes = tuple(len(a) for a in schema.attributes)
+        self._offsets_arr = np.asarray(self._offsets, dtype=np.int64)
+        self._sizes_arr = np.asarray(self._block_sizes, dtype=np.int64)
         n = len(dataset)
-        self.n_words = words_for(n)
-        # Boolean predicate masks (one row per predicate bit) exist only as
-        # a construction temporary; the index keeps just their packed form,
-        # shape (t, ceil(n/64)) uint64 — an 8x memory saving at scale.
-        bool_rows = np.empty((self.t, n), dtype=bool)
+        n_words = words_for(n)
+        # Pack one attribute block at a time into the final matrix: peak
+        # construction memory is one (max_block, n) boolean scratch, not the
+        # full (t, n) temporary — ~8x less at realistic schemas.
+        packed = np.zeros((self.t, n_words), dtype=np.uint64)
+        max_block = max(self._block_sizes, default=0)
+        scratch = np.empty((max_block, n), dtype=bool)
         row = 0
         for attr in schema.attributes:
             codes = dataset.codes(attr.name)
+            block = scratch[: len(attr)]
             for j in range(len(attr)):
-                np.equal(codes, j, out=bool_rows[row])
-                row += 1
-        self._packed = pack_bool_matrix(bool_rows)
+                np.equal(codes, j, out=block[j])
+            packed[row : row + len(attr)] = pack_bool_matrix(block)
+            row += len(attr)
+        self._state = IndexSnapshot(dataset, packed, 0)
+        self._append_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self.population_evaluations = 0  # harness-visible cost counter
 
     @classmethod
-    def from_packed(cls, dataset: Dataset, packed: np.ndarray) -> "PredicateMaskIndex":
+    def from_packed(
+        cls,
+        dataset: Dataset,
+        packed: np.ndarray,
+        dataset_version: int = 0,
+    ) -> "PredicateMaskIndex":
         """Rebuild an index around an existing packed matrix, without
         re-running the O(t*n) bit-pack pass.
 
         ``packed`` may be a read-only view — in particular a zero-copy view
         into a :mod:`multiprocessing.shared_memory` segment, which is how
         process workers get the matrix for free.  The caller keeps the
-        backing buffer alive for the index's lifetime.
+        backing buffer alive for the index's lifetime.  ``dataset_version``
+        carries the producing index's append counter across the boundary so
+        version-stamped accounting agrees between parent and workers.
         """
         obj = cls.__new__(cls)
-        obj.dataset = dataset
         schema = dataset.schema
         obj.t = schema.t
         obj._offsets = schema.offsets
         obj._block_sizes = tuple(len(a) for a in schema.attributes)
-        obj.n_words = words_for(len(dataset))
+        obj._offsets_arr = np.asarray(obj._offsets, dtype=np.int64)
+        obj._sizes_arr = np.asarray(obj._block_sizes, dtype=np.int64)
+        n_words = words_for(len(dataset))
         arr = np.asarray(packed)
-        if arr.dtype != np.uint64 or arr.shape != (obj.t, obj.n_words):
+        if arr.dtype != np.uint64 or arr.shape != (obj.t, n_words):
             raise ContextError(
-                f"packed matrix must be uint64 of shape ({obj.t}, {obj.n_words}), "
+                f"packed matrix must be uint64 of shape ({obj.t}, {n_words}), "
                 f"got {arr.dtype} {arr.shape}"
             )
-        obj._packed = arr
+        obj._state = IndexSnapshot(dataset, arr, int(dataset_version))
+        obj._append_lock = threading.Lock()
         obj._counter_lock = threading.Lock()
         obj.population_evaluations = 0
         return obj
@@ -93,9 +149,34 @@ class PredicateMaskIndex:
     # ------------------------------------------------------------------ core
 
     @property
+    def dataset(self) -> Dataset:
+        """The dataset currently served (grows under :meth:`append`)."""
+        return self._state.dataset
+
+    @property
+    def dataset_version(self) -> int:
+        """Monotonic append counter: 0 at build, +1 per committed append."""
+        return self._state.version
+
+    @property
+    def n_words(self) -> int:
+        """Packed words per mask row for the current dataset."""
+        return self._state.packed.shape[1]
+
+    def snapshot(self) -> IndexSnapshot:
+        """Atomically capture ``(dataset, packed, version)``.
+
+        The tuple swap in :meth:`append` makes this safe against concurrent
+        appends; derive positions/ids/metrics from the snapshot's dataset,
+        not from ``self.dataset``, when coherence with an evaluation
+        matters.
+        """
+        return self._state
+
+    @property
     def packed_matrix(self) -> np.ndarray:
         """The ``(t, n_words)`` packed predicate-mask matrix (read-only)."""
-        view = self._packed.view()
+        view = self._state.packed.view()
         view.flags.writeable = False
         return view
 
@@ -103,11 +184,16 @@ class PredicateMaskIndex:
         """Boolean record mask of one predicate (read-only, unpacked on demand)."""
         if not 0 <= bit < self.t:
             raise ContextError(f"bit {bit} out of range for t={self.t}")
-        mask = unpack_words(self._packed[bit], len(self.dataset))
+        snap = self._state
+        mask = unpack_words(snap.packed[bit], len(snap.dataset))
         mask.flags.writeable = False
         return mask
 
-    def population_masks(self, bits_seq: Sequence[int]) -> np.ndarray:
+    def population_masks(
+        self,
+        bits_seq: Sequence[int],
+        snapshot: IndexSnapshot | None = None,
+    ) -> np.ndarray:
         """Packed population masks for a whole batch of context bitmasks.
 
         Returns a ``(len(bits_seq), n_words)`` ``uint64`` matrix; row ``k``
@@ -117,10 +203,11 @@ class PredicateMaskIndex:
         matches the paper's "any non-empty context includes at least one
         predicate of each attribute".
 
-        The kernel is word-wise: per predicate one masked OR into the block
-        accumulator, per attribute one AND into the result — ``t`` passes
-        over a ``B x n_words`` matrix, independent of the batch's content.
+        Pass a :meth:`snapshot` to pin the evaluation to one coherent index
+        state while deriving positions/ids from the same snapshot; by
+        default the current state is captured once at entry.
         """
+        snap = self._state if snapshot is None else snapshot
         bits_list = [int(b) for b in bits_seq]
         for b in bits_list:
             if b < 0 or b >> self.t:
@@ -133,34 +220,44 @@ class PredicateMaskIndex:
         # not lose increments.
         with self._counter_lock:
             self.population_evaluations += batch
+        if batch == 0:
+            return np.zeros((0, snap.packed.shape[1]), dtype=np.uint64)
         selection = ints_to_bool_matrix(bits_list, self.t)  # (B, t)
-        result: np.ndarray | None = None
-        for off, size in zip(self._offsets, self._block_sizes):
-            block_or = np.zeros((batch, self.n_words), dtype=np.uint64)
-            for j in range(size):
-                rows = selection[:, off + j]
-                if rows.any():
-                    block_or[rows] |= self._packed[off + j]
-            # Rows whose block selected nothing stay all-zero, zeroing the
-            # conjunction — exactly the empty-block semantics.
-            if result is None:
-                result = block_or
-            else:
-                result &= block_or
-        assert result is not None  # schema has >= 1 attribute
-        return result
+        return active_kernels().batch_and_of_or(
+            snap.packed, self._offsets_arr, self._sizes_arr, selection
+        )
 
     def population_sizes(self, bits_seq: Sequence[int]) -> np.ndarray:
-        """Population size of every context in ``bits_seq`` (int64 array)."""
-        return popcount_rows(self.population_masks(bits_seq))
+        """Population size of every context in ``bits_seq`` (int64 array).
+
+        Under the native backend the masks are never materialised: the
+        fused kernel popcounts the conjunction straight out of a register.
+        """
+        snap = self._state
+        bits_list = [int(b) for b in bits_seq]
+        for b in bits_list:
+            if b < 0 or b >> self.t:
+                raise ContextError(
+                    f"context bits {b:#x} out of range for t={self.t}"
+                )
+        batch = len(bits_list)
+        with self._counter_lock:
+            self.population_evaluations += batch
+        if batch == 0:
+            return np.zeros(0, dtype=np.int64)
+        selection = ints_to_bool_matrix(bits_list, self.t)
+        return active_kernels().batch_and_of_or_counts(
+            snap.packed, self._offsets_arr, self._sizes_arr, selection
+        )
 
     def population_mask(self, bits: int) -> np.ndarray:
         """Boolean record mask of the population selected by context ``bits``.
 
         Thin scalar wrapper over :meth:`population_masks`.
         """
-        packed = self.population_masks([bits])
-        return unpack_words(packed[0], len(self.dataset))
+        snap = self._state
+        packed = self.population_masks([bits], snapshot=snap)
+        return unpack_words(packed[0], len(snap.dataset))
 
     def population_size(self, bits: int) -> int:
         """Number of records selected by context ``bits``."""
@@ -168,13 +265,106 @@ class PredicateMaskIndex:
 
     def population(self, bits: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(positions, record_ids, metric_values)`` of the population."""
-        mask = self.population_mask(bits)
-        positions = np.flatnonzero(mask)
-        return positions, self.dataset.ids[positions], self.dataset.metric[positions]
+        snap = self._state
+        packed = self.population_masks([bits], snapshot=snap)
+        positions = np.flatnonzero(unpack_words(packed[0], len(snap.dataset)))
+        return (
+            positions,
+            snap.dataset.ids[positions],
+            snap.dataset.metric[positions],
+        )
 
-    def positions_from_packed(self, packed_row: np.ndarray) -> np.ndarray:
-        """Row positions selected by one packed mask row."""
-        return np.flatnonzero(unpack_words(packed_row, len(self.dataset)))
+    def positions_from_packed(
+        self,
+        packed_row: np.ndarray,
+        n_records: int | None = None,
+    ) -> np.ndarray:
+        """Row positions selected by one packed mask row.
+
+        ``n_records`` pins the unpack length to the snapshot the row was
+        evaluated against (defaults to the current dataset's length).
+        """
+        n = len(self._state.dataset) if n_records is None else int(n_records)
+        return np.flatnonzero(unpack_words(packed_row, n))
+
+    # --------------------------------------------------------------- appends
+
+    def prepare_append(
+        self, records: Sequence[Mapping[str, Any]]
+    ) -> _PendingAppend:
+        """Build (but do not publish) the post-append index state.
+
+        Validates and appends the records via the O(k) fast path
+        :meth:`Dataset.append`, copies the packed matrix into a
+        ``(t, ceil((n+k)/64))`` buffer and OR-s each appended record's
+        ``m`` predicate bits into its word — the update is fully
+        vectorised (one ``bitwise_or.at`` scatter per attribute), no
+        O(t*n) repack and no per-record Python loop.
+        """
+        rows = [dict(r) for r in records]
+        base = self._state
+        new_dataset = base.dataset.append(rows)
+        old_n = len(base.dataset)
+        k = len(new_dataset) - old_n
+        new_packed = np.zeros((self.t, words_for(len(new_dataset))), dtype=np.uint64)
+        new_packed[:, : base.packed.shape[1]] = base.packed
+        positions = np.arange(old_n, old_n + k, dtype=np.int64)
+        words = positions >> 6
+        word_bits = np.uint64(1) << (positions & 63).astype(np.uint64)
+        row_range = np.arange(k)
+        flags = np.zeros((k, self.t), dtype=bool)
+        for off, attr in zip(self._offsets, new_dataset.schema.attributes):
+            predicate_rows = off + new_dataset.codes(attr.name)[old_n:].astype(
+                np.int64
+            )
+            # .at, not fancy assignment: two appended records in the same
+            # word and predicate must both land their bits.
+            np.bitwise_or.at(new_packed, (predicate_rows, words), word_bits)
+            flags[row_range, predicate_rows] = True
+        record_bits = bool_matrix_to_ints(flags)
+        return _PendingAppend(
+            base=base,
+            dataset=new_dataset,
+            packed=new_packed,
+            version=base.version + 1,
+            record_bits=tuple(record_bits),
+            record_ids=tuple(int(r) for r in new_dataset.ids[old_n:]),
+        )
+
+    def commit_append(self, pending: _PendingAppend) -> Dataset:
+        """Atomically publish a prepared append; returns the new dataset.
+
+        Readers mid-evaluation keep the snapshot they captured; every call
+        after the commit sees the grown dataset and the bumped version.
+        Committing against a state other than the one the append was
+        prepared from raises (appends must be serialised by the caller).
+        """
+        with self._append_lock:
+            if self._state is not pending.base:
+                raise ContextError(
+                    "stale append: the index advanced since prepare_append "
+                    "(serialise appends through one writer)"
+                )
+            self._state = IndexSnapshot(
+                pending.dataset, pending.packed, pending.version
+            )
+        return pending.dataset
+
+    def append(self, records: Sequence[Mapping[str, Any]]) -> Dataset:
+        """Append records in one step (prepare + commit under the lock).
+
+        Convenience for standalone index use; :class:`ReleaseEngine` drives
+        the two-phase form so it can invalidate version-keyed caches
+        between build and publish.
+        """
+        with self._append_lock:
+            pending = self.prepare_append(records)
+            if self._state is not pending.base:  # pragma: no cover - guarded
+                raise ContextError("concurrent append detected")
+            self._state = IndexSnapshot(
+                pending.dataset, pending.packed, pending.version
+            )
+        return pending.dataset
 
     # -------------------------------------------------------------- utilities
 

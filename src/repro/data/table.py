@@ -18,6 +18,7 @@ record ids, never positions.
 
 from __future__ import annotations
 
+from collections import ChainMap
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -325,6 +326,92 @@ class Dataset:
             np.concatenate([self._metric, new_metric]),
             ids=np.concatenate([self._ids, new_ids]),
         )
+
+    #: Appends stack one small id-map layer per call; past this depth the
+    #: layers are flattened into one dict so lookups stay O(1).
+    _ID_MAP_MAX_DEPTH = 8
+
+    def append(self, records: Iterable[Mapping[str, object]]) -> "Dataset":
+        """O(k) append for the live pipeline — bit-identical to
+        :meth:`with_records`, without its O(n) re-validation.
+
+        Datasets are immutable: appending returns a *new* dataset sharing
+        the schema, with fresh stable ids for the new rows.  Only the ``k``
+        appended rows are validated (domain lookup, finite metric); the
+        base's columns are carried over by concatenation, its id index is
+        *shared* through a chained mapping (appended ids are fresh by the
+        id-ceiling invariant, so layers can never collide), and a warmed
+        record-bits cache is extended rather than recomputed.  The live path
+        (:meth:`repro.service.engine.ReleaseEngine.append`) rides on this to
+        grow the served dataset without O(n) per-append work.
+        """
+        rows = list(records)
+        if not rows:
+            return self
+        k = len(rows)
+        old_n = len(self)
+        next_id = self._id_ceiling
+
+        tail_codes: Dict[str, np.ndarray] = {}
+        for attr in self.schema.attributes:
+            lookup = {v: j for j, v in enumerate(attr.domain)}
+            col = np.empty(k, dtype=np.int16)
+            for i, row in enumerate(rows):
+                if attr.name not in row:
+                    raise DatasetError(f"record missing attribute {attr.name!r}")
+                value = str(row[attr.name])
+                try:
+                    col[i] = lookup[value]
+                except KeyError:
+                    raise DatasetError(
+                        f"row {i}: value {value!r} not in domain of {attr.name!r}"
+                    ) from None
+            tail_codes[attr.name] = col
+        metric_name = self.schema.metric.name
+        for i, row in enumerate(rows):
+            if metric_name not in row:
+                raise DatasetError(f"row {i}: record missing metric {metric_name!r}")
+        tail_metric = np.array(
+            [float(row[metric_name]) for row in rows],  # type: ignore[arg-type]
+            dtype=np.float64,
+        )
+        if not np.all(np.isfinite(tail_metric)):
+            raise DatasetError("metric column contains non-finite values")
+        tail_ids = np.arange(next_id, next_id + k, dtype=np.int64)
+
+        out = Dataset.__new__(Dataset)
+        out.schema = self.schema
+        out._codes = {
+            name: np.concatenate([self._codes[name], tail_codes[name]])
+            for name in self._codes
+        }
+        out._metric = np.concatenate([self._metric, tail_metric])
+        out._ids = np.concatenate([self._ids, tail_ids])
+        tail_map = {int(rid): old_n + i for i, rid in enumerate(tail_ids)}
+        base_map = self._id_to_pos
+        if isinstance(base_map, ChainMap):
+            if len(base_map.maps) >= self._ID_MAP_MAX_DEPTH:
+                flat = dict(base_map)
+                flat.update(tail_map)
+                out._id_to_pos = flat
+            else:
+                out._id_to_pos = ChainMap(tail_map, *base_map.maps)
+        else:
+            out._id_to_pos = ChainMap(tail_map, base_map)
+        out._id_ceiling = next_id + k
+        if self._record_bits_cache is not None:
+            tail_bits = np.zeros(k, dtype=np.object_)
+            for off, attr in zip(self.schema.offsets, self.schema.attributes):
+                shifts = np.array(
+                    [1 << (off + j) for j in range(len(attr))], dtype=np.object_
+                )
+                tail_bits = tail_bits | shifts[tail_codes[attr.name]]
+            out._record_bits_cache = np.concatenate(
+                [self._record_bits_cache, tail_bits]
+            )
+        else:
+            out._record_bits_cache = None
+        return out
 
     # ------------------------------------------------------------------- misc
 

@@ -61,6 +61,10 @@ _DATASET_COUNTERS = (
      "Requests that flowed through the coalescer."),
     ("batch_queue_wait_s", "pcor_batch_queue_wait_seconds_total",
      "Seconds requests spent queued in the coalescer before flush."),
+    ("appends", "pcor_appends_total",
+     "Live append operations committed against the dataset."),
+    ("profiles_invalidated", "pcor_profiles_invalidated_total",
+     "Cached context profiles dropped by targeted append invalidation."),
 )
 
 # Gauges: point-in-time values, free to move either way.
@@ -83,6 +87,8 @@ _DATASET_GAUGES = (
      "Median flushed batch size in the recent window."),
     ("batch_size_max", "pcor_batch_size_max",
      "Largest flushed batch in the recent window."),
+    ("dataset_version", "pcor_dataset_version",
+     "Append counter of the served dataset (0 = as loaded)."),
 )
 
 

@@ -9,6 +9,13 @@ Tasks then carry only their own payload — a request spec rendered as data
 plus a picklable RNG substream token — so per-task IPC stays tiny however
 large the dataset is.
 
+Live datasets: when the bound mask index reappears with a *new* dataset
+snapshot (``ReleaseEngine.append`` committed between batches), the pool is
+kept — a fresh export is published and each task carries its handle, so
+workers re-attach lazily on their next task instead of paying a respawn.
+The initargs segment stays alive for late-spawning workers; superseded
+intermediate segments are unlinked immediately.
+
 Failure semantics: a worker dying mid-task surfaces as a clear
 :class:`~repro.exceptions.ExecutionError` naming this backend (never a raw
 ``BrokenProcessPool``), and the pool plus shared memory are torn down
@@ -32,20 +39,23 @@ from repro.runtime.sharing import SharedDatasetExport
 from repro.runtime import worker as worker_mod
 
 
-def _release_resources(export: Optional[SharedDatasetExport], pool) -> None:
+def _release_resources(exports: List[SharedDatasetExport], pool) -> None:
     """GC/close-time cleanup; must never reference the backend itself.
 
-    The pool is joined *before* the segment is unlinked, so a worker still
+    The pool is joined *before* the segments are unlinked, so a worker still
     running its initializer can finish attaching; crashed workers are
-    already gone and join immediately.
+    already gone and join immediately.  ``exports`` is the backend's live
+    mutable list — read at call time, so exports added by live rebinds after
+    the finalizer was registered are still reclaimed.
     """
     if pool is not None:
         try:
             pool.shutdown(wait=True, cancel_futures=True)
         except Exception:  # pragma: no cover - best-effort teardown
             pass
-    if export is not None:
+    for export in list(exports):
         export.close()
+    exports.clear()
 
 
 class ProcessBackend(ExecutionBackend):
@@ -79,6 +89,21 @@ class ProcessBackend(ExecutionBackend):
         # and holding the object keeps a recycled id from silently aliasing
         # a *different* dataset onto a stale shared-memory export.
         self._dataset: Optional[Any] = None
+        # The mask index the pool was spawned against.  When the *same*
+        # index reappears with a *new* dataset (an append swapped the
+        # engine's snapshot), the pool is kept and only a fresh export is
+        # published — workers re-attach per task instead of respawning.
+        self._mask_index: Optional[Any] = None
+        # Export the pool's initargs name: it must outlive every rebind,
+        # because a worker the executor spawns late still runs its
+        # initializer against this segment before any task re-attaches it.
+        self._initial_export: Optional[SharedDatasetExport] = None
+        #: dataset_version baked into the pool initargs; tasks ship a
+        #: re-attach handle only while the current export is newer.
+        self._pool_version: int = 0
+        # Every un-closed export, shared (as one mutable list) with the
+        # finalizer so rebind-published segments are reclaimed too.
+        self._live_exports: List[SharedDatasetExport] = []
         self._finalizer: Optional[weakref.finalize] = None
         # spec -> validated payload; keyed by id with a strong reference to
         # the spec so a recycled id can never alias a different spec.
@@ -98,23 +123,59 @@ class ProcessBackend(ExecutionBackend):
             from repro.data.masks import PredicateMaskIndex
 
             mask_index = PredicateMaskIndex(dataset)
-        pool = self._ensure_bound(dataset, mask_index, profile_capacity)
+        pool, _ = self._ensure_bound(dataset, mask_index, profile_capacity)
         # The executor spawns workers lazily on submission; pinging with one
         # short sleep per worker forces the whole pool (and every worker's
         # initializer) up now.
         self._map(pool, worker_mod.ping_task, [0.05] * self.workers)
 
+    def _current_shm_ref(self) -> Optional[Dict[str, Any]]:
+        """Re-attach handle to ride on task payloads, or ``None`` while the
+        current export is still the one the pool initargs carry (the common
+        no-append case pays zero extra payload bytes).  Callers hold the
+        lifecycle lock."""
+        if (
+            self._export is None
+            or self._export.handle.dataset_version == self._pool_version
+        ):
+            return None
+        return {"handle": self._export.handle}
+
     def _ensure_bound(
         self, dataset, mask_index, profile_capacity: Optional[int] = None
-    ) -> ProcessPoolExecutor:
-        """Export ``dataset``, spawn the pool (once per dataset), and return
-        the pool *handle* the caller must ship its tasks through — holding
-        the handle (rather than re-reading ``self._pool`` later) keeps a
-        concurrent rebind to a different dataset from silently swapping the
-        pool under an in-flight batch."""
+    ) -> Tuple[ProcessPoolExecutor, Optional[Dict[str, Any]]]:
+        """Export ``dataset``, spawn or rebind the pool, and return the pool
+        *handle* the caller must ship its tasks through plus the shm
+        re-attach reference (``None`` unless a live append superseded the
+        segment the pool was spawned with).  Holding the pool handle (rather
+        than re-reading ``self._pool`` later) keeps a concurrent rebind to a
+        different dataset from silently swapping the pool under an in-flight
+        batch.
+
+        Rebind semantics: when the *same mask index* comes back carrying a
+        *new* dataset snapshot (``ReleaseEngine.append`` committed between
+        batches), the spawned workers are kept — only a fresh export is
+        published, and tasks carry its handle so each worker re-attaches
+        lazily on its next task.  Anything else (different dataset, different
+        index) is a cold rebind: tear down and respawn.
+        """
         with self._lifecycle_lock:
-            if self._pool is not None and self._dataset is dataset:
-                return self._pool
+            if self._pool is not None and self._mask_index is mask_index:
+                if self._dataset is dataset:
+                    return self._pool, self._current_shm_ref()
+                if mask_index.dataset is dataset:
+                    # Live append: publish the new snapshot, keep the pool.
+                    export = SharedDatasetExport(dataset, mask_index)
+                    superseded, self._export = self._export, export
+                    self._dataset = dataset
+                    self._live_exports.append(export)
+                    if superseded is not None and superseded is not self._initial_export:
+                        # Intermediate generation: no future task ships its
+                        # handle, and attached workers keep their own
+                        # mapping alive — safe to unlink now.
+                        superseded.close()
+                        self._live_exports.remove(superseded)
+                    return self._pool, self._current_shm_ref()
             self._unbind()
             export = SharedDatasetExport(dataset, mask_index)
             try:
@@ -131,10 +192,16 @@ class ProcessBackend(ExecutionBackend):
                 export.close()
                 raise
             self._export = export
+            self._initial_export = export
+            self._pool_version = export.handle.dataset_version
+            self._live_exports = [export]
             self._pool = pool
             self._dataset = dataset
-            self._finalizer = weakref.finalize(self, _release_resources, export, pool)
-            return pool
+            self._mask_index = mask_index
+            self._finalizer = weakref.finalize(
+                self, _release_resources, self._live_exports, pool
+            )
+            return pool, None
 
     def _unbind(self, expected_pool: Optional[ProcessPoolExecutor] = None) -> None:
         """Tear down the current binding.
@@ -148,8 +215,12 @@ class ProcessBackend(ExecutionBackend):
                 return
             finalizer, self._finalizer = self._finalizer, None
             self._export = None
+            self._initial_export = None
             self._pool = None
             self._dataset = None
+            self._mask_index = None
+            self._pool_version = 0
+            self._live_exports = []
         if finalizer is not None:
             finalizer()  # runs _release_resources exactly once
 
@@ -277,7 +348,9 @@ class ProcessBackend(ExecutionBackend):
 
     def run_releases(self, engine, requests: Sequence, tokens: Sequence[SeedToken]) -> List:
         t0 = time.perf_counter()
-        pool = self._ensure_bound(engine.dataset, engine.masks, engine.profile_capacity)
+        pool, shm_ref = self._ensure_bound(
+            engine.dataset, engine.masks, engine.profile_capacity
+        )
         payloads = []
         for request, token in zip(requests, tokens):
             start = request.starting_context
@@ -299,6 +372,7 @@ class ProcessBackend(ExecutionBackend):
                         if trace is not None and trace.sampled
                         else None
                     ),
+                    "shm": shm_ref,
                 }
             )
         results = self._map(pool, worker_mod.run_release_task, payloads)
@@ -311,12 +385,12 @@ class ProcessBackend(ExecutionBackend):
 
     def run_profiles(self, verifier, misses: List[int]) -> List:
         t0 = time.perf_counter()
-        pool = self._ensure_bound(
+        pool, shm_ref = self._ensure_bound(
             verifier.dataset, verifier.masks, verifier.profile_store.capacity
         )
         detector = self._detector_payload_for(verifier)
         payloads = [
-            {"detector": detector, "bits": chunk}
+            {"detector": detector, "bits": chunk, "shm": shm_ref}
             for chunk in chunk_evenly(misses, self.workers)
         ]
         profiles: List = []

@@ -36,11 +36,18 @@ ArraySpec = Tuple[int, Tuple[int, ...], str]
 
 @dataclass(frozen=True)
 class SharedDatasetHandle:
-    """Everything a worker needs to attach: segment name, layout, schema."""
+    """Everything a worker needs to attach: segment name, layout, schema.
+
+    ``dataset_version`` is the append counter of the mask index the export
+    snapshotted; workers use it to decide whether a task's handle is newer
+    than the segment they are currently attached to (live rebind after a
+    dataset append) — versions are monotone, so a plain ``>`` suffices.
+    """
 
     shm_name: str
     layout: Dict[str, ArraySpec]
     schema: Schema
+    dataset_version: int = 0
 
 
 def _codes_key(attr_name: str) -> str:
@@ -52,13 +59,16 @@ class SharedDatasetExport:
 
     def __init__(self, dataset: Dataset, mask_index: PredicateMaskIndex):
         schema = dataset.schema
+        # One coherent (packed, version) pair: an append racing this export
+        # must not pair an old matrix with a new version stamp.
+        snap = mask_index.snapshot()
         arrays: Dict[str, np.ndarray] = {
             _codes_key(attr.name): dataset.codes(attr.name)
             for attr in schema.attributes
         }
         arrays["ids"] = dataset.ids
         arrays["metric"] = dataset.metric
-        arrays["masks"] = mask_index.packed_matrix
+        arrays["masks"] = snap.packed
 
         layout: Dict[str, ArraySpec] = {}
         offset = 0
@@ -74,7 +84,10 @@ class SharedDatasetExport:
             view[...] = arr
 
         self.handle = SharedDatasetHandle(
-            shm_name=self.shm.name, layout=layout, schema=schema
+            shm_name=self.shm.name,
+            layout=layout,
+            schema=schema,
+            dataset_version=snap.version,
         )
         self.nbytes = max(1, offset)
         self._closed = False
@@ -124,5 +137,7 @@ def attach_shared_dataset(
     schema = handle.schema
     codes = {attr.name: view(_codes_key(attr.name)) for attr in schema.attributes}
     dataset = Dataset.from_codes(schema, codes, view("metric"), ids=view("ids"))
-    masks = PredicateMaskIndex.from_packed(dataset, view("masks"))
+    masks = PredicateMaskIndex.from_packed(
+        dataset, view("masks"), dataset_version=handle.dataset_version
+    )
     return dataset, masks, shm

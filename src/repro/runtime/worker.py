@@ -41,16 +41,10 @@ _RUNTIME: Optional[Dict[str, Any]] = None
 # ------------------------------------------------------------- initialisation
 
 
-def initialize_worker(
-    handle: SharedDatasetHandle, profile_capacity: Optional[int] = None
-) -> None:
-    """Process-pool initializer: attach shared memory, build the engine.
-
-    ``profile_capacity`` carries the parent engine's profile-store bound so
-    worker caches (which persist across tasks by design) respect the same
-    memory ceiling the caller configured.
-    """
-    global _RUNTIME
+def _build_runtime(
+    handle: SharedDatasetHandle, profile_capacity: Optional[int]
+) -> Dict[str, Any]:
+    """Attach ``handle`` and stand up a fresh serial engine over it."""
     from repro.core.profiles import DEFAULT_CAPACITY
     from repro.runtime.serial import SerialBackend
     from repro.service.engine import ReleaseEngine
@@ -67,15 +61,58 @@ def initialize_worker(
             DEFAULT_CAPACITY if profile_capacity is None else int(profile_capacity)
         ),
     )
-    _RUNTIME = {"engine": engine, "shm": shm}
+    return {
+        "engine": engine,
+        "shm": shm,
+        "version": handle.dataset_version,
+        "profile_capacity": profile_capacity,
+    }
 
 
-def _engine():
+def initialize_worker(
+    handle: SharedDatasetHandle, profile_capacity: Optional[int] = None
+) -> None:
+    """Process-pool initializer: attach shared memory, build the engine.
+
+    ``profile_capacity`` carries the parent engine's profile-store bound so
+    worker caches (which persist across tasks by design) respect the same
+    memory ceiling the caller configured.
+    """
+    global _RUNTIME
+    _RUNTIME = _build_runtime(handle, profile_capacity)
+
+
+def _engine(shm_ref: Optional[Dict[str, Any]] = None):
+    """The worker's engine, re-attached first if the task carries a newer
+    shared segment (a live dataset append republished the export).
+
+    Versions are monotone and superseded segments are unlinked by the
+    parent, so a worker only ever moves forward: a stale ``shm_ref`` (task
+    queued before a newer rebind was observed) is simply ignored.  The
+    rebuilt engine starts with empty profile caches — correct by
+    construction, since cached profiles describe the previous snapshot.
+    """
+    global _RUNTIME
     if _RUNTIME is None:
         raise ExecutionError(
             "worker runtime not initialised; tasks may only run on a pool "
             "started by ProcessBackend"
         )
+    if shm_ref is not None:
+        handle: SharedDatasetHandle = shm_ref["handle"]
+        if handle.dataset_version > _RUNTIME["version"]:
+            old = _RUNTIME
+            _RUNTIME = _build_runtime(handle, old["profile_capacity"])
+            old_shm = old.pop("shm")
+            old.clear()  # drop the old engine (and its zero-copy views) now
+            try:
+                old_shm.close()
+            except BufferError:  # pragma: no cover - view pinned by a cycle
+                # mmap refuses to close while a numpy view is exported; the
+                # collector will release it — the mapping lingers until then
+                # (bounded: one superseded mapping per rebind, not a leak of
+                # the segment itself, which the parent already unlinked).
+                pass
     return _RUNTIME["engine"]
 
 
@@ -214,7 +251,7 @@ def run_release_task(payload: Dict[str, Any]):
     """
     from repro.service.engine import ReleaseRequest
 
-    engine = _engine()
+    engine = _engine(payload.get("shm"))
     spec = rebuild_spec(payload["spec"])
     trace = None
     trace_ref = payload.get("trace")
@@ -236,7 +273,7 @@ def run_release_task(payload: Dict[str, Any]):
 
 def run_profile_task(payload: Dict[str, Any]):
     """Profile one chunk of contexts against the worker's shared verifier."""
-    engine = _engine()
+    engine = _engine(payload.get("shm"))
     detector = rebuild_detector(payload["detector"])
     verifier = engine.verifier_for(detector)
     return verifier.profiles(payload["bits"])

@@ -56,7 +56,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
-from repro.exceptions import ServerError
+from repro.exceptions import DatasetError, SchemaError, ServerError
 from repro.obs.logs import log_event
 from repro.obs.metrics import (
     PROMETHEUS_CONTENT_TYPE,
@@ -146,6 +146,11 @@ class _Handler(JsonRequestHandler):
                 parts[2], self._tenant(), body, trace=trace
             )
             self._respond(200, payload)
+        elif len(parts) == 4 and parts[:2] == ["v1", "datasets"] and parts[3] == "append":
+            body = self._parse_json(raw)
+            self._respond(
+                200, self._app().append(parts[2], self._tenant(), body)
+            )
         else:
             raise ServerError(f"no such route: POST {url.path}")
 
@@ -552,6 +557,59 @@ class PCORServer:
         if trace is not None and trace.sampled:
             payload["trace"] = trace.to_dict()
         return payload
+
+    def append(
+        self,
+        dataset: str,
+        tenant: str,
+        body: Mapping[str, Any],
+    ) -> Dict[str, Any]:
+        """Append records to a served dataset (``POST .../append``).
+
+        The engine grows its mask index incrementally and bumps the
+        dataset version; cached profiles whose contexts contain an
+        appended record are invalidated, everything else survives.
+        Releases concurrent with the append run against either the old or
+        the new version — each response's ``result.dataset_version`` says
+        which.  Appends charge no privacy budget: the OCDP guarantee is
+        per-release, and the new records are protected by the same
+        mechanism from their first release onward.
+        """
+        entry = self.registry.get(dataset)  # unknown name -> 404
+        unknown = sorted(set(body) - {"records"})
+        if unknown:
+            raise _BadRequest(
+                f"unknown append field(s) {unknown}; known: ['records']"
+            )
+        records = body.get("records")
+        if not isinstance(records, list) or not records:
+            raise _BadRequest(
+                "append body needs a non-empty 'records' list of objects"
+            )
+        for i, row in enumerate(records):
+            if not isinstance(row, Mapping):
+                raise _BadRequest(
+                    f"records[{i}] must be an object, got {type(row).__name__}"
+                )
+        started = time.monotonic()
+        try:
+            info = entry.engine.append(records)
+        except (DatasetError, SchemaError) as exc:
+            # Well-formed JSON, bad data (unknown domain value, missing
+            # attribute/metric): the client's fault, not a server fault.
+            raise _BadRequest(str(exc)) from None
+        log_event(
+            logger,
+            "append",
+            tenant=tenant,
+            dataset=dataset,
+            appended=info["appended"],
+            n_records=info["n_records"],
+            dataset_version=info["dataset_version"],
+            invalidated_profiles=info["invalidated_profiles"],
+            duration_ms=round((time.monotonic() - started) * 1000.0, 3),
+        )
+        return {"dataset": dataset, **info}
 
     def _log_release(
         self,

@@ -183,6 +183,27 @@ class PCORClient:
             "POST", f"/v1/datasets/{dataset}/release", body, timeout=timeout
         )
 
+    def append(
+        self,
+        dataset: str,
+        records: Sequence[Mapping[str, Any]],
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Append records to a served dataset; returns the append summary.
+
+        The response carries the new ``dataset_version``, the fresh
+        ``record_ids`` assigned to the appended rows, and how many cached
+        profiles the append invalidated.  Like a release POST, an append is
+        never blindly resent on a transport error — the server may have
+        committed the append before the connection died, and replaying it
+        would insert the records twice.  Check ``n_records`` (via a release
+        response or a fresh append of nothing-new) before retrying.
+        """
+        body = {"records": [dict(r) for r in records]}
+        return self._request(
+            "POST", f"/v1/datasets/{dataset}/append", body, timeout=timeout
+        )
+
     def release_many(
         self,
         dataset: str,

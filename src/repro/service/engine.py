@@ -176,6 +176,13 @@ class EngineMetrics:
     ``batch_size_min``         gauge     over a recent window of flushes
     ``batch_size_p50``         gauge     over a recent window of flushes
     ``batch_size_max``         gauge     over a recent window of flushes
+    ``dataset_version``        gauge     append counter of the served
+                                         dataset (monotone, but a gauge:
+                                         its *value* is an identity, not
+                                         an event count to rate over)
+    ``appends``                counter   committed dataset appends
+    ``profiles_invalidated``   counter   profiles dropped by targeted
+                                         append invalidation
     ``backend`` / ``backend_workers``    informational, not a metric
     ========================== ========= =======================================
     """
@@ -209,6 +216,9 @@ class EngineMetrics:
     batch_size_min: Optional[int] = None
     batch_size_p50: Optional[float] = None
     batch_size_max: Optional[int] = None
+    dataset_version: int = 0
+    appends: int = 0
+    profiles_invalidated: int = 0
 
     def to_dict(self) -> Dict[str, float]:
         """Plain-dict snapshot (JSON-able)."""
@@ -275,6 +285,13 @@ class ReleaseEngine:
         if mask_index is not None and mask_index.dataset is not dataset:
             raise VerificationError("mask index was built for a different dataset")
         self._masks = mask_index
+        # Append counter of the served dataset; results and ledger charges
+        # are stamped with it.  Worker engines inherit the parent's counter
+        # through the shared-memory handle's version.
+        self._dataset_version = (
+            mask_index.dataset_version if mask_index is not None else 0
+        )
+        self._appends = 0
         self.profile_capacity = int(profile_capacity)
         self._verifiers: Dict[Tuple, OutlierVerifier] = {}
         # An explicitly named backend wins over request specs; a spec-named
@@ -284,6 +301,7 @@ class ReleaseEngine:
         self.backend = resolve_backend(backend, workers)
         self._spec_backends: Dict[Tuple[str, Optional[int]], ExecutionBackend] = {}
         self._lock = threading.RLock()
+        self._append_lock = threading.Lock()  # serialises dataset appends
         self._phase_wall: Dict[str, float] = {}
         self._phase_tasks: Dict[str, int] = {}
         self.requests_submitted = 0
@@ -303,6 +321,11 @@ class ReleaseEngine:
         if self._masks is None:
             self._masks = PredicateMaskIndex(self.dataset)
         return self._masks
+
+    @property
+    def dataset_version(self) -> int:
+        """Append counter of the served dataset (0 until the first append)."""
+        return self._dataset_version
 
     @property
     def spent(self) -> float:
@@ -359,6 +382,62 @@ class ReleaseEngine:
             self._verifiers[detector_fingerprint(verifier.detector)] = verifier
         return verifier
 
+    def append(self, records: Sequence[Mapping]) -> Dict[str, object]:
+        """Grow the served dataset in place: the live-append entry point.
+
+        Builds the post-append index state (word-level mask updates, no
+        O(t*n) rebuild), invalidates exactly the cached profiles whose
+        contexts contain an appended record — stamping every verifier's
+        store with the new version so profile writes racing this append are
+        fenced out — then atomically publishes the new ``(dataset, masks,
+        version)`` snapshot.  Concurrent releases see either the old or the
+        new dataset, never a mix; each result records which via its
+        ``dataset_version``.
+
+        Returns a summary: appended count, new record ids, total records,
+        the new dataset version, and how many cached profiles were dropped.
+        """
+        rows = list(records)
+        masks = self.masks
+        with self._append_lock:
+            if not rows:
+                return {
+                    "appended": 0,
+                    "record_ids": [],
+                    "n_records": len(self.dataset),
+                    "dataset_version": self._dataset_version,
+                    "invalidated_profiles": 0,
+                }
+            with self._lock:
+                verifiers = list(self._verifiers.values())
+            for verifier in verifiers:
+                if verifier.masks is not masks:
+                    raise VerificationError(
+                        "append requires every verifier to share the "
+                        "engine's mask index (an adopted verifier carries "
+                        "its own index and would silently diverge)"
+                    )
+            pending = masks.prepare_append(rows)
+            dropped = 0
+            for verifier in verifiers:
+                dropped += verifier.profile_store.invalidate_matching(
+                    pending.record_bits, pending.version
+                )
+            new_dataset = masks.commit_append(pending)
+            self.dataset = new_dataset
+            for verifier in verifiers:
+                verifier.rebind(new_dataset)
+            with self._lock:
+                self._dataset_version = pending.version
+                self._appends += 1
+        return {
+            "appended": len(pending.record_ids),
+            "record_ids": list(pending.record_ids),
+            "n_records": len(new_dataset),
+            "dataset_version": pending.version,
+            "invalidated_profiles": dropped,
+        }
+
     def metrics(self) -> EngineMetrics:
         """Aggregated counters across the engine and all its verifiers."""
         with self._lock:
@@ -373,6 +452,8 @@ class ReleaseEngine:
                 backend_workers=self.backend.workers,
                 phase_wall_s=dict(self._phase_wall),
                 phase_tasks=dict(self._phase_tasks),
+                dataset_version=self._dataset_version,
+                appends=self._appends,
             )
             if self.accountant is not None:
                 m.epsilon_budget = self.accountant.budget
@@ -387,6 +468,7 @@ class ReleaseEngine:
             m.profile_misses += stats["misses"]
             m.profile_evictions += stats["evictions"]
             m.profiles_cached += stats["size"]
+            m.profiles_invalidated += stats["invalidations"]
             m.fm_evaluations += verifier.fm_evaluations
             m.fm_queries += verifier.fm_queries
         for backend in backends:
@@ -731,15 +813,17 @@ class ReleaseEngine:
             f"got {type(request).__name__}"
         )
 
-    @staticmethod
-    def _charge_label(request: ReleaseRequest) -> str:
+    def _charge_label(self, request: ReleaseRequest) -> str:
         spec = request.spec
         sampler_name = (
             spec.sampler if isinstance(spec.sampler, str) else spec.sampler.name
         )
+        # The version stamp in the ledger records which dataset snapshot the
+        # charge was admitted against — an auditor replaying the WAL of an
+        # append-only deployment can line charges up with appends.
         return (
             f"submit(record={request.record_id}, sampler={sampler_name}, "
-            f"epsilon={spec.epsilon:g})"
+            f"epsilon={spec.epsilon:g}, dataset_v{self._dataset_version})"
         )
 
     def _charge(self, request: ReleaseRequest) -> None:
@@ -841,6 +925,7 @@ class ReleaseEngine:
                 stats=run.stats,
                 fm_evaluations=verifier.local_fm_evaluations - fm_before,
                 wall_time_s=time.perf_counter() - t0,
+                dataset_version=self._dataset_version,
             )
         finally:
             set_engine_phase(None)

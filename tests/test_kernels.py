@@ -1,0 +1,274 @@
+"""Kernel-registry equivalence: native, fallback and a pure-Python oracle.
+
+The kernel registry in :mod:`repro.bitops` promises that every backend is
+bit-identical: the numpy fallback and the optional numba-compiled backend
+must produce exactly the same population masks, counts and intersections
+for every packed matrix, block layout and selection batch.  Hypothesis
+drives both through a deliberately slow pure-Python reference (so the
+fallback is tested against something other than itself even in numba-free
+environments), across the edge shapes that bit-packing gets wrong first:
+record counts at and around the 64-bit word boundary, empty attribute
+blocks, empty batches, and predicate counts past one word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops import (
+    WORD_BITS,
+    batch_and_of_or_numpy,
+    bool_matrix_to_ints,
+    ints_to_bool_matrix,
+    kernel_backend_name,
+    native_kernels_available,
+    pack_bool_matrix,
+    popcount_rows,
+    set_kernel_backend,
+    words_for,
+)
+from repro.bitops import _batch_and_of_or_counts_numpy, _intersect_counts_numpy
+
+ALL_ONES = (1 << 64) - 1
+
+needs_native = pytest.mark.skipif(
+    not native_kernels_available(), reason="numba not installed"
+)
+
+
+# ------------------------------------------------------------------ oracle
+
+
+def reference_and_of_or(packed, offsets, sizes, selection):
+    """Word-by-word AND-of-OR in pure Python ints — the equivalence oracle."""
+    batch, n_words = selection.shape[0], packed.shape[1]
+    out = np.zeros((batch, n_words), dtype=np.uint64)
+    for b in range(batch):
+        acc = [ALL_ONES] * n_words
+        for off, size in zip(offsets, sizes):
+            block = [0] * n_words
+            for j in range(size):
+                if selection[b, off + j]:
+                    for w in range(n_words):
+                        block[w] |= int(packed[off + j, w])
+            acc = [a & x for a, x in zip(acc, block)]
+        for w in range(n_words):
+            out[b, w] = np.uint64(acc[w])
+    return out
+
+
+def reference_popcounts(matrix):
+    return np.array(
+        [sum(int(w).bit_count() for w in row) for row in matrix], dtype=np.int64
+    )
+
+
+# -------------------------------------------------------------- strategies
+
+# Record counts straddling the word boundary, plus empty and multi-word.
+N_RECORDS = st.sampled_from([0, 1, 7, 63, 64, 65, 128, 130])
+
+
+@st.composite
+def kernel_instance(draw):
+    """(packed, offsets, sizes, selection) with adversarial shapes.
+
+    Block sizes may be zero (an attribute contributing no predicates) and
+    total predicate counts intentionally cross 64 so selections wider than
+    one word are exercised.
+    """
+    sizes = draw(
+        st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=4)
+    )
+    t = sum(sizes)
+    offsets = np.cumsum([0] + sizes[:-1]).astype(np.int64) if sizes else np.zeros(
+        0, dtype=np.int64
+    )
+    n = draw(N_RECORDS)
+    batch = draw(st.integers(min_value=0, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    gen = np.random.default_rng(seed)
+    flags = gen.random((t, n)) < 0.5 if t else np.zeros((t, n), dtype=bool)
+    packed = pack_bool_matrix(np.ascontiguousarray(flags, dtype=bool))
+    selection = (
+        gen.random((batch, t)) < 0.6
+        if batch and t
+        else np.zeros((batch, t), dtype=bool)
+    )
+    return packed, np.asarray(offsets), np.asarray(sizes, dtype=np.int64), selection
+
+
+# ------------------------------------------------------- fallback vs oracle
+
+
+class TestFallbackMatchesOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(kernel_instance())
+    def test_masks_counts_popcounts(self, instance):
+        packed, offsets, sizes, selection = instance
+        expected = reference_and_of_or(packed, offsets, sizes, selection)
+        masks = batch_and_of_or_numpy(packed, offsets, sizes, selection)
+        assert masks.dtype == np.uint64
+        assert np.array_equal(masks, expected)
+        counts = _batch_and_of_or_counts_numpy(packed, offsets, sizes, selection)
+        assert np.array_equal(counts, reference_popcounts(expected))
+        assert np.array_equal(popcount_rows(packed), reference_popcounts(packed))
+
+    @settings(max_examples=30, deadline=None)
+    @given(kernel_instance())
+    def test_intersect_counts(self, instance):
+        packed, offsets, sizes, selection = instance
+        masks = batch_and_of_or_numpy(packed, offsets, sizes, selection)
+        if packed.shape[0]:
+            row = packed[0]
+        else:
+            row = np.zeros(packed.shape[1], dtype=np.uint64)
+        got = _intersect_counts_numpy(masks, row)
+        expected = np.array(
+            [
+                sum((int(a) & int(b)).bit_count() for a, b in zip(m, row))
+                for m in masks
+            ],
+            dtype=np.int64,
+        )
+        assert np.array_equal(got, expected)
+
+
+# ------------------------------------------------------- native vs fallback
+
+
+@needs_native
+class TestNativeMatchesFallback:
+    @settings(max_examples=60, deadline=None)
+    @given(kernel_instance())
+    def test_all_kernels_bit_identical(self, instance):
+        from repro.data import _kernels
+
+        packed, offsets, sizes, selection = instance
+        sel = np.ascontiguousarray(selection, dtype=bool)
+        expected_masks = batch_and_of_or_numpy(packed, offsets, sizes, sel)
+        assert np.array_equal(
+            _kernels.and_of_or(packed, offsets, sizes, sel), expected_masks
+        )
+        assert np.array_equal(
+            _kernels.and_of_or_counts(packed, offsets, sizes, sel),
+            _batch_and_of_or_counts_numpy(packed, offsets, sizes, sel),
+        )
+        assert np.array_equal(
+            _kernels.popcount_rows(packed), popcount_rows(packed)
+        )
+        if packed.shape[0]:
+            row = np.ascontiguousarray(packed[0])
+            assert np.array_equal(
+                _kernels.intersect_counts(expected_masks, row),
+                _intersect_counts_numpy(expected_masks, row),
+            )
+
+    def test_index_level_identity(self, mini_dataset):
+        """Whole-index population queries agree across backends."""
+        from repro.data.masks import PredicateMaskIndex
+
+        index = PredicateMaskIndex(mini_dataset)
+        rng = np.random.default_rng(9)
+        bits = [int(b) for b in rng.integers(0, 1 << index.t, size=256)]
+        try:
+            set_kernel_backend("fallback")
+            masks_fb = index.population_masks(bits)
+            sizes_fb = index.population_sizes(bits)
+            set_kernel_backend("native")
+            assert np.array_equal(index.population_masks(bits), masks_fb)
+            assert np.array_equal(index.population_sizes(bits), sizes_fb)
+        finally:
+            set_kernel_backend("auto")
+
+
+# ------------------------------------------------------------- conversions
+
+
+class TestVectorisedConversions:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_bits=st.sampled_from([1, 8, 63, 64, 65, 100, 130]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        rows=st.integers(min_value=0, max_value=6),
+    )
+    def test_round_trip(self, n_bits, seed, rows):
+        gen = np.random.default_rng(seed)
+        ints = [
+            int.from_bytes(gen.bytes((n_bits + 7) // 8), "little")
+            % (1 << n_bits)
+            for _ in range(rows)
+        ]
+        matrix = ints_to_bool_matrix(ints, n_bits)
+        assert matrix.shape == (rows, n_bits)
+        assert bool_matrix_to_ints(matrix) == ints
+        for i, bits in enumerate(ints):
+            expected = [(bits >> j) & 1 == 1 for j in range(n_bits)]
+            assert matrix[i].tolist() == expected
+
+    def test_empty_edges(self):
+        assert ints_to_bool_matrix([], 17).shape == (0, 17)
+        assert ints_to_bool_matrix([0, 0], 0).shape == (2, 0)
+        assert bool_matrix_to_ints(np.zeros((0, 5), dtype=bool)) == []
+        assert bool_matrix_to_ints(np.zeros((3, 0), dtype=bool)) == [0, 0, 0]
+
+    def test_word_boundary_identity(self):
+        # 64 bits exercises the padded-view fast path exactly at the edge.
+        bits = [(1 << 64) - 1, 1 << 63, 0]
+        matrix = ints_to_bool_matrix(bits, WORD_BITS)
+        assert bool_matrix_to_ints(matrix) == bits
+
+
+# ---------------------------------------------------------------- registry
+
+
+class TestBackendSelection:
+    def test_env_forces_fallback(self, monkeypatch):
+        monkeypatch.setenv("PCOR_NATIVE", "0")
+        try:
+            assert set_kernel_backend("auto") == "fallback"
+            assert kernel_backend_name() == "fallback"
+        finally:
+            monkeypatch.delenv("PCOR_NATIVE")
+            set_kernel_backend("auto")
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("PCOR_NATIVE", "yes please")
+        try:
+            with pytest.raises(RuntimeError, match="PCOR_NATIVE"):
+                set_kernel_backend("auto")
+        finally:
+            monkeypatch.delenv("PCOR_NATIVE")
+            set_kernel_backend("auto")
+
+    def test_unknown_backend_name(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_kernel_backend("simd")
+
+    def test_explicit_fallback_always_works(self):
+        try:
+            assert set_kernel_backend("fallback") == "fallback"
+        finally:
+            set_kernel_backend("auto")
+
+    @pytest.mark.skipif(
+        native_kernels_available(), reason="numba present: native must work"
+    )
+    def test_native_without_numba_raises(self):
+        with pytest.raises(RuntimeError, match="numba is not importable"):
+            set_kernel_backend("native")
+
+    @needs_native
+    def test_native_with_numba_selected(self):
+        try:
+            assert set_kernel_backend("native") == "native"
+        finally:
+            set_kernel_backend("auto")
+
+    def test_words_for(self):
+        assert [words_for(n) for n in (0, 1, 63, 64, 65, 128, 129)] == [
+            0, 1, 1, 1, 2, 2, 3,
+        ]
